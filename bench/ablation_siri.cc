@@ -1,0 +1,168 @@
+// Ablation A1 (DESIGN.md): the SIRI index family compared.
+//
+// Paper section 3.1 cites the SIRI analysis ([59]) concluding that the
+// POS-tree "has better overall performance" among the three instances
+// (POS-tree, Merkle Patricia Trie, Merkle Bucket Tree). This benchmark
+// reproduces that comparison on the dimensions Spitz's ledger cares
+// about: point read, point update, proof size, client verification
+// cost, and version sharing (chunks added per update).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "chunk/chunk_store.h"
+#include "index/mbt.h"
+#include "index/mpt.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+namespace bench {
+namespace {
+
+constexpr size_t kRecords = 100000;
+constexpr size_t kReadOps = 20000;
+constexpr size_t kWriteOps = 3000;
+constexpr size_t kProofOps = 3000;
+
+struct Result {
+  const char* name;
+  double get_kops;
+  double put_kops;
+  double verify_kops;
+  double proof_bytes;
+  double chunks_per_update;
+};
+
+void Print(const Result& r) {
+  printf("%-10s  %12.1f  %12.1f  %14.1f  %14.0f  %18.1f\n", r.name,
+         r.get_kops, r.put_kops, r.verify_kops, r.proof_bytes,
+         r.chunks_per_update);
+}
+
+size_t ProofSize(const PosProof& p) { return p.ByteSize(); }
+size_t ProofSize(const MerklePatriciaTrie::Proof& p) {
+  size_t n = 0;
+  for (const auto& payload : p.node_payloads) n += payload.size();
+  return n;
+}
+size_t ProofSize(const MerkleBucketTree::Proof& p) {
+  return p.directory_payload.size() + p.bucket_payload.size();
+}
+
+template <typename Tree, typename ProofT, typename GetProofFn,
+          typename VerifyFn>
+Result RunOne(const char* name, Tree* tree, ChunkStore* store,
+              const std::vector<PosEntry>& data, Hash256 root,
+              GetProofFn get_proof, VerifyFn verify) {
+  Random rng(5);
+  auto random_key = [&]() -> const std::string& {
+    return data[rng.Uniform(data.size())].key;
+  };
+  Result r;
+  r.name = name;
+
+  std::string value;
+  r.get_kops = MeasureOpsPerSec(kReadOps, [&](size_t) {
+    if (!tree->Get(root, random_key(), &value).ok()) abort();
+  }) / 1000.0;
+
+  uint64_t chunks_before = store->stats().chunk_count;
+  Random value_rng(6);
+  Hash256 w = root;
+  r.put_kops = MeasureOpsPerSec(kWriteOps, [&](size_t) {
+    if (!tree->Put(w, random_key(), value_rng.Bytes(20), &w).ok()) abort();
+  }) / 1000.0;
+  r.chunks_per_update =
+      static_cast<double>(store->stats().chunk_count - chunks_before) /
+      kWriteOps;
+
+  // Proof generation + client verification.
+  double total_proof_bytes = 0;
+  r.verify_kops = MeasureOpsPerSec(kProofOps, [&](size_t) {
+    const std::string& key = random_key();
+    ProofT proof;
+    if (!get_proof(w, key, &value, &proof)) abort();
+    total_proof_bytes += ProofSize(proof);
+    if (!verify(w, key, value, proof)) abort();
+  }) / 1000.0;
+  r.proof_bytes = total_proof_bytes / kProofOps;
+  return r;
+}
+
+void Run() {
+  std::vector<PosEntry> data = MakeRecords(kRecords);
+
+  printf("Ablation A1: SIRI index family at %zu records\n", kRecords);
+  printf("%-10s  %12s  %12s  %14s  %14s  %18s\n", "index", "get Kops/s",
+         "put Kops/s", "verify Kops/s", "proof bytes", "chunks/update");
+
+  {
+    ChunkStore store;
+    PosTree tree(&store);
+    Hash256 root;
+    if (!tree.Build(data, &root).ok()) abort();
+    Result r = RunOne<PosTree, PosProof>(
+        "POS-tree", &tree, &store, data, root,
+        [&](const Hash256& rt, const std::string& key, std::string* value,
+            PosProof* proof) {
+          return tree.GetWithProof(rt, key, value, proof).ok();
+        },
+        [&](const Hash256& rt, const std::string& key,
+            const std::string& value, const PosProof& proof) {
+          return PosTree::VerifyProof(rt, key, value, proof).ok();
+        });
+    Print(r);
+  }
+  {
+    ChunkStore store;
+    MerklePatriciaTrie tree(&store);
+    Hash256 root = MerklePatriciaTrie::EmptyRoot();
+    for (const PosEntry& e : data) {
+      if (!tree.Put(root, e.key, e.value, &root).ok()) abort();
+    }
+    Result r = RunOne<MerklePatriciaTrie, MerklePatriciaTrie::Proof>(
+        "MPT", &tree, &store, data, root,
+        [&](const Hash256& rt, const std::string& key, std::string* value,
+            MerklePatriciaTrie::Proof* proof) {
+          return tree.GetWithProof(rt, key, value, proof).ok();
+        },
+        [&](const Hash256& rt, const std::string& key,
+            const std::string& value,
+            const MerklePatriciaTrie::Proof& proof) {
+          return MerklePatriciaTrie::VerifyProof(rt, key, value, proof).ok();
+        });
+    Print(r);
+  }
+  {
+    ChunkStore store;
+    MerkleBucketTree tree(&store);
+    Hash256 root = MerkleBucketTree::EmptyRoot();
+    for (const PosEntry& e : data) {
+      if (!tree.Put(root, e.key, e.value, &root).ok()) abort();
+    }
+    Result r = RunOne<MerkleBucketTree, MerkleBucketTree::Proof>(
+        "MBT", &tree, &store, data, root,
+        [&](const Hash256& rt, const std::string& key, std::string* value,
+            MerkleBucketTree::Proof* proof) {
+          return tree.GetWithProof(rt, key, value, proof).ok();
+        },
+        [&](const Hash256& rt, const std::string& key,
+            const std::string& value, const MerkleBucketTree::Proof& proof) {
+          return MerkleBucketTree::VerifyProof(rt, key, value, proof).ok();
+        });
+    Print(r);
+  }
+  printf(
+      "\nexpected: POS-tree best overall balance (paper 3.1 / SIRI "
+      "analysis); MBT pays a full directory rewrite per update and bulky "
+      "proofs; MPT pays deeper traversals and per-nibble nodes.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spitz
+
+int main() {
+  spitz::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef SPITZ_BENCH_BENCH_UTIL_H_
+#define SPITZ_BENCH_BENCH_UTIL_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+namespace bench {
+
+// The workload of paper section 6.2: "The number of records ... vary
+// from 10,000 to 1,280,000. The length of the key ranges from 5 to 12
+// bytes while the size of the value is 20 bytes."
+inline std::vector<PosEntry> MakeRecords(size_t n, uint64_t seed = 42) {
+  Random rng(seed);
+  std::vector<PosEntry> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    // Unique keys: a random prefix plus a distinguishing suffix, total
+    // length in [5, 12].
+    char suffix[16];
+    int suffix_len = snprintf(suffix, sizeof(suffix), "%zx", i);
+    size_t key_len = rng.Range(5, 12);
+    std::string key;
+    if (static_cast<size_t>(suffix_len) >= key_len) {
+      key.assign(suffix, suffix_len);
+    } else {
+      key = rng.Bytes(key_len - suffix_len) + suffix;
+    }
+    records.push_back(PosEntry{std::move(key), rng.Bytes(20)});
+  }
+  return records;
+}
+
+// The record-count sweep of Figures 6-8: 1..128 x 10^4, doubling.
+inline std::vector<size_t> RecordScales() {
+  std::vector<size_t> scales = {10000,  20000,  40000,  80000,
+                                160000, 320000, 640000, 1280000};
+  // SPITZ_BENCH_MAX_RECORDS caps the sweep (useful on small machines).
+  if (const char* cap_env = std::getenv("SPITZ_BENCH_MAX_RECORDS")) {
+    size_t cap = static_cast<size_t>(strtoull(cap_env, nullptr, 10));
+    while (!scales.empty() && scales.back() > cap) scales.pop_back();
+  }
+  return scales;
+}
+
+// Measures ops/sec of `fn` called `ops` times.
+template <typename Fn>
+double MeasureOpsPerSec(size_t ops, Fn&& fn) {
+  uint64_t start = MonotonicNanos();
+  for (size_t i = 0; i < ops; i++) {
+    fn(i);
+  }
+  uint64_t elapsed = MonotonicNanos() - start;
+  if (elapsed == 0) elapsed = 1;
+  return static_cast<double>(ops) * 1e9 / static_cast<double>(elapsed);
+}
+
+// Table output helpers: one row per record scale, one column per system,
+// in thousands of operations per second (the paper's y-axis unit).
+inline void PrintHeader(const char* title,
+                        const std::vector<std::string>& systems) {
+  printf("\n%s\n", title);
+  printf("%-12s", "#records");
+  for (const auto& s : systems) printf("  %18s", s.c_str());
+  printf("\n");
+}
+
+inline void PrintRow(size_t records, const std::vector<double>& kops) {
+  printf("%-12zu", records);
+  for (double v : kops) printf("  %18.2f", v);
+  printf("\n");
+}
+
+inline void PrintFooter(const char* note) { printf("%s\n", note); }
+
+}  // namespace bench
+}  // namespace spitz
+
+#endif  // SPITZ_BENCH_BENCH_UTIL_H_

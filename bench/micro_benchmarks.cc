@@ -1,0 +1,178 @@
+// Microbenchmarks (google-benchmark) for the primitive layers: the
+// costs these report explain the system-level numbers of the figure
+// benchmarks (e.g. SHA-256 throughput bounds every verified operation).
+
+#include <benchmark/benchmark.h>
+
+#include "chunk/chunk_store.h"
+#include "chunk/chunker.h"
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "index/btree.h"
+#include "index/pos_tree.h"
+#include "index/skiplist.h"
+#include "ledger/merkle_tree.h"
+#include "txn/mvcc.h"
+
+namespace spitz {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Random rng(1);
+  std::string data = rng.Bytes(static_cast<size_t>(state.range(0)));
+  uint8_t out[Sha256::kDigestSize];
+  for (auto _ : state) {
+    Sha256::Digest(data, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ContentDefinedChunking(benchmark::State& state) {
+  Random rng(2);
+  std::string data = rng.Bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto extents = ChunkData(data);
+    benchmark::DoNotOptimize(extents);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ContentDefinedChunking)->Arg(16384)->Arg(262144);
+
+void BM_PosTreeGet(benchmark::State& state) {
+  ChunkStore store;
+  PosTree tree(&store);
+  Random rng(3);
+  std::vector<PosEntry> entries;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; i++) {
+    entries.push_back({"key" + std::to_string(i), rng.Bytes(20)});
+  }
+  Hash256 root;
+  if (!tree.Build(entries, &root).ok()) abort();
+  std::string value;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Get(root, entries[i % entries.size()].key, &value));
+    i += 7919;
+  }
+}
+BENCHMARK(BM_PosTreeGet)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_PosTreePut(benchmark::State& state) {
+  ChunkStore store;
+  PosTree tree(&store);
+  Random rng(4);
+  std::vector<PosEntry> entries;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; i++) {
+    entries.push_back({"key" + std::to_string(i), rng.Bytes(20)});
+  }
+  Hash256 root;
+  if (!tree.Build(entries, &root).ok()) abort();
+  size_t i = 0;
+  for (auto _ : state) {
+    if (!tree.Put(root, entries[i % entries.size()].key,
+                  "updated" + std::to_string(i), &root)
+             .ok()) {
+      abort();
+    }
+    i++;
+  }
+}
+BENCHMARK(BM_PosTreePut)->Arg(10000)->Arg(100000);
+
+void BM_PosTreeVerifiedGet(benchmark::State& state) {
+  ChunkStore store;
+  PosTree tree(&store);
+  Random rng(5);
+  std::vector<PosEntry> entries;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; i++) {
+    entries.push_back({"key" + std::to_string(i), rng.Bytes(20)});
+  }
+  Hash256 root;
+  if (!tree.Build(entries, &root).ok()) abort();
+  std::string value;
+  size_t i = 0;
+  for (auto _ : state) {
+    PosProof proof;
+    const std::string& key = entries[i % entries.size()].key;
+    if (!tree.GetWithProof(root, key, &value, &proof).ok()) abort();
+    if (!PosTree::VerifyProof(root, key, value, proof).ok()) abort();
+    i += 104729;
+  }
+}
+BENCHMARK(BM_PosTreeVerifiedGet)->Arg(100000);
+
+void BM_BTreePutGet(benchmark::State& state) {
+  BTree tree;
+  Random rng(6);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; i++) {
+    tree.Put("key" + std::to_string(i), rng.Bytes(20));
+  }
+  std::string value;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Get("key" + std::to_string(i % n), &value));
+    i += 7919;
+  }
+}
+BENCHMARK(BM_BTreePutGet)->Arg(100000);
+
+void BM_MerkleInclusionProof(benchmark::State& state) {
+  MerkleTree tree;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; i++) {
+    tree.AppendLeafHash(Hash256::OfLeaf("leaf" + std::to_string(i)));
+  }
+  Hash256 root = tree.Root();
+  size_t i = 0;
+  for (auto _ : state) {
+    MerkleInclusionProof proof;
+    if (!tree.InclusionProof(i % n, &proof).ok()) abort();
+    if (!MerkleTree::VerifyInclusion(
+            Hash256::OfLeaf("leaf" + std::to_string(i % n)), proof, root)) {
+      abort();
+    }
+    i += 7919;
+  }
+}
+BENCHMARK(BM_MerkleInclusionProof)->Arg(4096)->Arg(1048576);
+
+void BM_MvccCommit(benchmark::State& state) {
+  MvccStore store;
+  uint64_t ts = 1;
+  Random rng(7);
+  for (auto _ : state) {
+    WriteBatch batch;
+    batch.Put("key" + std::to_string(rng.Uniform(10000)), "value");
+    if (!store.CommitBatch(batch, ts++).ok()) abort();
+  }
+}
+BENCHMARK(BM_MvccCommit);
+
+void BM_SkipListRangeScan(benchmark::State& state) {
+  SkipList sl;
+  Random rng(8);
+  for (int i = 0; i < 100000; i++) {
+    sl.Insert(rng.Uniform(1000000), "p" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    std::vector<std::string> postings;
+    sl.RangeScan(500000, 501000, &postings);
+    benchmark::DoNotOptimize(postings);
+  }
+}
+BENCHMARK(BM_SkipListRangeScan);
+
+}  // namespace
+}  // namespace spitz
+
+BENCHMARK_MAIN();

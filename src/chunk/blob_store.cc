@@ -1,0 +1,65 @@
+#include "chunk/blob_store.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+Hash256 BlobStore::Put(const Slice& data) {
+  std::vector<ChunkExtent> extents = ChunkData(data, options_);
+  std::string meta;
+  PutVarint64(&meta, extents.size());
+  for (const ChunkExtent& e : extents) {
+    Chunk segment(ChunkType::kBlob,
+                  std::string(data.data() + e.offset, e.length));
+    Hash256 id = chunks_->Put(std::move(segment));
+    meta.append(id.ToBytes());
+    PutVarint64(&meta, e.length);
+  }
+  return chunks_->Put(Chunk(ChunkType::kBlobMeta, std::move(meta)));
+}
+
+Status BlobStore::Get(const Hash256& id, std::string* out) const {
+  std::shared_ptr<const Chunk> meta;
+  Status s = chunks_->Get(id, &meta);
+  if (!s.ok()) return s;
+  if (meta->type() != ChunkType::kBlobMeta) {
+    return Status::Corruption("not a blob meta chunk");
+  }
+  Slice input = meta->data();
+  uint64_t count = 0;
+  s = GetVarint64(&input, &count);
+  if (!s.ok()) return s;
+  out->clear();
+  for (uint64_t i = 0; i < count; i++) {
+    if (input.size() < Hash256::kSize) {
+      return Status::Corruption("truncated blob meta");
+    }
+    Hash256 seg_id = Hash256::FromBytes(Slice(input.data(), Hash256::kSize));
+    input.remove_prefix(Hash256::kSize);
+    uint64_t len = 0;
+    s = GetVarint64(&input, &len);
+    if (!s.ok()) return s;
+    std::shared_ptr<const Chunk> seg;
+    s = chunks_->Get(seg_id, &seg);
+    if (!s.ok()) return s;
+    if (seg->payload().size() != len) {
+      return Status::Corruption("blob segment length mismatch");
+    }
+    out->append(seg->payload());
+  }
+  return Status::OK();
+}
+
+Status BlobStore::SegmentCount(const Hash256& id, size_t* count) const {
+  std::shared_ptr<const Chunk> meta;
+  Status s = chunks_->Get(id, &meta);
+  if (!s.ok()) return s;
+  Slice input = meta->data();
+  uint64_t n = 0;
+  s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  *count = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+}  // namespace spitz

@@ -1,0 +1,57 @@
+#include "chunk/chunk_store.h"
+
+namespace spitz {
+
+bool ChunkStore::InsertInMemory(Chunk chunk, Hash256* id) {
+  *id = chunk.id();
+  const size_t size = chunk.stored_size();
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  logical_bytes_.fetch_add(size, std::memory_order_relaxed);
+  Shard& shard = shards_[ShardOf(*id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chunks.find(*id);
+  if (it != shard.chunks.end()) {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  chunk_count_.fetch_add(1, std::memory_order_relaxed);
+  physical_bytes_.fetch_add(size, std::memory_order_relaxed);
+  shard.chunks.emplace(*id, std::make_shared<const Chunk>(std::move(chunk)));
+  return true;
+}
+
+Hash256 ChunkStore::Put(Chunk chunk) {
+  Hash256 id;
+  InsertInMemory(std::move(chunk), &id);
+  return id;
+}
+
+Status ChunkStore::Get(const Hash256& id,
+                       std::shared_ptr<const Chunk>* chunk) const {
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chunks.find(id);
+  if (it == shard.chunks.end()) {
+    return Status::NotFound("chunk " + id.ToHex());
+  }
+  *chunk = it->second;
+  return Status::OK();
+}
+
+bool ChunkStore::Contains(const Hash256& id) const {
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.chunks.find(id) != shard.chunks.end();
+}
+
+ChunkStoreStats ChunkStore::stats() const {
+  ChunkStoreStats stats;
+  stats.puts = puts_.load(std::memory_order_relaxed);
+  stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  stats.chunk_count = chunk_count_.load(std::memory_order_relaxed);
+  stats.physical_bytes = physical_bytes_.load(std::memory_order_relaxed);
+  stats.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace spitz

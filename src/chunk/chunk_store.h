@@ -1,0 +1,83 @@
+#ifndef SPITZ_CHUNK_CHUNK_STORE_H_
+#define SPITZ_CHUNK_CHUNK_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "chunk/chunk.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace spitz {
+
+// Storage accounting counters exposed by the chunk store. physical_bytes
+// grows only when a previously unseen chunk is inserted, so the gap
+// between logical_bytes and physical_bytes is exactly the space saved by
+// content-based deduplication (the effect shown in paper Fig. 1).
+struct ChunkStoreStats {
+  uint64_t puts = 0;           // total Put calls
+  uint64_t dedup_hits = 0;     // Puts that found an existing chunk
+  uint64_t chunk_count = 0;    // distinct chunks stored
+  uint64_t physical_bytes = 0; // bytes actually stored
+  uint64_t logical_bytes = 0;  // bytes offered across all Puts
+};
+
+// A content-addressed store for immutable chunks. This is the bottom of
+// the storage layer: SIRI index nodes, cell values, blob segments and
+// ledger blocks all live here. Thread-safe; the map is sharded by chunk
+// id so that background auditors and concurrent readers do not serialize
+// against the write path. The base class is the in-memory store;
+// FileChunkStore (file_chunk_store.h) adds durability.
+class ChunkStore {
+ public:
+  ChunkStore() = default;
+  virtual ~ChunkStore() = default;
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  // Stores the chunk (no-op if an identical chunk exists) and returns its
+  // content id.
+  virtual Hash256 Put(Chunk chunk);
+
+  // Looks up a chunk by id. The returned pointer remains valid for the
+  // lifetime of the store (chunks are never deleted: the store is
+  // immutable/append-only, per the VDB requirements).
+  Status Get(const Hash256& id, std::shared_ptr<const Chunk>* chunk) const;
+
+  bool Contains(const Hash256& id) const;
+
+  ChunkStoreStats stats() const;
+
+ protected:
+  // Inserts without any persistence side effects; returns true when the
+  // chunk was not present before. Used by Put and by recovery replay.
+  bool InsertInMemory(Chunk chunk, Hash256* id);
+
+ private:
+  static constexpr size_t kShardCount = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Hash256, std::shared_ptr<const Chunk>, Hash256Hasher>
+        chunks;
+  };
+
+  // Digest bytes are uniform; any byte selects a shard evenly.
+  static size_t ShardOf(const Hash256& id) {
+    return id.data()[7] % kShardCount;
+  }
+
+  Shard shards_[kShardCount];
+  std::atomic<uint64_t> puts_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
+  std::atomic<uint64_t> chunk_count_{0};
+  std::atomic<uint64_t> physical_bytes_{0};
+  std::atomic<uint64_t> logical_bytes_{0};
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CHUNK_CHUNK_STORE_H_

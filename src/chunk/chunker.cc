@@ -1,0 +1,43 @@
+#include "chunk/chunker.h"
+
+#include "chunk/rolling_hash.h"
+
+namespace spitz {
+
+std::vector<ChunkExtent> ChunkData(const Slice& data,
+                                   const ChunkerOptions& options) {
+  std::vector<ChunkExtent> extents;
+  const size_t n = data.size();
+  size_t start = 0;
+  RollingHash rh;
+
+  size_t i = 0;
+  while (i < n) {
+    uint32_t h = rh.Roll(static_cast<uint8_t>(data[i]));
+    size_t len = i - start + 1;
+    bool boundary = false;
+    if (len >= options.max_size) {
+      boundary = true;
+    } else if (len >= options.min_size && rh.window_full() &&
+               (h & options.mask) == (options.magic & options.mask)) {
+      boundary = true;
+    }
+    if (boundary) {
+      extents.push_back({start, len});
+      start = i + 1;
+      rh.Reset();
+    }
+    i++;
+  }
+  if (start < n) {
+    extents.push_back({start, n - start});
+  }
+  if (extents.empty() && n == 0) {
+    // An empty input is represented as a single empty extent so callers
+    // can still produce a (stable) object id for it.
+    extents.push_back({0, 0});
+  }
+  return extents;
+}
+
+}  // namespace spitz

@@ -1,0 +1,33 @@
+#ifndef SPITZ_CHUNK_CHUNKER_H_
+#define SPITZ_CHUNK_CHUNKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace spitz {
+
+// Parameters for content-defined chunking. A boundary is declared when
+// the rolling hash matches `magic` under `mask`; with a mask of
+// 2^k - 1 the expected chunk size is min_size + 2^k bytes.
+struct ChunkerOptions {
+  size_t min_size = 512;
+  size_t max_size = 8192;
+  uint32_t mask = 0x03ff;  // expected ~1 KiB chunks past min_size
+  uint32_t magic = 0x01;
+};
+
+// Splits a byte sequence into content-defined segments. Returns the list
+// of segment extents (offset, length) covering the input exactly.
+struct ChunkExtent {
+  size_t offset;
+  size_t length;
+};
+
+std::vector<ChunkExtent> ChunkData(const Slice& data,
+                                   const ChunkerOptions& options = {});
+
+}  // namespace spitz
+
+#endif  // SPITZ_CHUNK_CHUNKER_H_

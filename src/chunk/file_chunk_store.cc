@@ -1,0 +1,87 @@
+#include "chunk/file_chunk_store.h"
+
+#include <unistd.h>
+
+#include <vector>
+
+#include "common/codec.h"
+
+namespace spitz {
+
+Status FileChunkStore::Open(const std::string& path,
+                            std::unique_ptr<FileChunkStore>* store) {
+  auto s = std::unique_ptr<FileChunkStore>(new FileChunkStore());
+  s->path_ = path;
+  // Open for reading first to replay existing content.
+  Status replay_status = s->Replay();
+  if (!replay_status.ok()) return replay_status;
+  s->file_ = fopen(path.c_str(), "ab");
+  if (s->file_ == nullptr) {
+    return Status::IOError("cannot open chunk log: " + path);
+  }
+  *store = std::move(s);
+  return Status::OK();
+}
+
+FileChunkStore::~FileChunkStore() {
+  if (file_ != nullptr) {
+    fflush(file_);
+    fclose(file_);
+  }
+}
+
+Status FileChunkStore::Replay() {
+  FILE* in = fopen(path_.c_str(), "rb");
+  if (in == nullptr) return Status::OK();  // fresh store
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), in)) > 0) {
+    contents.append(buf, n);
+  }
+  fclose(in);
+
+  Slice input(contents);
+  while (!input.empty()) {
+    if (input.size() < 2) break;  // torn tail
+    ChunkType type = static_cast<ChunkType>(input[0]);
+    Slice rest = input;
+    rest.remove_prefix(1);
+    uint64_t len = 0;
+    if (!GetVarint64(&rest, &len).ok() || rest.size() < len) {
+      break;  // torn tail: stop at the last complete record
+    }
+    Chunk chunk(type, std::string(rest.data(), static_cast<size_t>(len)));
+    rest.remove_prefix(static_cast<size_t>(len));
+    Hash256 id;
+    InsertInMemory(std::move(chunk), &id);
+    recovered_++;
+    input = rest;
+  }
+  return Status::OK();
+}
+
+Hash256 FileChunkStore::Put(Chunk chunk) {
+  // Serialize the record before the chunk is moved into the map.
+  std::string record;
+  record.push_back(static_cast<char>(chunk.type()));
+  PutVarint64(&record, chunk.payload().size());
+  record.append(chunk.payload());
+
+  Hash256 id;
+  bool added = InsertInMemory(std::move(chunk), &id);
+  if (added) {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    fwrite(record.data(), 1, record.size(), file_);
+  }
+  return id;
+}
+
+Status FileChunkStore::Sync() {
+  std::lock_guard<std::mutex> lock(file_mu_);
+  if (fflush(file_) != 0) return Status::IOError("fflush failed");
+  if (fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
+  return Status::OK();
+}
+
+}  // namespace spitz

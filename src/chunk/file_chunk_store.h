@@ -1,0 +1,54 @@
+#ifndef SPITZ_CHUNK_FILE_CHUNK_STORE_H_
+#define SPITZ_CHUNK_FILE_CHUNK_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "chunk/chunk_store.h"
+
+namespace spitz {
+
+// A durable chunk store: an append-only log of chunk records on disk,
+// fronted by the in-memory content-addressed map of the base class.
+// Because chunks are immutable and content-addressed, the log never
+// needs compaction for correctness and recovery is a straight replay.
+//
+// Record format:  [1B type] [varint payload length] [payload bytes]
+// A record whose payload fails its hash check (torn tail after a crash)
+// ends the replay; everything before it is intact.
+class FileChunkStore : public ChunkStore {
+ public:
+  // Opens (creating if necessary) the log at `path` and replays it.
+  static Status Open(const std::string& path,
+                     std::unique_ptr<FileChunkStore>* store);
+
+  ~FileChunkStore() override;
+
+  FileChunkStore(const FileChunkStore&) = delete;
+  FileChunkStore& operator=(const FileChunkStore&) = delete;
+
+  // Stores the chunk; a previously unseen chunk is appended to the log.
+  Hash256 Put(Chunk chunk) override;
+
+  // Flushes buffered appends to the operating system and fsyncs.
+  Status Sync();
+
+  // Number of chunks recovered from the log at open time.
+  uint64_t recovered_chunks() const { return recovered_; }
+
+ private:
+  FileChunkStore() = default;
+
+  Status Replay();
+
+  std::string path_;
+  std::mutex file_mu_;
+  FILE* file_ = nullptr;
+  uint64_t recovered_ = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CHUNK_FILE_CHUNK_STORE_H_

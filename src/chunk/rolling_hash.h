@@ -1,0 +1,73 @@
+#ifndef SPITZ_CHUNK_ROLLING_HASH_H_
+#define SPITZ_CHUNK_ROLLING_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spitz {
+
+// A buzhash (cyclic polynomial) rolling hash over a fixed-size byte
+// window. Used by the content-defined chunker to find chunk boundaries
+// that depend only on local content, so that an edit in one region of a
+// blob leaves the chunking of every other region unchanged — the
+// property that makes ForkBase-style dedup effective across versions.
+class RollingHash {
+ public:
+  static constexpr size_t kWindowSize = 48;
+
+  RollingHash() { Reset(); }
+
+  void Reset() {
+    hash_ = 0;
+    filled_ = 0;
+    pos_ = 0;
+    for (size_t i = 0; i < kWindowSize; i++) window_[i] = 0;
+  }
+
+  // Slides the window forward by one byte and returns the new hash.
+  uint32_t Roll(uint8_t in) {
+    uint8_t out = window_[pos_];
+    window_[pos_] = in;
+    pos_ = (pos_ + 1) % kWindowSize;
+    // Rotate the whole hash left by 1, remove the outgoing byte's
+    // contribution (rotated kWindowSize times), add the incoming byte.
+    // While the window is still filling, the displaced slot was never
+    // inserted, so there is nothing to remove — skipping it keeps the
+    // hash a pure function of the window content.
+    hash_ = RotL(hash_, 1) ^ Table(in);
+    if (filled_ < kWindowSize) {
+      filled_++;
+    } else {
+      hash_ ^= RotL(Table(out), kWindowSize % 32);
+    }
+    return hash_;
+  }
+
+  uint32_t hash() const { return hash_; }
+  bool window_full() const { return filled_ == kWindowSize; }
+
+ private:
+  static uint32_t RotL(uint32_t x, unsigned n) {
+    n %= 32;
+    if (n == 0) return x;
+    return (x << n) | (x >> (32 - n));
+  }
+
+  // A fixed pseudo-random substitution table derived from splitmix64,
+  // computed at compile time.
+  static constexpr uint32_t Table(uint8_t b) {
+    uint64_t z = (static_cast<uint64_t>(b) + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<uint32_t>(z ^ (z >> 31));
+  }
+
+  uint32_t hash_;
+  uint8_t window_[kWindowSize];
+  size_t filled_;
+  size_t pos_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CHUNK_ROLLING_HASH_H_

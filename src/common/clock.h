@@ -1,0 +1,51 @@
+#ifndef SPITZ_COMMON_CLOCK_H_
+#define SPITZ_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spitz {
+
+// Wall-clock microseconds since the unix epoch.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Monotonic nanoseconds; use for measuring durations.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// A monotonically increasing logical clock handing out unique
+// timestamps. Thread-safe.
+class LogicalClock {
+ public:
+  explicit LogicalClock(uint64_t start = 1) : next_(start) {}
+
+  uint64_t Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
+
+  // Advances the clock to at least floor + 1 (used when observing a
+  // timestamp from another node).
+  void Observe(uint64_t floor) {
+    uint64_t cur = next_.load(std::memory_order_relaxed);
+    while (cur <= floor && !next_.compare_exchange_weak(
+                               cur, floor + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> next_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_COMMON_CLOCK_H_

@@ -1,0 +1,70 @@
+#ifndef SPITZ_COMMON_RANDOM_H_
+#define SPITZ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spitz {
+
+// A deterministic xorshift128+ pseudo-random generator. Used throughout
+// the workload generators and tests so that every experiment is exactly
+// reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  // Random printable-ish byte string of the given length.
+  std::string Bytes(size_t len) {
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; i++) {
+      out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_COMMON_RANDOM_H_

@@ -1,0 +1,85 @@
+#ifndef SPITZ_COMMON_SLICE_H_
+#define SPITZ_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace spitz {
+
+// Slice is a simple non-owning view over a contiguous byte sequence.
+// The referenced data must outlive the Slice. It exists (rather than
+// using std::string_view directly everywhere) to carry database-flavoured
+// helpers and to make ownership conventions explicit at call sites.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  // Drops the first n bytes from this slice.
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  // Three-way comparison: <0, ==0, >0 like memcmp.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) {
+        r = -1;
+      } else if (size_ > b.size_) {
+        r = 1;
+      }
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace spitz
+
+#endif  // SPITZ_COMMON_SLICE_H_

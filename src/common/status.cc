@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace spitz {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kVerificationFailed:
+      return "VerificationFailed";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!msg_.empty()) {
+    result.append(": ");
+    result.append(msg_);
+  }
+  return result;
+}
+
+}  // namespace spitz

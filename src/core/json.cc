@@ -1,0 +1,370 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spitz {
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const JsonValue& v, std::string* out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber: {
+      double d = v.as_number();
+      char buf[32];
+      if (d == static_cast<double>(static_cast<long long>(d)) &&
+          std::fabs(d) < 1e15) {
+        snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      } else {
+        snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      out->append(buf);
+      break;
+    }
+    case JsonValue::Type::kString:
+      EscapeInto(v.as_string(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, member] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(k, out);
+        out->push_back(':');
+        DumpInto(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 128) return Status::InvalidArgument("json too deep");
+    SkipSpace();
+    if (p_ >= end_) return Status::InvalidArgument("unexpected end of json");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (Consume("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("bad literal");
+      case 'f':
+        if (Consume("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("bad literal");
+      case 'n':
+        if (Consume("null")) {
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Status::InvalidArgument("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  void SkipSpace() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      p_++;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return p_ >= end_;
+  }
+
+ private:
+  bool Consume(const char* literal) {
+    const char* q = p_;
+    while (*literal) {
+      if (q >= end_ || *q != *literal) return false;
+      q++;
+      literal++;
+    }
+    p_ = q;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    if (p_ >= end_ || *p_ != '"') {
+      return Status::InvalidArgument("expected string");
+    }
+    p_++;
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        p_++;
+        if (p_ >= end_) return Status::InvalidArgument("bad escape");
+        switch (*p_) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) return Status::InvalidArgument("bad \\u");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; i++) {
+              char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+              } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+              } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+              } else {
+                return Status::InvalidArgument("bad \\u digit");
+              }
+            }
+            p_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // combined; sufficient for the document layer's needs).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape");
+        }
+        p_++;
+      } else {
+        out->push_back(*p_);
+        p_++;
+      }
+    }
+    if (p_ >= end_) return Status::InvalidArgument("unterminated string");
+    p_++;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) p_++;
+    bool any = false;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '-' || *p_ == '+')) {
+      any = true;
+      p_++;
+    }
+    if (!any) return Status::InvalidArgument("expected number");
+    std::string text(start, p_ - start);
+    char* endptr = nullptr;
+    double d = std::strtod(text.c_str(), &endptr);
+    if (endptr != text.c_str() + text.size() || !std::isfinite(d)) {
+      return Status::InvalidArgument("malformed number: " + text);
+    }
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    p_++;  // '['
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (p_ < end_ && *p_ == ']') {
+      p_++;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue item;
+      Status s = ParseValue(&item, depth + 1);
+      if (!s.ok()) return s;
+      out->Append(std::move(item));
+      SkipSpace();
+      if (p_ >= end_) return Status::InvalidArgument("unterminated array");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == ']') {
+        p_++;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected , or ] in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    p_++;  // '{'
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (p_ < end_ && *p_ == '}') {
+      p_++;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (p_ >= end_ || *p_ != ':') {
+        return Status::InvalidArgument("expected : in object");
+      }
+      p_++;
+      JsonValue value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->Set(key, std::move(value));
+      SkipSpace();
+      if (p_ >= end_) return Status::InvalidArgument("unterminated object");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == '}') {
+        p_++;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected , or } in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+Status JsonValue::Parse(const Slice& text, JsonValue* out) {
+  Parser parser(text.data(), text.data() + text.size());
+  Status s = parser.ParseValue(out, 0);
+  if (!s.ok()) return s;
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after json value");
+  }
+  return Status::OK();
+}
+
+}  // namespace spitz

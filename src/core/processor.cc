@@ -1,0 +1,104 @@
+#include "core/processor.h"
+
+namespace spitz {
+
+ProcessorPool::ProcessorPool(SpitzDb* db, size_t processor_count)
+    : db_(db), queue_(4096) {
+  for (size_t i = 0; i < processor_count; i++) {
+    processors_.emplace_back([this] { ProcessorLoop(); });
+  }
+}
+
+ProcessorPool::~ProcessorPool() { Shutdown(); }
+
+void ProcessorPool::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  queue_.Close();
+  for (auto& t : processors_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<Response> ProcessorPool::Submit(Request request) {
+  auto envelope = std::make_unique<Envelope>();
+  envelope->request = std::move(request);
+  std::future<Response> future = envelope->reply.get_future();
+  if (!queue_.Push(std::move(envelope))) {
+    std::promise<Response> failed;
+    Response r;
+    r.status = Status::IOError("processor pool shut down");
+    failed.set_value(std::move(r));
+    return failed.get_future();
+  }
+  return future;
+}
+
+void ProcessorPool::ProcessorLoop() {
+  while (auto envelope = queue_.Pop()) {
+    Response response = Handle((*envelope)->request);
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    (*envelope)->reply.set_value(std::move(response));
+  }
+}
+
+Response ProcessorPool::Handle(const Request& request) {
+  Response r;
+  switch (request.type) {
+    case Request::Type::kPut: {
+      // TM executes the write; the auditor tracks it against the ledger
+      // (deferred verification).
+      r.status = db_->Put(request.key, request.value);
+      if (r.status.ok()) {
+        // Integrity-only audit: other processors may overwrite the key
+        // before the deferred audit runs.
+        r.status = db_->AuditKey(request.key);
+      }
+      r.digest = db_->Digest();
+      break;
+    }
+    case Request::Type::kDelete: {
+      r.status = db_->Delete(request.key);
+      if (r.status.ok()) {
+        r.status = db_->AuditKey(request.key);
+      }
+      r.digest = db_->Digest();
+      break;
+    }
+    case Request::Type::kGet: {
+      r.status = db_->Get(request.key, &r.value);
+      break;
+    }
+    case Request::Type::kVerifiedGet: {
+      // The request handler returns the result with its proof; the
+      // digest lets the client verify locally. Digest and proof must
+      // describe the same version, so retry if a concurrent write
+      // advanced the root between the two reads.
+      for (int attempt = 0; attempt < 8; attempt++) {
+        r.digest = db_->Digest();
+        r.status = db_->GetWithProof(request.key, &r.value, &r.read_proof);
+        if (!r.status.ok() && !r.status.IsNotFound()) break;
+        if (r.read_proof.index_root == r.digest.index_root) break;
+      }
+      break;
+    }
+    case Request::Type::kScan: {
+      r.status = db_->Scan(request.key, request.end_key, request.limit,
+                           &r.rows);
+      break;
+    }
+    case Request::Type::kVerifiedScan: {
+      for (int attempt = 0; attempt < 8; attempt++) {
+        r.digest = db_->Digest();
+        r.status = db_->ScanWithProof(request.key, request.end_key,
+                                      request.limit, &r.rows, &r.scan_proof);
+        if (!r.status.ok()) break;
+        if (r.scan_proof.index_root == r.digest.index_root) break;
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace spitz

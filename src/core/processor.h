@@ -1,0 +1,95 @@
+#ifndef SPITZ_CORE_PROCESSOR_H_
+#define SPITZ_CORE_PROCESSOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "core/spitz_db.h"
+
+namespace spitz {
+
+// A client request as accepted by the control layer (paper section 5:
+// "multiple processor nodes that accept and process requests from a
+// global message queue").
+struct Request {
+  enum class Type {
+    kPut,
+    kDelete,
+    kGet,
+    kVerifiedGet,
+    kScan,
+    kVerifiedScan,
+  };
+
+  Type type = Type::kGet;
+  std::string key;
+  std::string value;
+  std::string end_key;  // scans
+  size_t limit = 0;     // scans
+};
+
+struct Response {
+  Status status;
+  std::string value;
+  std::vector<PosEntry> rows;
+  ReadProof read_proof;
+  ScanProof scan_proof;
+  SpitzDigest digest;  // digest the proofs verify against
+};
+
+// ---------------------------------------------------------------------------
+// ProcessorPool — the control layer of Figure 5. Each processor node is
+// a thread combining the three roles the paper names:
+//   * request handler: takes requests off the global message queue and
+//     returns results with their proofs;
+//   * transaction manager: executes the operation against the storage
+//     layer (SpitzDb);
+//   * auditor: tracks data changes against the ledger — writes are
+//     submitted to the deferred-verification auditor (section 5.3).
+// ---------------------------------------------------------------------------
+class ProcessorPool {
+ public:
+  ProcessorPool(SpitzDb* db, size_t processor_count);
+  ~ProcessorPool();
+
+  ProcessorPool(const ProcessorPool&) = delete;
+  ProcessorPool& operator=(const ProcessorPool&) = delete;
+
+  // Enqueues a request on the global message queue; the future resolves
+  // when a processor node has handled it.
+  std::future<Response> Submit(Request request);
+
+  // Convenience synchronous wrappers.
+  Response Execute(Request request) { return Submit(std::move(request)).get(); }
+
+  // Drains the queue and stops the processors.
+  void Shutdown();
+
+  uint64_t processed() const { return processed_.load(); }
+  size_t processor_count() const { return processors_.size(); }
+
+ private:
+  struct Envelope {
+    Request request;
+    std::promise<Response> reply;
+  };
+
+  void ProcessorLoop();
+  Response Handle(const Request& request);
+
+  SpitzDb* db_;
+  BoundedQueue<std::unique_ptr<Envelope>> queue_;
+  std::vector<std::thread> processors_;
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CORE_PROCESSOR_H_

@@ -1,0 +1,482 @@
+#include "core/spitz_db.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "chunk/file_chunk_store.h"
+#include "common/clock.h"
+#include "common/codec.h"
+
+namespace spitz {
+
+namespace {
+
+std::unique_ptr<ChunkStore> MakeChunkStore(const SpitzOptions& options,
+                                           Status* status) {
+  *status = Status::OK();
+  if (options.data_dir.empty()) {
+    return std::make_unique<ChunkStore>();
+  }
+  mkdir(options.data_dir.c_str(), 0755);
+  std::unique_ptr<FileChunkStore> file_store;
+  *status = FileChunkStore::Open(options.data_dir + "/chunks.log",
+                                 &file_store);
+  if (!status->ok()) return std::make_unique<ChunkStore>();
+  return file_store;
+}
+
+}  // namespace
+
+SpitzDb::SpitzDb(SpitzOptions options)
+    : options_(options),
+      chunks_(std::make_unique<ChunkStore>()),
+      index_(chunks_.get(), options.index_options),
+      auditor_(std::make_unique<DeferredVerifier>(
+          DeferredVerifier::Options(options.audit_batch_size))) {
+  // Durable databases must go through Open() so recovery errors are
+  // reported; the plain constructor is the in-memory path.
+  options_.data_dir.clear();
+}
+
+Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Open() requires options.data_dir");
+  }
+  auto instance = std::unique_ptr<SpitzDb>(new SpitzDb());
+  instance->options_ = options;
+  Status s;
+  instance->chunks_ = MakeChunkStore(options, &s);
+  if (!s.ok()) return s;
+  // Rebind the index to the durable store (the default-constructed one
+  // pointed at the throwaway in-memory store).
+  instance->index_.Reset(instance->chunks_.get(), options.index_options);
+  s = instance->Recover();
+  if (!s.ok()) return s;
+  *db = std::move(instance);
+  return Status::OK();
+}
+
+Status SpitzDb::Recover() {
+  const std::string journal_path = options_.data_dir + "/journal.log";
+  FILE* in = fopen(journal_path.c_str(), "rb");
+  if (in != nullptr) {
+    std::string contents;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), in)) > 0) contents.append(buf, n);
+    fclose(in);
+    Slice input(contents);
+    while (!input.empty()) {
+      Slice record;
+      if (!GetLengthPrefixedSlice(&input, &record).ok()) {
+        break;  // torn tail after a crash: stop at last complete block
+      }
+      Status s = ledger_.Restore(record);
+      if (!s.ok()) return s;
+      IndexBlockHistoryLocked(ledger_.block_count() - 1);
+    }
+    // The current version is the index root recorded in the last block.
+    if (ledger_.block_count() > 0) {
+      Block last;
+      Status s = ledger_.GetBlock(ledger_.block_count() - 1, &last);
+      if (!s.ok()) return s;
+      root_ = last.index_root();
+      // Sanity: the recovered root must resolve in the chunk store.
+      uint64_t count = 0;
+      s = index_.Count(root_, &count);
+      if (!s.ok()) {
+        return Status::Corruption(
+            "recovered index root missing from chunk store");
+      }
+      // Resume commit timestamps beyond everything recovered.
+      uint64_t max_ts = 0;
+      for (const LedgerEntry& e : last.entries()) {
+        if (e.commit_ts > max_ts) max_ts = e.commit_ts;
+      }
+      clock_.AllocateBatch(max_ts + 1);
+      last_commit_ts_ = max_ts;
+    }
+  }
+  journal_file_ = fopen(journal_path.c_str(), "ab");
+  if (journal_file_ == nullptr) {
+    return Status::IOError("cannot open journal log: " + journal_path);
+  }
+  return Status::OK();
+}
+
+SpitzDb::~SpitzDb() {
+  auditor_->Flush();
+  if (journal_file_ != nullptr) {
+    fflush(journal_file_);
+    fclose(journal_file_);
+  }
+}
+
+Status SpitzDb::SyncStorage() {
+  if (journal_file_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fflush(journal_file_) != 0 || fsync(fileno(journal_file_)) != 0) {
+      return Status::IOError("journal sync failed");
+    }
+  }
+  if (auto* file_store = dynamic_cast<FileChunkStore*>(chunks_.get())) {
+    return file_store->Sync();
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::Put(const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch);
+}
+
+Status SpitzDb::Delete(const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status SpitzDb::Write(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(batch);
+}
+
+Status SpitzDb::WriteLocked(const WriteBatch& batch) {
+  uint64_t commit_ts = clock_.Allocate();
+  Hash256 root = root_;
+  // Apply every op to the unified index (copy-on-write; shared nodes).
+  for (const WriteBatch::Op& op : batch.ops()) {
+    Status s;
+    if (op.type == WriteBatch::OpType::kPut) {
+      s = index_.Put(root, op.key, op.value, &root);
+    } else {
+      s = index_.Delete(root, op.key, &root);
+      if (s.IsNotFound()) continue;  // deleting an absent key is a no-op
+    }
+    if (!s.ok()) return s;
+  }
+  root_ = root;
+  last_commit_ts_ = commit_ts;
+  // Record the modification in the ledger buffer.
+  for (const WriteBatch::Op& op : batch.ops()) {
+    LedgerEntry entry;
+    entry.op = op.type == WriteBatch::OpType::kPut ? LedgerEntry::Op::kPut
+                                                   : LedgerEntry::Op::kDelete;
+    entry.key = op.key;
+    entry.value_hash = Hash256::Of(op.value);
+    entry.txn_id = commit_ts;
+    entry.commit_ts = commit_ts;
+    pending_.push_back(std::move(entry));
+  }
+  if (pending_.size() >= options_.block_size) {
+    SealBlockLocked();
+  }
+  return Status::OK();
+}
+
+void SpitzDb::SealBlockLocked() {
+  if (pending_.empty()) return;
+  // Each block stores the index root as of its last entry — "each block
+  // in the ledger stores a historical index instance" (section 6.1).
+  uint64_t height = ledger_.Append(std::move(pending_), root_, NowMicros());
+  pending_.clear();
+  IndexBlockHistoryLocked(height);
+  PersistBlockLocked(height);
+}
+
+void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
+  Block block;
+  if (!ledger_.GetBlock(height, &block).ok()) return;
+  for (size_t i = 0; i < block.entries().size(); i++) {
+    history_index_[block.entries()[i].key].emplace_back(height, i);
+  }
+}
+
+void SpitzDb::PersistBlockLocked(uint64_t height) {
+  if (journal_file_ == nullptr) return;
+  std::string record;
+  PutLengthPrefixedSlice(&record, ledger_.SerializedBlock(height));
+  fwrite(record.data(), 1, record.size(), journal_file_);
+}
+
+Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!root_.IsZero() || ledger_.block_count() != 0 || !pending_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty database");
+  }
+  uint64_t commit_ts = clock_.AllocateBatch(entries.size());
+  // Ledger entries first (Build consumes the vector).
+  for (size_t i = 0; i < entries.size(); i++) {
+    LedgerEntry entry;
+    entry.op = LedgerEntry::Op::kPut;
+    entry.key = entries[i].key;
+    entry.value_hash = Hash256::Of(entries[i].value);
+    entry.txn_id = commit_ts + i;
+    entry.commit_ts = commit_ts + i;
+    pending_.push_back(std::move(entry));
+  }
+  Status s = index_.Build(std::move(entries), &root_);
+  if (!s.ok()) return s;
+  last_commit_ts_ = commit_ts + pending_.size();
+  // Seal full blocks; the (possibly short) tail stays pending.
+  std::vector<LedgerEntry> all = std::move(pending_);
+  pending_.clear();
+  size_t i = 0;
+  while (all.size() - i >= options_.block_size) {
+    std::vector<LedgerEntry> block(all.begin() + i,
+                                   all.begin() + i + options_.block_size);
+    uint64_t height = ledger_.Append(std::move(block), root_, NowMicros());
+    IndexBlockHistoryLocked(height);
+    PersistBlockLocked(height);
+    i += options_.block_size;
+  }
+  pending_.assign(all.begin() + i, all.end());
+  return Status::OK();
+}
+
+Status SpitzDb::AuditLastBlock() {
+  // Snapshot everything the audit needs under the lock (all cheap
+  // copies); the expensive decode + re-hash work runs on the auditor
+  // thread without blocking writers.
+  std::string serialized;
+  MerkleInclusionProof block_path;
+  JournalDigest digest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ledger_.block_count() == 0) return Status::OK();
+    uint64_t height = ledger_.block_count() - 1;
+    serialized = ledger_.SerializedBlock(height);
+    Status s = ledger_.BlockInclusionProof(height, &block_path);
+    if (!s.ok()) return s;
+    digest = ledger_.Digest();
+  }
+  return auditor_->Submit([serialized = std::move(serialized), block_path,
+                           digest] {
+    // 1. The block's internal hashes (entry Merkle root, block hash)
+    //    must recompute correctly from its serialized form.
+    Block block;
+    Status s = Block::Decode(serialized, &block);
+    if (!s.ok()) return s;
+    s = block.Validate();
+    if (!s.ok()) return s;
+    // 2. The block must be included in the journal the digest covers.
+    if (!MerkleTree::VerifyInclusion(
+            Hash256::OfLeaf(block.block_hash().slice()), block_path,
+            digest.merkle_root)) {
+      return Status::VerificationFailed("audited block not in journal");
+    }
+    return Status::OK();
+  });
+}
+
+void SpitzDb::FlushBlock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SealBlockLocked();
+}
+
+Status SpitzDb::Get(const Slice& key, std::string* value) const {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  return index_.Get(root, key, value);
+}
+
+Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
+                             ReadProof* proof) const {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  proof->index_root = root;
+  return index_.GetWithProof(root, key, value, &proof->index_proof);
+}
+
+Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
+                     std::vector<PosEntry>* out) const {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  return index_.Scan(root, start, end, limit, out);
+}
+
+Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
+                              size_t limit, std::vector<PosEntry>* out,
+                              ScanProof* proof) const {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  proof->index_root = root;
+  return index_.ScanWithProof(root, start, end, limit, out,
+                              &proof->index_proof);
+}
+
+SpitzDigest SpitzDb::Digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpitzDigest d;
+  d.index_root = root_;
+  d.journal = ledger_.Digest();
+  d.last_commit_ts = last_commit_ts_;
+  return d;
+}
+
+Status SpitzDb::VerifyRead(const SpitzDigest& digest, const Slice& key,
+                           const std::optional<std::string>& expected_value,
+                           const ReadProof& proof) {
+  if (proof.index_root != digest.index_root) {
+    return Status::VerificationFailed("proof is for a different version");
+  }
+  return PosTree::VerifyProof(digest.index_root, key, expected_value,
+                              proof.index_proof);
+}
+
+Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
+                           const Slice& end, size_t limit,
+                           const std::vector<PosEntry>& results,
+                           const ScanProof& proof) {
+  if (proof.index_root != digest.index_root) {
+    return Status::VerificationFailed("proof is for a different version");
+  }
+  return PosTree::VerifyRangeProof(digest.index_root, start, end, limit,
+                                   results, proof.index_proof);
+}
+
+Status SpitzDb::ProveConsistency(const SpitzDigest& old_digest,
+                                 MerkleConsistencyProof* proof) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.ConsistencyProof(old_digest.journal.block_count, proof);
+}
+
+bool SpitzDb::VerifyConsistency(const MerkleConsistencyProof& proof,
+                                const SpitzDigest& old_digest,
+                                const SpitzDigest& new_digest) {
+  return Journal::VerifyConsistency(proof, old_digest.journal,
+                                    new_digest.journal);
+}
+
+Status SpitzDb::ProveHistoricalEntry(uint64_t height, uint64_t entry_index,
+                                     JournalEntryProof* proof,
+                                     LedgerEntry* entry) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.ProveEntry(height, entry_index, proof, entry);
+}
+
+Status SpitzDb::KeyHistory(const Slice& key,
+                           std::vector<HistoricalWrite>* history) const {
+  history->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_index_.find(key.ToString());
+  if (it == history_index_.end()) {
+    return Status::NotFound("no sealed history for key");
+  }
+  for (const auto& [height, index] : it->second) {
+    HistoricalWrite write;
+    write.block_height = height;
+    Status s = ledger_.ProveEntry(height, index, &write.proof, &write.entry);
+    if (!s.ok()) return s;
+    history->push_back(std::move(write));
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::IndexRootAt(uint64_t block_height, Hash256* root) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Block block;
+  Status s = ledger_.GetBlock(block_height, &block);
+  if (!s.ok()) return s;
+  *root = block.index_root();
+  return Status::OK();
+}
+
+Status SpitzDb::GetAt(const Hash256& index_root, const Slice& key,
+                      std::string* value) const {
+  return index_.Get(index_root, key, value);
+}
+
+Status SpitzDb::ScanAt(const Hash256& index_root, const Slice& start,
+                       const Slice& end, size_t limit,
+                       std::vector<PosEntry>* out) const {
+  return index_.Scan(index_root, start, end, limit, out);
+}
+
+Status SpitzDb::AuditWrite(
+    const Slice& key, const std::optional<std::string>& expected_value) {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  std::string key_copy = key.ToString();
+  return auditor_->Submit([this, root, key_copy, expected_value] {
+    std::string value;
+    PosProof proof;
+    Status s = index_.GetWithProof(root, key_copy, &value, &proof);
+    if (s.ok()) {
+      return PosTree::VerifyProof(root, key_copy, value, proof).ok() &&
+                     (!expected_value.has_value() || value == *expected_value)
+                 ? Status::OK()
+                 : Status::VerificationFailed("audit mismatch on " + key_copy);
+    }
+    if (s.IsNotFound()) {
+      if (expected_value.has_value()) {
+        return Status::VerificationFailed("audited key missing: " + key_copy);
+      }
+      return PosTree::VerifyProof(root, key_copy, std::nullopt, proof);
+    }
+    return s;
+  });
+}
+
+Status SpitzDb::AuditKey(const Slice& key) {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  std::string key_copy = key.ToString();
+  return auditor_->Submit([this, root, key_copy] {
+    std::string value;
+    PosProof proof;
+    Status s = index_.GetWithProof(root, key_copy, &value, &proof);
+    if (s.ok()) {
+      return PosTree::VerifyProof(root, key_copy, value, proof);
+    }
+    if (s.IsNotFound()) {
+      return PosTree::VerifyProof(root, key_copy, std::nullopt, proof);
+    }
+    return s;
+  });
+}
+
+Status SpitzDb::DrainAudits() {
+  auditor_->Flush();
+  if (auditor_->failed()) {
+    return Status::VerificationFailed("deferred audits detected tampering");
+  }
+  return Status::OK();
+}
+
+uint64_t SpitzDb::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.entry_count() + pending_.size();
+}
+
+uint64_t SpitzDb::key_count() const {
+  Hash256 root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  uint64_t count = 0;
+  index_.Count(root, &count);
+  return count;
+}
+
+}  // namespace spitz

@@ -1,0 +1,246 @@
+#ifndef SPITZ_CORE_SPITZ_DB_H_
+#define SPITZ_CORE_SPITZ_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "index/pos_tree.h"
+#include "index/pos_tree_iterator.h"
+#include "ledger/journal.h"
+#include "txn/batch_verifier.h"
+#include "txn/timestamp_oracle.h"
+#include "txn/write_batch.h"
+
+namespace spitz {
+
+// The state a client needs to retain to verify any later answer: the
+// current index root (a SIRI/POS-tree version) and the ledger digest
+// covering the block history. Every proof verifies against one of
+// these.
+struct SpitzDigest {
+  Hash256 index_root;
+  JournalDigest journal;
+  uint64_t last_commit_ts = 0;
+};
+
+// A verified read's complete evidence.
+struct ReadProof {
+  PosProof index_proof;  // path through the unified SIRI index
+  Hash256 index_root;    // the version it proves against
+};
+
+struct ScanProof {
+  PosRangeProof index_proof;
+  Hash256 index_root;
+};
+
+struct SpitzOptions {
+  SpitzOptions() {}
+  // Ledger entries per sealed block (paper 6.1: "records are collected
+  // into blocks and appended to a ledger").
+  size_t block_size = 64;
+  // Deferred-verification batch for the auditor (0 = online; paper 5.3
+  // uses deferred).
+  size_t audit_batch_size = 64;
+  // When non-empty, the database is durable: chunks and sealed ledger
+  // blocks are persisted under this directory and recovered by Open().
+  // Durability is at block boundaries — call FlushBlock() to make the
+  // most recent writes recoverable.
+  std::string data_dir;
+  PosTreeOptions index_options;
+};
+
+// ---------------------------------------------------------------------------
+// SpitzDb — the clean-slate verifiable database of paper section 5/6.1.
+//
+// The essential design decision (and the source of its advantage in
+// Figures 6-8) is the *unified index*: the ledger is implemented as a
+// SIRI index (POS-tree). Each sealed block records the index root at
+// that point, "naturally composing a version of the ledger, and the
+// nodes between instances can be shared". A query's traversal of the
+// index IS its integrity proof — no separate ledger lookup is needed,
+// unlike the baseline which must search its ledger per record.
+// ---------------------------------------------------------------------------
+class SpitzDb {
+ public:
+  // In-memory database (options.data_dir must be empty).
+  explicit SpitzDb(SpitzOptions options = SpitzOptions());
+  ~SpitzDb();
+
+  // Opens (and recovers) a durable database at options.data_dir.
+  static Status Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db);
+
+  SpitzDb(const SpitzDb&) = delete;
+  SpitzDb& operator=(const SpitzDb&) = delete;
+
+  // --- OLTP write path ----------------------------------------------------
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  // Atomic multi-key write (one commit timestamp, one set of ledger
+  // entries).
+  Status Write(const WriteBatch& batch);
+
+  // Bulk ingestion for initial provisioning: builds the index in one
+  // pass and seals the corresponding ledger blocks. Equivalent to (but
+  // much faster than) issuing one Put per entry on an empty database.
+  // Fails if the database is not empty.
+  Status BulkLoad(std::vector<PosEntry> entries);
+
+  // --- Read path ------------------------------------------------------------
+
+  Status Get(const Slice& key, std::string* value) const;
+
+  // Read returning the proof assembled from the same index traversal.
+  Status GetWithProof(const Slice& key, std::string* value,
+                      ReadProof* proof) const;
+
+  Status Scan(const Slice& start, const Slice& end, size_t limit,
+              std::vector<PosEntry>* out) const;
+
+  // Range scan whose proof is gathered during the same traversal
+  // (section 6.2.2: "the proofs of the resultant records are returned
+  // simultaneously when the resultant records are scanned").
+  Status ScanWithProof(const Slice& start, const Slice& end, size_t limit,
+                       std::vector<PosEntry>* out, ScanProof* proof) const;
+
+  // A forward iterator over the current version. Immutability makes it
+  // a stable snapshot: concurrent writes never disturb it. Pass a
+  // historical root (IndexRootAt) to iterate an old version.
+  std::unique_ptr<PosTreeIterator> NewIterator() const {
+    Hash256 root;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      root = root_;
+    }
+    return std::make_unique<PosTreeIterator>(chunks_.get(), root);
+  }
+  std::unique_ptr<PosTreeIterator> NewIteratorAt(
+      const Hash256& index_root) const {
+    return std::make_unique<PosTreeIterator>(chunks_.get(), index_root);
+  }
+
+  // --- Verifiability surface -----------------------------------------------
+
+  SpitzDigest Digest() const;
+
+  // Client-side (stateless) verification helpers.
+  static Status VerifyRead(const SpitzDigest& digest, const Slice& key,
+                           const std::optional<std::string>& expected_value,
+                           const ReadProof& proof);
+  static Status VerifyScan(const SpitzDigest& digest, const Slice& start,
+                           const Slice& end, size_t limit,
+                           const std::vector<PosEntry>& results,
+                           const ScanProof& proof);
+
+  // Proves the ledger grew append-only between two digests the client
+  // observed.
+  Status ProveConsistency(const SpitzDigest& old_digest,
+                          MerkleConsistencyProof* proof) const;
+  static bool VerifyConsistency(const MerkleConsistencyProof& proof,
+                                const SpitzDigest& old_digest,
+                                const SpitzDigest& new_digest);
+
+  // Proves a historical write: entry `entry_index` of block `height`.
+  Status ProveHistoricalEntry(uint64_t height, uint64_t entry_index,
+                              JournalEntryProof* proof,
+                              LedgerEntry* entry) const;
+
+  // The verified provenance of one key: every sealed write to it, in
+  // commit order, each with its journal inclusion proof. This is the
+  // "trusted data history" surface of the VDB requirements (section 1:
+  // users can "verify the integrity of both current and historical
+  // data").
+  struct HistoricalWrite {
+    LedgerEntry entry;
+    JournalEntryProof proof;
+    uint64_t block_height = 0;
+  };
+  Status KeyHistory(const Slice& key,
+                    std::vector<HistoricalWrite>* history) const;
+
+  // The index root as of a sealed block (time travel onto old versions:
+  // reads against old roots keep working because chunks are immutable).
+  Status IndexRootAt(uint64_t block_height, Hash256* root) const;
+  Status GetAt(const Hash256& index_root, const Slice& key,
+               std::string* value) const;
+  Status ScanAt(const Hash256& index_root, const Slice& start,
+                const Slice& end, size_t limit,
+                std::vector<PosEntry>* out) const;
+
+  // Seals any buffered entries into a final block.
+  void FlushBlock();
+
+  // --- Auditor (deferred verification, section 5.3) -----------------------
+
+  // Queues an audit of the most recent write: re-derives the proof and
+  // verifies it against the current digest. Returns the verification
+  // status directly in online mode.
+  Status AuditWrite(const Slice& key,
+                    const std::optional<std::string>& expected_value);
+  // Integrity-only audit: whatever value (or absence) the key currently
+  // has must carry a valid proof. Used when later writers may legally
+  // change the value before the deferred audit runs.
+  Status AuditKey(const Slice& key);
+  // Queues a deferred verification of the most recently sealed block:
+  // block integrity, membership of its first entry in the journal, and
+  // the recorded index root. This is the batched deferred scheme of
+  // section 5.3 — one audit amortized over a block of writes.
+  Status AuditLastBlock();
+  // Blocks until all queued audits ran; returns VerificationFailed if
+  // any audit failed since startup.
+  Status DrainAudits();
+
+  // --- Introspection ----------------------------------------------------------
+
+  uint64_t entry_count() const;
+  ChunkStoreStats storage_stats() const { return chunks_->stats(); }
+  const ChunkStore* chunk_store() const { return chunks_.get(); }
+  uint64_t key_count() const;
+
+  // Durable databases only: fsync the chunk log.
+  Status SyncStorage();
+
+ private:
+  // Applies ops to the index and ledger under mu_.
+  Status WriteLocked(const WriteBatch& batch);
+  void SealBlockLocked();
+  // Appends the sealed block at `height` to the journal log (durable
+  // mode only).
+  void PersistBlockLocked(uint64_t height);
+  // Adds the sealed block's entries to the history index.
+  void IndexBlockHistoryLocked(uint64_t height);
+
+  // Recovery of a durable database; called by Open().
+  Status Recover();
+
+  SpitzOptions options_;
+  std::unique_ptr<ChunkStore> chunks_;
+  PosTree index_;
+  // Durable mode: sealed blocks are appended here (length-prefixed).
+  FILE* journal_file_ = nullptr;
+  Journal ledger_;
+  TimestampOracle clock_;
+  std::unique_ptr<DeferredVerifier> auditor_;
+
+  mutable std::mutex mu_;
+  Hash256 root_;                      // current index version
+  std::vector<LedgerEntry> pending_;  // entries awaiting block seal
+  uint64_t last_commit_ts_ = 0;
+  // History index: key -> journal positions of its sealed writes,
+  // maintained at seal time (rebuilt during recovery).
+  std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>>
+      history_index_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CORE_SPITZ_DB_H_

@@ -1,0 +1,139 @@
+#ifndef SPITZ_CORE_TABLE_H_
+#define SPITZ_CORE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/spitz_db.h"
+#include "index/btree.h"
+#include "index/inverted_index.h"
+#include "store/cell_store.h"
+
+namespace spitz {
+
+// A column of a Spitz table. Numeric columns get a skip-list inverted
+// index; string columns get a radix-tree inverted index (section 5,
+// "Inverted Index").
+struct ColumnSpec {
+  enum class Type { kString, kNumeric };
+
+  std::string name;
+  Type type = Type::kString;
+  bool inverted_indexed = false;
+};
+
+struct TableSchema {
+  std::string name;
+  std::string primary_key_column;
+  std::vector<ColumnSpec> columns;
+
+  // Index of a column within `columns`, or -1.
+  int ColumnIndex(const std::string& column) const;
+};
+
+// One materialized row.
+using Row = std::map<std::string, std::string>;
+
+// ---------------------------------------------------------------------------
+// Table — the structured-data surface of Spitz (sections 5 and 5.1).
+// Each (row, column) pair is a *cell* filed under a universal key in the
+// multi-version cell store; the cell's latest value is also written
+// through SpitzDb so that every modification is ledgered and provable;
+// inverted indexes map cell values back to rows for analytical queries.
+//
+// Rows can be inserted as JSON documents (the paper's "self-defined JSON
+// schema" interface) or as explicit column maps.
+// ---------------------------------------------------------------------------
+class Table {
+ public:
+  Table(SpitzDb* db, ChunkStore* cell_chunks, TableSchema schema,
+        uint32_t table_id);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+
+  // --- Writes ----------------------------------------------------------------
+
+  // Inserts or updates a row given as a column->value map. The map must
+  // contain the primary key column; unspecified columns keep their
+  // previous value.
+  Status Upsert(const Row& row);
+
+  // Inserts or updates a row from a JSON object document.
+  Status UpsertJson(const Slice& json_text);
+
+  // --- Point reads ---------------------------------------------------------------
+
+  // Latest row image (all columns present in storage).
+  Status GetRow(const Slice& primary_key, Row* row) const;
+
+  // Latest row with an integrity proof per cell, verified against the
+  // database digest before returning.
+  Status GetRowVerified(const Slice& primary_key, Row* row) const;
+
+  // Value history of one cell, oldest first: (timestamp, value).
+  Status CellHistory(const Slice& primary_key, const std::string& column,
+                     std::vector<std::pair<uint64_t, std::string>>* versions)
+      const;
+
+  // Row image as of a past timestamp.
+  Status GetRowAt(const Slice& primary_key, uint64_t snapshot_ts,
+                  Row* row) const;
+
+  // --- Analytical queries (inverted index, section 5.1 read workload) --------
+
+  // Primary keys of rows whose numeric column value lies in [lo, hi].
+  Status QueryNumericRange(const std::string& column, uint64_t lo,
+                           uint64_t hi, std::vector<std::string>* pks) const;
+
+  // Primary keys of rows whose string column equals `value`.
+  Status QueryStringEquals(const std::string& column, const Slice& value,
+                           std::vector<std::string>* pks) const;
+
+  // Primary keys of rows whose string column starts with `prefix`.
+  Status QueryStringPrefix(const std::string& column, const Slice& prefix,
+                           std::vector<std::string>* pks) const;
+
+  // Rows with primary key in [start, end) in key order, materialized
+  // from the latest cell versions. Routed through the table's B+-tree
+  // (paper section 5, "Index": "Spitz uses a B+-tree for query
+  // processing. The input of the index is the requested keys, and the
+  // output is the matched data cell.").
+  Status ScanRows(const Slice& start, const Slice& end, size_t limit,
+                  std::vector<std::pair<std::string, Row>>* rows) const;
+
+  uint64_t row_count() const { return row_count_; }
+
+ private:
+  // Key of a cell in the ledgered key space: t<id>/<pk>/<column>.
+  std::string CellKey(const Slice& primary_key,
+                      const std::string& column) const;
+
+  Status UpsertLocked(const Row& row);
+
+  SpitzDb* db_;
+  CellStore cells_;
+  TableSchema schema_;
+  uint32_t table_id_;
+
+  // Fills *row from the latest cell versions. mu_ must be held.
+  Status MaterializeRowLocked(const Slice& primary_key, Row* row) const;
+
+  mutable std::mutex mu_;
+  TimestampOracle version_clock_;
+  // B+-tree over primary keys -> latest row version timestamp; the
+  // routing index for point and range row queries.
+  BTree pk_index_;
+  // One inverted index per inverted_indexed column, keyed by column name.
+  std::map<std::string, std::unique_ptr<InvertedIndex>> inverted_;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CORE_TABLE_H_

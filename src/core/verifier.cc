@@ -1,0 +1,55 @@
+#include "core/verifier.h"
+
+namespace spitz {
+
+Status ClientVerifier::ObserveDigest(
+    const SpitzDigest& digest, const MerkleConsistencyProof* consistency) {
+  if (!has_digest_) {
+    digest_ = digest;
+    has_digest_ = true;
+    return Status::OK();
+  }
+  if (digest.journal.block_count < digest_.journal.block_count) {
+    return Status::VerificationFailed("ledger rollback detected");
+  }
+  if (digest.journal.block_count == digest_.journal.block_count) {
+    if (digest.journal.merkle_root != digest_.journal.merkle_root ||
+        digest.journal.tip_hash != digest_.journal.tip_hash) {
+      return Status::VerificationFailed("ledger fork at equal size");
+    }
+    digest_ = digest;  // index root may have advanced within a block
+    return Status::OK();
+  }
+  if (consistency == nullptr) {
+    return Status::VerificationFailed(
+        "digest advanced without a consistency proof");
+  }
+  if (!SpitzDb::VerifyConsistency(*consistency, digest_, digest)) {
+    return Status::VerificationFailed("ledger consistency proof invalid");
+  }
+  digest_ = digest;
+  return Status::OK();
+}
+
+Status ClientVerifier::CheckRead(
+    const Slice& key, const std::optional<std::string>& expected_value,
+    const ReadProof& proof) const {
+  if (!has_digest_) return Status::VerificationFailed("no trusted digest");
+  return SpitzDb::VerifyRead(digest_, key, expected_value, proof);
+}
+
+Status ClientVerifier::CheckScan(const Slice& start, const Slice& end,
+                                 size_t limit,
+                                 const std::vector<PosEntry>& results,
+                                 const ScanProof& proof) const {
+  if (!has_digest_) return Status::VerificationFailed("no trusted digest");
+  return SpitzDb::VerifyScan(digest_, start, end, limit, results, proof);
+}
+
+Status ClientVerifier::CheckHistoricalEntry(
+    const LedgerEntry& entry, const JournalEntryProof& proof) const {
+  if (!has_digest_) return Status::VerificationFailed("no trusted digest");
+  return Journal::VerifyEntry(entry, proof, digest_.journal);
+}
+
+}  // namespace spitz

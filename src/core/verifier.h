@@ -1,0 +1,57 @@
+#ifndef SPITZ_CORE_VERIFIER_H_
+#define SPITZ_CORE_VERIFIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spitz_db.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// ClientVerifier — the client-side state machine of paper section 5.3:
+// "Clients can use the digest of the ledger to perform verification
+// locally. ... clients can recalculate the digest with the received
+// proof and compare it with the previous digest saved locally."
+//
+// The verifier retains the last digest it accepted. A new digest is
+// accepted only with a ledger consistency proof showing the history it
+// covers extends the retained one (fork/rollback detection). Reads and
+// scans are checked against the retained digest.
+// ---------------------------------------------------------------------------
+class ClientVerifier {
+ public:
+  ClientVerifier() = default;
+
+  // Adopts the first digest unconditionally (trust-on-first-use), or a
+  // later digest when `consistency` proves append-only growth from the
+  // retained one. Rejects regressions and forks.
+  Status ObserveDigest(const SpitzDigest& digest,
+                       const MerkleConsistencyProof* consistency = nullptr);
+
+  // Verifies a point read (value present) or non-membership (nullopt)
+  // against the retained digest.
+  Status CheckRead(const Slice& key,
+                   const std::optional<std::string>& expected_value,
+                   const ReadProof& proof) const;
+
+  Status CheckScan(const Slice& start, const Slice& end, size_t limit,
+                   const std::vector<PosEntry>& results,
+                   const ScanProof& proof) const;
+
+  // Verifies a historical ledger entry against the retained digest.
+  Status CheckHistoricalEntry(const LedgerEntry& entry,
+                              const JournalEntryProof& proof) const;
+
+  bool has_digest() const { return has_digest_; }
+  const SpitzDigest& digest() const { return digest_; }
+
+ private:
+  bool has_digest_ = false;
+  SpitzDigest digest_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CORE_VERIFIER_H_

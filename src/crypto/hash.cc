@@ -1,0 +1,38 @@
+#include "crypto/hash.h"
+
+namespace spitz {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string Hash256::ToHex() const {
+  std::string out;
+  out.reserve(kSize * 2);
+  for (uint8_t b : bytes_) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Hash256 Hash256::FromHex(const Slice& hex) {
+  Hash256 h;
+  if (hex.size() != kSize * 2) return h;
+  for (size_t i = 0; i < kSize; i++) {
+    int hi = HexValue(hex[i * 2]);
+    int lo = HexValue(hex[i * 2 + 1]);
+    if (hi < 0 || lo < 0) return Hash256();
+    h.bytes_[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return h;
+}
+
+}  // namespace spitz

@@ -1,0 +1,175 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spitz {
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<std::string> keys;
+  // Leaf: values parallel to keys. Interior: children has keys.size()+1
+  // elements; keys[i] is the smallest key in children[i+1].
+  std::vector<std::string> values;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf-level chain
+
+  size_t LowerBound(const Slice& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (Slice(keys[mid]).compare(key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child index to descend into for `key` (interior nodes).
+  size_t ChildIndex(const Slice& key) const {
+    size_t idx = LowerBound(key);
+    if (idx < keys.size() && Slice(keys[idx]) == key) return idx + 1;
+    return idx;
+  }
+};
+
+BTree::BTree() : root_(std::make_unique<Node>()) {
+  first_leaf_ = root_.get();
+}
+
+BTree::~BTree() = default;
+
+BTree::SplitResult BTree::InsertInto(Node* node, const Slice& key,
+                                     const Slice& value, bool* was_new) {
+  SplitResult result;
+  if (node->leaf) {
+    size_t idx = node->LowerBound(key);
+    if (idx < node->keys.size() && Slice(node->keys[idx]) == key) {
+      node->values[idx] = value.ToString();
+      *was_new = false;
+      return result;
+    }
+    node->keys.insert(node->keys.begin() + idx, key.ToString());
+    node->values.insert(node->values.begin() + idx, value.ToString());
+    *was_new = true;
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = true;
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->values.assign(node->values.begin() + mid, node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      result.split = true;
+      result.pivot = right->keys.front();
+      result.right = std::move(right);
+    }
+    return result;
+  }
+
+  size_t child_idx = node->ChildIndex(key);
+  SplitResult child_split =
+      InsertInto(node->children[child_idx].get(), key, value, was_new);
+  if (child_split.split) {
+    node->keys.insert(node->keys.begin() + child_idx,
+                      std::move(child_split.pivot));
+    node->children.insert(node->children.begin() + child_idx + 1,
+                          std::move(child_split.right));
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = false;
+      // keys[mid] moves up as the pivot.
+      result.pivot = std::move(node->keys[mid]);
+      right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      for (size_t i = mid + 1; i < node->children.size(); i++) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      result.split = true;
+      result.right = std::move(right);
+    }
+  }
+  return result;
+}
+
+bool BTree::Put(const Slice& key, const Slice& value) {
+  bool was_new = false;
+  SplitResult split = InsertInto(root_.get(), key, value, &was_new);
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split.pivot));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+  if (was_new) size_++;
+  return was_new;
+}
+
+const BTree::Node* BTree::FindLeaf(const Slice& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[node->ChildIndex(key)].get();
+  }
+  return node;
+}
+
+Status BTree::Get(const Slice& key, std::string* value) const {
+  const Node* leaf = FindLeaf(key);
+  size_t idx = leaf->LowerBound(key);
+  if (idx >= leaf->keys.size() || Slice(leaf->keys[idx]) != key) {
+    return Status::NotFound("key absent");
+  }
+  *value = leaf->values[idx];
+  return Status::OK();
+}
+
+Status BTree::Delete(const Slice& key) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[node->ChildIndex(key)].get();
+  }
+  size_t idx = node->LowerBound(key);
+  if (idx >= node->keys.size() || Slice(node->keys[idx]) != key) {
+    return Status::NotFound("key absent");
+  }
+  node->keys.erase(node->keys.begin() + idx);
+  node->values.erase(node->values.begin() + idx);
+  size_--;
+  return Status::OK();
+}
+
+void BTree::Scan(const Slice& start, const Slice& end, size_t limit,
+                 std::vector<std::pair<std::string, std::string>>* out) const {
+  out->clear();
+  const Node* leaf = FindLeaf(start);
+  size_t idx = leaf->LowerBound(start);
+  while (leaf != nullptr) {
+    for (; idx < leaf->keys.size(); idx++) {
+      if (!end.empty() && Slice(leaf->keys[idx]).compare(end) >= 0) return;
+      out->emplace_back(leaf->keys[idx], leaf->values[idx]);
+      if (limit > 0 && out->size() >= limit) return;
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+}
+
+uint32_t BTree::height() const {
+  uint32_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    h++;
+  }
+  return h;
+}
+
+}  // namespace spitz

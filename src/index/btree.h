@@ -1,0 +1,75 @@
+#ifndef SPITZ_INDEX_BTREE_H_
+#define SPITZ_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// A classic in-memory mutable B+-tree mapping byte-string keys to
+// byte-string values. This is the query index the paper's processor
+// nodes use for key routing (section 5, "Index") and the structure the
+// baseline system materializes its indexed views into (section 6.1).
+// It is deliberately *not* Merkle-ized: the baseline keeps its data
+// index and its ledger separate, which is the design whose verification
+// cost Figures 6 and 7 measure.
+class BTree {
+ public:
+  static constexpr size_t kMaxKeys = 64;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts or overwrites. Returns true if the key was new.
+  bool Put(const Slice& key, const Slice& value);
+
+  Status Get(const Slice& key, std::string* value) const;
+
+  // Removes a key. Returns NotFound if absent. (Nodes are allowed to
+  // underflow; rebalancing on delete is not required for correctness of
+  // lookups and keeps the structure simple, as in many real systems'
+  // lazy-delete B-trees.)
+  Status Delete(const Slice& key);
+
+  // Collects up to `limit` (0 = unlimited) entries with start <= key <
+  // end (empty end = unbounded) in key order.
+  void Scan(const Slice& start, const Slice& end, size_t limit,
+            std::vector<std::pair<std::string, std::string>>* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Height of the tree (1 = just a leaf).
+  uint32_t height() const;
+
+ private:
+  struct Node;
+
+  struct SplitResult {
+    bool split = false;
+    std::string pivot;         // first key of the new right node
+    std::unique_ptr<Node> right;
+  };
+
+  // Inserts into the subtree; fills *was_new. May split the node.
+  SplitResult InsertInto(Node* node, const Slice& key, const Slice& value,
+                         bool* was_new);
+
+  const Node* FindLeaf(const Slice& key) const;
+
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;  // leftmost leaf for ordered scans
+  size_t size_ = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_BTREE_H_

@@ -1,0 +1,77 @@
+#ifndef SPITZ_INDEX_INVERTED_INDEX_H_
+#define SPITZ_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/radix_tree.h"
+#include "index/skiplist.h"
+
+namespace spitz {
+
+// The inverted index of paper section 5: maps the *value* recorded in a
+// cell back to the universal keys of the cells holding it, so that
+// analytical queries can locate rows by value. The posting structure
+// depends on the value type: a skip list for numeric values (range
+// queries) and a radix tree for string values (space efficiency).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  // Indexes `universal_key` under a numeric value.
+  void AddNumeric(uint64_t value, const std::string& universal_key) {
+    numeric_.Insert(value, universal_key);
+  }
+
+  // Indexes `universal_key` under a string value.
+  void AddString(const Slice& value, const std::string& universal_key) {
+    strings_.Insert(value, universal_key);
+  }
+
+  Status RemoveNumeric(uint64_t value, const std::string& universal_key) {
+    return numeric_.Remove(value, universal_key);
+  }
+
+  Status RemoveString(const Slice& value, const std::string& universal_key) {
+    return strings_.Remove(value, universal_key);
+  }
+
+  // Universal keys of cells whose numeric value is in [lo, hi].
+  void LookupNumericRange(uint64_t lo, uint64_t hi,
+                          std::vector<std::string>* universal_keys) const {
+    numeric_.RangeScan(lo, hi, universal_keys);
+  }
+
+  Status LookupNumeric(uint64_t value,
+                       std::vector<std::string>* universal_keys) const {
+    return numeric_.Get(value, universal_keys);
+  }
+
+  Status LookupString(const Slice& value,
+                      std::vector<std::string>* universal_keys) const {
+    return strings_.Get(value, universal_keys);
+  }
+
+  // Universal keys of cells whose string value starts with `prefix`.
+  void LookupStringPrefix(const Slice& prefix,
+                          std::vector<std::string>* universal_keys) const {
+    strings_.PrefixScan(prefix, universal_keys);
+  }
+
+  size_t numeric_value_count() const { return numeric_.key_count(); }
+  size_t string_value_count() const { return strings_.key_count(); }
+
+ private:
+  SkipList numeric_;
+  RadixTree strings_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,235 @@
+#ifndef SPITZ_INDEX_POS_TREE_H_
+#define SPITZ_INDEX_POS_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// POS-Tree: the Pattern-Oriented-Split Tree of the SIRI family (paper
+// sections 3.1 and 6.1). An immutable, content-addressed Merkle B+-tree
+// whose node boundaries are *content-defined*: a node ends after an
+// element whose hash matches a fixed bit pattern. Consequences:
+//
+//  * Structural invariance: the tree shape (and therefore the root hash)
+//    is a pure function of the key-value set — independent of insertion
+//    order. Two parties holding the same data compute the same digest.
+//  * Version sharing: an update path-copies O(log n) nodes; all other
+//    nodes are shared with previous versions through the chunk store.
+//    Ledger blocks that embed successive index roots therefore share
+//    almost all of their structure (the SIRI property Spitz's ledger
+//    exploits, section 6.1).
+//  * Unified query + proof: the nodes visited while answering a query
+//    ARE the integrity proof; no separate ledger lookup is needed. This
+//    is the mechanism behind Spitz's advantage in Figures 6-8.
+// ---------------------------------------------------------------------------
+
+// A key-value pair stored in a leaf.
+struct PosEntry {
+  std::string key;
+  std::string value;
+
+  bool operator==(const PosEntry& other) const {
+    return key == other.key && value == other.value;
+  }
+};
+
+// An integrity proof for a point lookup: the serialized payloads of the
+// nodes on the root-to-leaf path. The verifier recomputes each chunk id
+// bottom-up and checks the top against the trusted root digest, checks
+// that each parent references the child by that id, and that routing was
+// consistent with the queried key. Supports both membership and
+// non-membership (absent key) verification.
+struct PosProof {
+  // Payloads from root (front) to leaf (back), with their chunk types.
+  std::vector<std::string> node_payloads;
+  std::vector<uint8_t> node_types;
+
+  size_t ByteSize() const {
+    size_t n = 0;
+    for (const auto& p : node_payloads) n += p.size() + 1;
+    return n;
+  }
+};
+
+// An integrity proof for a range scan: every node payload visited while
+// collecting the result, keyed by chunk id. The verifier re-walks the
+// tree from the root, recomputing hashes, and reconstructs the result
+// set independently.
+struct PosRangeProof {
+  std::map<Hash256, std::pair<uint8_t, std::string>> nodes;  // id -> (type, payload)
+
+  size_t ByteSize() const {
+    size_t n = 0;
+    for (const auto& [id, tp] : nodes) n += Hash256::kSize + tp.second.size() + 1;
+    return n;
+  }
+};
+
+// Tuning knobs for the pattern split rule. With a k-bit pattern the
+// expected node size is 2^k elements past the previous boundary.
+struct PosTreeOptions {
+  uint32_t leaf_pattern_bits = 5;  // expected 32 entries per leaf
+  uint32_t meta_pattern_bits = 5;  // expected fanout 32
+  size_t max_node_elements = 256;  // hard cap (deterministic left-to-right)
+};
+
+// A handle over one version of a POS-tree. The tree itself lives in the
+// chunk store; a version is identified by its root chunk id. All
+// mutating operations return the root of a NEW version and never modify
+// existing chunks.
+class PosTree {
+ public:
+  // An empty tree is represented by the zero hash.
+  static Hash256 EmptyRoot() { return Hash256(); }
+
+  PosTree(ChunkStore* store, PosTreeOptions options = {})
+      : store_(store), options_(options) {}
+
+  PosTree(const PosTree&) = delete;
+  PosTree& operator=(const PosTree&) = delete;
+
+  // Re-points this handle at a different chunk store (used when a
+  // database swaps in its durable store during Open()).
+  void Reset(ChunkStore* store, PosTreeOptions options) {
+    store_ = store;
+    options_ = options;
+  }
+
+  // Bulk-loads a tree from entries (they will be sorted and deduplicated
+  // by key, last write wins). Returns the new root.
+  Status Build(std::vector<PosEntry> entries, Hash256* root) const;
+
+  // Point read. Returns NotFound if absent.
+  Status Get(const Hash256& root, const Slice& key, std::string* value) const;
+
+  // Point read that also produces the membership (or non-membership)
+  // proof assembled from the traversal itself.
+  Status GetWithProof(const Hash256& root, const Slice& key,
+                      std::string* value, PosProof* proof) const;
+
+  // Writes one key (insert or overwrite); returns the new root.
+  Status Put(const Hash256& root, const Slice& key, const Slice& value,
+             Hash256* new_root) const;
+
+  // Removes one key; returns the new root. NotFound if absent.
+  Status Delete(const Hash256& root, const Slice& key,
+                Hash256* new_root) const;
+
+  // Collects entries with key in [start, end) up to `limit` (0 = no
+  // limit), in key order.
+  Status Scan(const Hash256& root, const Slice& start, const Slice& end,
+              size_t limit, std::vector<PosEntry>* out) const;
+
+  // Range scan that gathers the proof during the same traversal — the
+  // "unified index" behaviour of section 6.2.2.
+  Status ScanWithProof(const Hash256& root, const Slice& start,
+                       const Slice& end, size_t limit,
+                       std::vector<PosEntry>* out,
+                       PosRangeProof* proof) const;
+
+  // Number of entries in the version rooted at `root`.
+  Status Count(const Hash256& root, uint64_t* count) const;
+
+  // Tree height (0 for empty, 1 for a single leaf).
+  Status Height(const Hash256& root, uint32_t* height) const;
+
+  // --- Client-side (stateless) verification ------------------------------
+
+  // Verifies a point proof against a trusted root digest. If
+  // expected_value is nullopt the proof must establish that `key` is
+  // absent; otherwise that key maps to *expected_value.
+  static Status VerifyProof(const Hash256& root, const Slice& key,
+                            const std::optional<std::string>& expected_value,
+                            const PosProof& proof);
+
+  // Verifies a range proof: re-walks the proof nodes from the root and
+  // checks that `expected` is exactly the content of [start, end)
+  // (truncated at `limit` when limit > 0).
+  static Status VerifyRangeProof(const Hash256& root, const Slice& start,
+                                 const Slice& end, size_t limit,
+                                 const std::vector<PosEntry>& expected,
+                                 const PosRangeProof& proof);
+
+ private:
+  friend class PosTreeIterator;
+
+  struct ChildRef {
+    std::string last_key;  // max key in the subtree
+    Hash256 id;
+    uint64_t count = 0;  // entries in the subtree
+  };
+
+  struct PathFrame {
+    Hash256 id;
+    std::vector<ChildRef> children;
+    size_t idx = 0;  // child taken during descent
+  };
+
+  // Yields successive sibling node refs at a fixed level, starting after
+  // the position described by `frames` (ancestor frames from the root
+  // down to the parent of that level).
+  class SiblingCursor {
+   public:
+    SiblingCursor(const PosTree* tree, std::vector<PathFrame> frames)
+        : tree_(tree), frames_(std::move(frames)) {}
+
+    // Returns the next sibling ref at the cursor's level, or nullopt.
+    std::optional<ChildRef> Next();
+
+   private:
+    const PosTree* tree_;
+    std::vector<PathFrame> frames_;
+  };
+
+  bool IsLeafBoundary(const Hash256& entry_hash) const;
+  bool IsMetaBoundary(const Hash256& child_id) const;
+
+  static Hash256 EntryHash(const PosEntry& e);
+
+  // Node (de)serialization.
+  static std::string EncodeLeaf(const std::vector<PosEntry>& entries);
+  static Status DecodeLeaf(const Slice& payload, std::vector<PosEntry>* out);
+  static std::string EncodeMeta(const std::vector<ChildRef>& children);
+  static Status DecodeMeta(const Slice& payload, std::vector<ChildRef>* out);
+
+  Status LoadNode(const Hash256& id, std::shared_ptr<const Chunk>* chunk) const;
+
+  // Writes a leaf chunk and returns its ref.
+  ChildRef StoreLeaf(const std::vector<PosEntry>& entries) const;
+  ChildRef StoreMeta(const std::vector<ChildRef>& children) const;
+
+  // Splits a run of entries into leaves by the pattern rule and stores
+  // them. `open_tail` reports whether the final leaf ended without a
+  // boundary entry.
+  std::vector<ChildRef> EmitLeaves(const std::vector<PosEntry>& run,
+                                   bool* open_tail) const;
+  std::vector<ChildRef> EmitMetas(const std::vector<ChildRef>& run,
+                                  bool* open_tail) const;
+
+  // Builds the levels above a list of child refs until a single root
+  // remains.
+  Hash256 BuildUp(std::vector<ChildRef> level_refs) const;
+
+  // Core of Put/Delete: applies `apply` to the entries of the leaf the
+  // key routes to and rebuilds the affected region of the tree.
+  Status Update(const Hash256& root, const Slice& key,
+                const std::optional<std::string>& value,
+                Hash256* new_root) const;
+
+  ChunkStore* store_;
+  PosTreeOptions options_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_POS_TREE_H_

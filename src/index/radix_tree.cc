@@ -1,0 +1,167 @@
+#include "index/radix_tree.h"
+
+#include <algorithm>
+
+namespace spitz {
+
+struct RadixTree::RadixNode {
+  // Edge label from the parent to this node.
+  std::string label;
+  // Postings for the key ending exactly at this node.
+  std::vector<std::string> postings;
+  bool terminal = false;
+  std::map<char, std::unique_ptr<RadixNode>> children;
+};
+
+namespace {
+
+size_t CommonPrefixLen(const Slice& a, const Slice& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+
+}  // namespace
+
+RadixTree::RadixTree() : root_(std::make_unique<RadixNode>()) {}
+RadixTree::~RadixTree() = default;
+
+void RadixTree::Insert(const Slice& key, const std::string& posting) {
+  RadixNode* node = root_.get();
+  Slice rest = key;
+  while (true) {
+    if (rest.empty()) {
+      if (!node->terminal) {
+        node->terminal = true;
+        key_count_++;
+      }
+      node->postings.push_back(posting);
+      return;
+    }
+    auto it = node->children.find(rest[0]);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<RadixNode>();
+      child->label = rest.ToString();
+      child->terminal = true;
+      child->postings.push_back(posting);
+      node->children.emplace(rest[0], std::move(child));
+      key_count_++;
+      return;
+    }
+    RadixNode* child = it->second.get();
+    size_t common = CommonPrefixLen(rest, child->label);
+    if (common == child->label.size()) {
+      // Full edge match; continue below.
+      node = child;
+      rest.remove_prefix(common);
+      continue;
+    }
+    // Split the edge: insert an intermediate node for the shared prefix.
+    auto mid = std::make_unique<RadixNode>();
+    mid->label = child->label.substr(0, common);
+    std::unique_ptr<RadixNode> old_child = std::move(it->second);
+    old_child->label = old_child->label.substr(common);
+    char old_first = old_child->label[0];
+    mid->children.emplace(old_first, std::move(old_child));
+    RadixNode* mid_ptr = mid.get();
+    it->second = std::move(mid);
+    node = mid_ptr;
+    rest.remove_prefix(common);
+    // Loop continues: either rest is empty (terminal at mid) or a new
+    // child branch is created.
+  }
+}
+
+Status RadixTree::Remove(const Slice& key, const std::string& posting) {
+  RadixNode* node = root_.get();
+  Slice rest = key;
+  while (!rest.empty()) {
+    auto it = node->children.find(rest[0]);
+    if (it == node->children.end()) return Status::NotFound("key absent");
+    RadixNode* child = it->second.get();
+    if (!rest.starts_with(child->label)) {
+      return Status::NotFound("key absent");
+    }
+    rest.remove_prefix(child->label.size());
+    node = child;
+  }
+  if (!node->terminal) return Status::NotFound("key absent");
+  auto it = std::find(node->postings.begin(), node->postings.end(), posting);
+  if (it == node->postings.end()) return Status::NotFound("posting absent");
+  node->postings.erase(it);
+  if (node->postings.empty()) {
+    node->terminal = false;
+    key_count_--;
+    // Node pruning/merging is an optimization only; lookups remain
+    // correct with empty pass-through nodes left in place.
+  }
+  return Status::OK();
+}
+
+Status RadixTree::Get(const Slice& key,
+                      std::vector<std::string>* postings) const {
+  const RadixNode* node = root_.get();
+  Slice rest = key;
+  while (!rest.empty()) {
+    auto it = node->children.find(rest[0]);
+    if (it == node->children.end()) return Status::NotFound("key absent");
+    const RadixNode* child = it->second.get();
+    if (!rest.starts_with(child->label)) {
+      return Status::NotFound("key absent");
+    }
+    rest.remove_prefix(child->label.size());
+    node = child;
+  }
+  if (!node->terminal) return Status::NotFound("key absent");
+  *postings = node->postings;
+  return Status::OK();
+}
+
+void RadixTree::PrefixScan(const Slice& prefix,
+                           std::vector<std::string>* postings) const {
+  // Descend as far as the prefix reaches.
+  const RadixNode* node = root_.get();
+  Slice rest = prefix;
+  while (!rest.empty()) {
+    auto it = node->children.find(rest[0]);
+    if (it == node->children.end()) return;
+    const RadixNode* child = it->second.get();
+    size_t common = CommonPrefixLen(rest, child->label);
+    if (common == rest.size()) {
+      // Prefix ends inside (or exactly at) this edge.
+      node = child;
+      break;
+    }
+    if (common < child->label.size()) return;  // diverged: no matches
+    rest.remove_prefix(common);
+    node = child;
+    if (rest.empty()) break;
+  }
+  // Collect the whole subtree under `node` in key order (children are
+  // kept in a sorted map).
+  struct Collector {
+    static void Visit(const RadixNode* n, std::vector<std::string>* out) {
+      if (n->terminal) {
+        out->insert(out->end(), n->postings.begin(), n->postings.end());
+      }
+      for (const auto& [c, child] : n->children) {
+        Visit(child.get(), out);
+      }
+    }
+  };
+  Collector::Visit(node, postings);
+}
+
+size_t RadixTree::label_bytes() const {
+  struct Walker {
+    static size_t Visit(const RadixNode* n) {
+      size_t total = n->label.size();
+      for (const auto& [c, child] : n->children) total += Visit(child.get());
+      return total;
+    }
+  };
+  return Walker::Visit(root_.get());
+}
+
+}  // namespace spitz

@@ -1,0 +1,55 @@
+#ifndef SPITZ_INDEX_RADIX_TREE_H_
+#define SPITZ_INDEX_RADIX_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// A path-compressed radix tree (Patricia trie) mapping string keys to
+// posting lists. Per paper section 5, the inverted index over string
+// cell values uses a radix tree "to reduce space consumption": common
+// value prefixes are stored once.
+class RadixTree {
+ public:
+  RadixTree();
+  ~RadixTree();
+
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+
+  // Adds `posting` to `key`'s posting list.
+  void Insert(const Slice& key, const std::string& posting);
+
+  // Removes one occurrence of `posting`. NotFound if absent.
+  Status Remove(const Slice& key, const std::string& posting);
+
+  // Exact-match posting list.
+  Status Get(const Slice& key, std::vector<std::string>* postings) const;
+
+  // Appends the postings of every key with the given prefix, in key
+  // order.
+  void PrefixScan(const Slice& prefix,
+                  std::vector<std::string>* postings) const;
+
+  size_t key_count() const { return key_count_; }
+
+  // Total bytes of stored edge labels (space-efficiency accounting; a
+  // plain map would store every full key).
+  size_t label_bytes() const;
+
+ private:
+  struct RadixNode;
+
+  std::unique_ptr<RadixNode> root_;
+  size_t key_count_ = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_RADIX_TREE_H_

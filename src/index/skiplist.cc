@@ -1,0 +1,123 @@
+#include "index/skiplist.h"
+
+#include <algorithm>
+
+namespace spitz {
+
+struct SkipList::SkipNode {
+  uint64_t key;
+  std::vector<std::string> postings;
+  std::vector<SkipNode*> next;
+
+  SkipNode(uint64_t k, int level) : key(k), next(level, nullptr) {}
+};
+
+SkipList::SkipList(uint64_t seed) : rng_(seed) {
+  head_ = new SkipNode(0, kMaxLevel);
+}
+
+SkipList::~SkipList() {
+  SkipNode* node = head_;
+  while (node != nullptr) {
+    SkipNode* next = node->next[0];
+    delete node;
+    node = next;
+  }
+}
+
+int SkipList::RandomLevel() {
+  int level = 1;
+  while (level < kMaxLevel && rng_.OneIn(4)) level++;
+  return level;
+}
+
+void SkipList::Insert(uint64_t key, const std::string& posting) {
+  SkipNode* update[kMaxLevel];
+  SkipNode* node = head_;
+  for (int i = level_ - 1; i >= 0; i--) {
+    while (node->next[i] != nullptr && node->next[i]->key < key) {
+      node = node->next[i];
+    }
+    update[i] = node;
+  }
+  SkipNode* candidate = node->next[0];
+  if (candidate != nullptr && candidate->key == key) {
+    candidate->postings.push_back(posting);
+    return;
+  }
+  int new_level = RandomLevel();
+  if (new_level > level_) {
+    for (int i = level_; i < new_level; i++) update[i] = head_;
+    level_ = new_level;
+  }
+  SkipNode* inserted = new SkipNode(key, new_level);
+  inserted->postings.push_back(posting);
+  for (int i = 0; i < new_level; i++) {
+    inserted->next[i] = update[i]->next[i];
+    update[i]->next[i] = inserted;
+  }
+  key_count_++;
+}
+
+Status SkipList::Remove(uint64_t key, const std::string& posting) {
+  SkipNode* update[kMaxLevel];
+  SkipNode* node = head_;
+  for (int i = level_ - 1; i >= 0; i--) {
+    while (node->next[i] != nullptr && node->next[i]->key < key) {
+      node = node->next[i];
+    }
+    update[i] = node;
+  }
+  SkipNode* target = node->next[0];
+  if (target == nullptr || target->key != key) {
+    return Status::NotFound("key absent");
+  }
+  auto it =
+      std::find(target->postings.begin(), target->postings.end(), posting);
+  if (it == target->postings.end()) {
+    return Status::NotFound("posting absent");
+  }
+  target->postings.erase(it);
+  if (target->postings.empty()) {
+    for (int i = 0; i < level_; i++) {
+      if (update[i]->next[i] == target) update[i]->next[i] = target->next[i];
+    }
+    delete target;
+    key_count_--;
+    while (level_ > 1 && head_->next[level_ - 1] == nullptr) level_--;
+  }
+  return Status::OK();
+}
+
+Status SkipList::Get(uint64_t key, std::vector<std::string>* postings) const {
+  const SkipNode* node = head_;
+  for (int i = level_ - 1; i >= 0; i--) {
+    while (node->next[i] != nullptr && node->next[i]->key < key) {
+      node = node->next[i];
+    }
+  }
+  const SkipNode* target = node->next[0];
+  if (target == nullptr || target->key != key) {
+    return Status::NotFound("key absent");
+  }
+  *postings = target->postings;
+  return Status::OK();
+}
+
+void SkipList::RangeScan(uint64_t lo, uint64_t hi,
+                         std::vector<std::string>* postings) const {
+  const SkipNode* node = head_;
+  for (int i = level_ - 1; i >= 0; i--) {
+    while (node->next[i] != nullptr && node->next[i]->key < lo) {
+      node = node->next[i];
+    }
+  }
+  node = node->next[0];
+  while (node != nullptr && node->key <= hi) {
+    postings->insert(postings->end(), node->postings.begin(),
+                     node->postings.end());
+    node = node->next[0];
+  }
+}
+
+}  // namespace spitz

@@ -1,0 +1,58 @@
+#ifndef SPITZ_INDEX_SKIPLIST_H_
+#define SPITZ_INDEX_SKIPLIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// A skip list mapping numeric keys to posting lists. Per paper section 5,
+// the inverted index over numeric cell values uses a skip list "to
+// better support range query": Spitz's analytical reads locate rows by
+// value range through this structure.
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  explicit SkipList(uint64_t seed = 0x5179);
+  ~SkipList();
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Adds `posting` to the posting list of `key` (duplicates allowed;
+  // the caller controls posting identity).
+  void Insert(uint64_t key, const std::string& posting);
+
+  // Removes one occurrence of `posting` from `key`'s list. NotFound if
+  // the key or the posting is absent.
+  Status Remove(uint64_t key, const std::string& posting);
+
+  // Returns the posting list for `key`; NotFound if absent.
+  Status Get(uint64_t key, std::vector<std::string>* postings) const;
+
+  // Appends all postings with key in [lo, hi] in key order.
+  void RangeScan(uint64_t lo, uint64_t hi,
+                 std::vector<std::string>* postings) const;
+
+  size_t key_count() const { return key_count_; }
+
+ private:
+  struct SkipNode;
+
+  int RandomLevel();
+
+  SkipNode* head_;
+  int level_ = 1;
+  size_t key_count_ = 0;
+  Random rng_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_SKIPLIST_H_

@@ -1,0 +1,83 @@
+#ifndef SPITZ_KVS_IMMUTABLE_KVS_H_
+#define SPITZ_KVS_IMMUTABLE_KVS_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/status.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+
+// The immutable key-value store of paper section 6.1: "the same as
+// Spitz in terms of indexing, except that it does not maintain a ledger
+// or provide verifiability." It is the no-verification upper bound in
+// Figures 6 and 7, and the underlying database of the non-intrusive
+// design in Figure 8.
+//
+// Storage is the same copy-on-write POS-tree over a chunk store, so old
+// versions remain readable; only the ledger (and hence proofs and
+// digests) is missing.
+class ImmutableKvs {
+ public:
+  explicit ImmutableKvs(PosTreeOptions options = PosTreeOptions())
+      : index_(&chunks_, options) {}
+
+  ImmutableKvs(const ImmutableKvs&) = delete;
+  ImmutableKvs& operator=(const ImmutableKvs&) = delete;
+
+  Status Put(const Slice& key, const Slice& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.Put(root_, key, value, &root_);
+  }
+
+  // Bulk ingestion for initial provisioning. Fails if non-empty.
+  Status BulkLoad(std::vector<PosEntry> entries) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!root_.IsZero()) {
+      return Status::InvalidArgument("bulk load requires an empty store");
+    }
+    return index_.Build(std::move(entries), &root_);
+  }
+
+  Status Delete(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.Delete(root_, key, &root_);
+  }
+
+  Status Get(const Slice& key, std::string* value) const {
+    Hash256 root = CurrentRoot();
+    return index_.Get(root, key, value);
+  }
+
+  Status Scan(const Slice& start, const Slice& end, size_t limit,
+              std::vector<PosEntry>* out) const {
+    Hash256 root = CurrentRoot();
+    return index_.Scan(root, start, end, limit, out);
+  }
+
+  Hash256 CurrentRoot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return root_;
+  }
+
+  uint64_t key_count() const {
+    uint64_t count = 0;
+    index_.Count(CurrentRoot(), &count);
+    return count;
+  }
+
+  ChunkStoreStats storage_stats() const { return chunks_.stats(); }
+
+ private:
+  ChunkStore chunks_;
+  PosTree index_;
+  mutable std::mutex mu_;
+  Hash256 root_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_KVS_IMMUTABLE_KVS_H_

@@ -1,0 +1,121 @@
+#include "ledger/block.h"
+
+#include "common/codec.h"
+#include "ledger/merkle_tree.h"
+
+namespace spitz {
+
+void LedgerEntry::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(op));
+  PutLengthPrefixedSlice(dst, key);
+  dst->append(value_hash.ToBytes());
+  PutVarint64(dst, txn_id);
+  PutVarint64(dst, commit_ts);
+}
+
+Status LedgerEntry::DecodeFrom(Slice* input, LedgerEntry* entry) {
+  if (input->empty()) return Status::Corruption("truncated ledger entry");
+  entry->op = static_cast<Op>((*input)[0]);
+  input->remove_prefix(1);
+  Slice key;
+  Status s = GetLengthPrefixedSlice(input, &key);
+  if (!s.ok()) return s;
+  entry->key = key.ToString();
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated ledger entry hash");
+  }
+  entry->value_hash = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  s = GetVarint64(input, &entry->txn_id);
+  if (!s.ok()) return s;
+  return GetVarint64(input, &entry->commit_ts);
+}
+
+Block::Block(uint64_t height, uint64_t first_seq, const Hash256& prev_hash,
+             std::vector<LedgerEntry> entries, const Hash256& index_root,
+             uint64_t timestamp)
+    : height_(height),
+      first_seq_(first_seq),
+      prev_hash_(prev_hash),
+      entries_(std::move(entries)),
+      index_root_(index_root),
+      timestamp_(timestamp) {
+  entries_root_ = ComputeEntriesRoot(entries_);
+  block_hash_ = ComputeBlockHash();
+}
+
+Hash256 Block::ComputeEntriesRoot(const std::vector<LedgerEntry>& entries) {
+  MerkleTree tree;
+  for (const LedgerEntry& e : entries) {
+    tree.AppendLeafHash(e.LeafHash());
+  }
+  return tree.Root();
+}
+
+Hash256 Block::ComputeBlockHash() const {
+  std::string header;
+  PutVarint64(&header, height_);
+  PutVarint64(&header, first_seq_);
+  header.append(prev_hash_.ToBytes());
+  header.append(entries_root_.ToBytes());
+  header.append(index_root_.ToBytes());
+  PutVarint64(&header, timestamp_);
+  return Hash256::Of(header);
+}
+
+std::string Block::Encode() const {
+  std::string out;
+  PutVarint64(&out, height_);
+  PutVarint64(&out, first_seq_);
+  out.append(prev_hash_.ToBytes());
+  out.append(index_root_.ToBytes());
+  PutVarint64(&out, timestamp_);
+  PutVarint64(&out, entries_.size());
+  for (const LedgerEntry& e : entries_) {
+    e.EncodeTo(&out);
+  }
+  return out;
+}
+
+Status Block::Decode(Slice input, Block* block) {
+  Block b;
+  Status s = GetVarint64(&input, &b.height_);
+  if (!s.ok()) return s;
+  s = GetVarint64(&input, &b.first_seq_);
+  if (!s.ok()) return s;
+  if (input.size() < 2 * Hash256::kSize) {
+    return Status::Corruption("truncated block header");
+  }
+  b.prev_hash_ = Hash256::FromBytes(Slice(input.data(), Hash256::kSize));
+  input.remove_prefix(Hash256::kSize);
+  b.index_root_ = Hash256::FromBytes(Slice(input.data(), Hash256::kSize));
+  input.remove_prefix(Hash256::kSize);
+  s = GetVarint64(&input, &b.timestamp_);
+  if (!s.ok()) return s;
+  uint64_t n = 0;
+  s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  b.entries_.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    LedgerEntry e;
+    s = LedgerEntry::DecodeFrom(&input, &e);
+    if (!s.ok()) return s;
+    b.entries_.push_back(std::move(e));
+  }
+  b.entries_root_ = ComputeEntriesRoot(b.entries_);
+  b.block_hash_ = b.ComputeBlockHash();
+  *block = std::move(b);
+  return Status::OK();
+}
+
+Status Block::Validate() const {
+  if (ComputeEntriesRoot(entries_) != entries_root_) {
+    return Status::VerificationFailed("block entries root mismatch");
+  }
+  if (ComputeBlockHash() != block_hash_) {
+    return Status::VerificationFailed("block hash mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spitz

@@ -1,0 +1,90 @@
+#ifndef SPITZ_LEDGER_BLOCK_H_
+#define SPITZ_LEDGER_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace spitz {
+
+// One record modification tracked by the ledger (paper section 5:
+// "Each block tracks the modification of the records, query statements,
+// metadata and the root node of the indexes on the entire dataset").
+struct LedgerEntry {
+  enum class Op : uint8_t { kPut = 0, kDelete = 1 };
+
+  Op op = Op::kPut;
+  std::string key;
+  Hash256 value_hash;     // hash of the written value
+  uint64_t txn_id = 0;    // transaction that produced this entry
+  uint64_t commit_ts = 0; // commit timestamp
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, LedgerEntry* entry);
+
+  // Canonical serialized form used as the Merkle leaf content.
+  std::string Canonical() const {
+    std::string out;
+    EncodeTo(&out);
+    return out;
+  }
+
+  Hash256 LeafHash() const { return Hash256::OfLeaf(Canonical()); }
+
+  bool operator==(const LedgerEntry& other) const {
+    return op == other.op && key == other.key &&
+           value_hash == other.value_hash && txn_id == other.txn_id &&
+           commit_ts == other.commit_ts;
+  }
+};
+
+// A hash-chained block of ledger entries. The block hash covers the
+// header (height, previous hash, entry Merkle root, index root,
+// metadata) so that any change to any entry, to the chain order, or to
+// the index root recorded at this height is detectable.
+class Block {
+ public:
+  Block() = default;
+  Block(uint64_t height, uint64_t first_seq, const Hash256& prev_hash,
+        std::vector<LedgerEntry> entries, const Hash256& index_root,
+        uint64_t timestamp);
+
+  uint64_t height() const { return height_; }
+  const Hash256& prev_hash() const { return prev_hash_; }
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  const Hash256& entries_root() const { return entries_root_; }
+  const Hash256& index_root() const { return index_root_; }
+  uint64_t timestamp() const { return timestamp_; }
+  const Hash256& block_hash() const { return block_hash_; }
+  uint64_t first_seq() const { return first_seq_; }
+
+  std::string Encode() const;
+  static Status Decode(Slice input, Block* block);
+
+  // Recomputes the entry Merkle root and block hash from the current
+  // contents and checks them against the stored values.
+  Status Validate() const;
+
+  // Computes the Merkle root over the entries of this block.
+  static Hash256 ComputeEntriesRoot(const std::vector<LedgerEntry>& entries);
+
+ private:
+  Hash256 ComputeBlockHash() const;
+
+  uint64_t height_ = 0;
+  uint64_t first_seq_ = 0;  // global sequence number of entries_[0]
+  Hash256 prev_hash_;
+  std::vector<LedgerEntry> entries_;
+  Hash256 entries_root_;
+  Hash256 index_root_;
+  uint64_t timestamp_ = 0;
+  Hash256 block_hash_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_LEDGER_BLOCK_H_

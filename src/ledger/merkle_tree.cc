@@ -1,0 +1,233 @@
+#include "ledger/merkle_tree.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+uint64_t LargestPowerOfTwoBelow(uint64_t n) {
+  uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+std::string MerkleInclusionProof::Encode() const {
+  std::string out;
+  PutVarint64(&out, leaf_index);
+  PutVarint64(&out, tree_size);
+  PutVarint64(&out, path.size());
+  for (const Hash256& h : path) out.append(h.ToBytes());
+  return out;
+}
+
+Status MerkleInclusionProof::Decode(Slice input,
+                                    MerkleInclusionProof* proof) {
+  Status s = GetVarint64(&input, &proof->leaf_index);
+  if (!s.ok()) return s;
+  s = GetVarint64(&input, &proof->tree_size);
+  if (!s.ok()) return s;
+  uint64_t n = 0;
+  s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  proof->path.clear();
+  for (uint64_t i = 0; i < n; i++) {
+    if (input.size() < Hash256::kSize) {
+      return Status::Corruption("truncated inclusion proof");
+    }
+    proof->path.push_back(
+        Hash256::FromBytes(Slice(input.data(), Hash256::kSize)));
+    input.remove_prefix(Hash256::kSize);
+  }
+  return Status::OK();
+}
+
+uint64_t MerkleTree::AppendLeafHash(const Hash256& leaf_hash) {
+  uint64_t index = leaves_.size();
+  leaves_.push_back(leaf_hash);
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(leaf_hash);
+  // Bubble up: whenever a node completes a pair at some level, the
+  // parent full-subtree hash becomes known.
+  uint64_t i = index;
+  size_t level = 0;
+  while (i % 2 == 1) {
+    const Hash256& left = levels_[level][i - 1];
+    const Hash256& right = levels_[level][i];
+    if (levels_.size() <= level + 1) levels_.emplace_back();
+    levels_[level + 1].push_back(Hash256::OfPair(left, right));
+    i /= 2;
+    level++;
+  }
+  return index;
+}
+
+Hash256 MerkleTree::SubtreeHash(uint64_t start, uint64_t size) const {
+  if (size == 1) return leaves_[start];
+  // Fast path: full, aligned subtree cached in levels_.
+  if ((size & (size - 1)) == 0 && start % size == 0) {
+    size_t level = 0;
+    uint64_t s = size;
+    while (s > 1) {
+      s /= 2;
+      level++;
+    }
+    if (level < levels_.size() && start / size < levels_[level].size()) {
+      return levels_[level][start / size];
+    }
+  }
+  uint64_t k = LargestPowerOfTwoBelow(size);
+  return Hash256::OfPair(SubtreeHash(start, k),
+                         SubtreeHash(start + k, size - k));
+}
+
+Hash256 MerkleTree::Root() const {
+  if (leaves_.empty()) return Hash256::Of(Slice("", 0));
+  return SubtreeHash(0, leaves_.size());
+}
+
+Status MerkleTree::RootAt(uint64_t size, Hash256* root) const {
+  if (size > leaves_.size()) {
+    return Status::InvalidArgument("size beyond tree");
+  }
+  if (size == 0) {
+    *root = Hash256::Of(Slice("", 0));
+    return Status::OK();
+  }
+  *root = SubtreeHash(0, size);
+  return Status::OK();
+}
+
+void MerkleTree::Path(uint64_t m, uint64_t start, uint64_t size,
+                      std::vector<Hash256>* out) const {
+  if (size == 1) return;
+  uint64_t k = LargestPowerOfTwoBelow(size);
+  if (m < k) {
+    Path(m, start, k, out);
+    out->push_back(SubtreeHash(start + k, size - k));
+  } else {
+    Path(m - k, start + k, size - k, out);
+    out->push_back(SubtreeHash(start, k));
+  }
+}
+
+Status MerkleTree::InclusionProof(uint64_t leaf_index,
+                                  MerkleInclusionProof* proof) const {
+  if (leaf_index >= leaves_.size()) {
+    return Status::InvalidArgument("leaf index beyond tree");
+  }
+  proof->leaf_index = leaf_index;
+  proof->tree_size = leaves_.size();
+  proof->path.clear();
+  Path(leaf_index, 0, leaves_.size(), &proof->path);
+  return Status::OK();
+}
+
+void MerkleTree::SubProof(uint64_t m, uint64_t start, uint64_t size,
+                          bool complete, std::vector<Hash256>* out) const {
+  if (m == size) {
+    if (!complete) out->push_back(SubtreeHash(start, size));
+    return;
+  }
+  uint64_t k = LargestPowerOfTwoBelow(size);
+  if (m <= k) {
+    SubProof(m, start, k, complete, out);
+    out->push_back(SubtreeHash(start + k, size - k));
+  } else {
+    SubProof(m - k, start + k, size - k, false, out);
+    out->push_back(SubtreeHash(start, k));
+  }
+}
+
+Status MerkleTree::ConsistencyProof(uint64_t old_size,
+                                    MerkleConsistencyProof* proof) const {
+  if (old_size > leaves_.size()) {
+    return Status::InvalidArgument("old size beyond tree");
+  }
+  proof->old_size = old_size;
+  proof->new_size = leaves_.size();
+  proof->path.clear();
+  if (old_size == 0 || old_size == leaves_.size()) {
+    return Status::OK();  // trivially consistent
+  }
+  SubProof(old_size, 0, leaves_.size(), true, &proof->path);
+  return Status::OK();
+}
+
+bool MerkleTree::VerifyInclusion(const Hash256& leaf_hash,
+                                 const MerkleInclusionProof& proof,
+                                 const Hash256& root) {
+  if (proof.leaf_index >= proof.tree_size) return false;
+  // Canonical RFC 6962 verification.
+  uint64_t fn = proof.leaf_index;
+  uint64_t sn = proof.tree_size - 1;
+  Hash256 r = leaf_hash;
+  for (const Hash256& c : proof.path) {
+    if (sn == 0) return false;
+    if ((fn & 1) == 1 || fn == sn) {
+      r = Hash256::OfPair(c, r);
+      while ((fn & 1) == 0 && fn != 0) {
+        fn >>= 1;
+        sn >>= 1;
+      }
+      fn >>= 1;
+      sn >>= 1;
+    } else {
+      r = Hash256::OfPair(r, c);
+      fn >>= 1;
+      sn >>= 1;
+    }
+  }
+  return sn == 0 && r == root;
+}
+
+bool MerkleTree::VerifyConsistency(const MerkleConsistencyProof& proof,
+                                   const Hash256& old_root,
+                                   const Hash256& new_root) {
+  uint64_t old_size = proof.old_size;
+  uint64_t new_size = proof.new_size;
+  if (old_size > new_size) return false;
+  if (old_size == new_size) return proof.path.empty() && old_root == new_root;
+  if (old_size == 0) return proof.path.empty();
+
+  // RFC 6962-bis verification algorithm.
+  std::vector<Hash256> path = proof.path;
+  uint64_t fn = old_size - 1;
+  uint64_t sn = new_size - 1;
+  // Skip the common all-ones prefix.
+  while (fn & 1) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  size_t i = 0;
+  Hash256 fr, sr;
+  if (fn == 0) {
+    // old tree is a full, aligned subtree of the new tree
+    fr = old_root;
+    sr = old_root;
+  } else {
+    if (path.empty()) return false;
+    fr = path[0];
+    sr = path[0];
+    i = 1;
+  }
+  for (; i < path.size(); i++) {
+    if (sn == 0) return false;
+    const Hash256& c = path[i];
+    if ((fn & 1) == 1 || fn == sn) {
+      fr = Hash256::OfPair(c, fr);
+      sr = Hash256::OfPair(c, sr);
+      while ((fn & 1) == 0 && fn != 0) {
+        fn >>= 1;
+        sn >>= 1;
+      }
+      fn >>= 1;
+      sn >>= 1;
+    } else {
+      sr = Hash256::OfPair(sr, c);
+      fn >>= 1;
+      sn >>= 1;
+    }
+  }
+  return sn == 0 && fr == old_root && sr == new_root;
+}
+
+}  // namespace spitz

@@ -1,0 +1,293 @@
+#include "nonintrusive/non_intrusive_db.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+namespace {
+
+// --- Wire formats for the payloads crossing the RPC boundary -------------
+
+void EncodePosProof(const PosProof& proof, std::string* out) {
+  PutVarint64(out, proof.node_payloads.size());
+  for (size_t i = 0; i < proof.node_payloads.size(); i++) {
+    out->push_back(static_cast<char>(proof.node_types[i]));
+    PutLengthPrefixedSlice(out, proof.node_payloads[i]);
+  }
+}
+
+Status DecodePosProof(Slice* input, PosProof* proof) {
+  uint64_t n = 0;
+  Status s = GetVarint64(input, &n);
+  if (!s.ok()) return s;
+  proof->node_payloads.clear();
+  proof->node_types.clear();
+  for (uint64_t i = 0; i < n; i++) {
+    if (input->empty()) return Status::Corruption("truncated proof");
+    proof->node_types.push_back(static_cast<uint8_t>((*input)[0]));
+    input->remove_prefix(1);
+    Slice payload;
+    s = GetLengthPrefixedSlice(input, &payload);
+    if (!s.ok()) return s;
+    proof->node_payloads.push_back(payload.ToString());
+  }
+  return Status::OK();
+}
+
+Status GetHash(Slice* input, Hash256* h) {
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated hash");
+  }
+  *h = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return Status::OK();
+}
+
+}  // namespace
+
+NonIntrusiveDb::NonIntrusiveDb(Options options)
+    : ledger_db_(options.ledger) {
+  kvs_server_ = std::make_unique<RpcServer>(
+      [this](uint32_t m, const std::string& req, std::string* resp) {
+        return HandleKvs(m, req, resp);
+      },
+      options.rpc);
+  ledger_server_ = std::make_unique<RpcServer>(
+      [this](uint32_t m, const std::string& req, std::string* resp) {
+        return HandleLedger(m, req, resp);
+      },
+      options.rpc);
+}
+
+// --- Server-side handlers ---------------------------------------------------
+
+Status NonIntrusiveDb::HandleKvs(uint32_t method, const std::string& request,
+                                 std::string* response) {
+  Slice input(request);
+  switch (method) {
+    case kKvsPut: {
+      Slice key, value;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(&input, &value);
+      if (!s.ok()) return s;
+      return kvs_.Put(key, value);
+    }
+    case kKvsGet: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      std::string value;
+      s = kvs_.Get(key, &value);
+      if (!s.ok()) return s;
+      PutLengthPrefixedSlice(response, value);
+      return Status::OK();
+    }
+    case kKvsScan: {
+      Slice start, end;
+      uint64_t limit = 0;
+      Status s = GetLengthPrefixedSlice(&input, &start);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(&input, &end);
+      if (!s.ok()) return s;
+      s = GetVarint64(&input, &limit);
+      if (!s.ok()) return s;
+      std::vector<PosEntry> entries;
+      s = kvs_.Scan(start, end, static_cast<size_t>(limit), &entries);
+      if (!s.ok()) return s;
+      PutVarint64(response, entries.size());
+      for (const PosEntry& e : entries) {
+        PutLengthPrefixedSlice(response, e.key);
+        PutLengthPrefixedSlice(response, e.value);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("unknown kvs method");
+  }
+}
+
+Status NonIntrusiveDb::HandleLedger(uint32_t method,
+                                    const std::string& request,
+                                    std::string* response) {
+  Slice input(request);
+  switch (method) {
+    case kLedgerAppend: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      Hash256 value_hash;
+      s = GetHash(&input, &value_hash);
+      if (!s.ok()) return s;
+      return ledger_db_.Put(key, value_hash.ToBytes());
+    }
+    case kLedgerProve: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      std::string stored;
+      ReadProof proof;
+      s = ledger_db_.GetWithProof(key, &stored, &proof);
+      if (!s.ok()) return s;
+      response->append(proof.index_root.ToBytes());
+      EncodePosProof(proof.index_proof, response);
+      PutLengthPrefixedSlice(response, stored);
+      return Status::OK();
+    }
+    case kLedgerDigest: {
+      SpitzDigest d = ledger_db_.Digest();
+      response->append(d.index_root.ToBytes());
+      PutVarint64(response, d.journal.block_count);
+      PutVarint64(response, d.journal.entry_count);
+      response->append(d.journal.tip_hash.ToBytes());
+      response->append(d.journal.merkle_root.ToBytes());
+      PutVarint64(response, d.last_commit_ts);
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("unknown ledger method");
+  }
+}
+
+// --- Client-side operations ---------------------------------------------------
+
+Status NonIntrusiveDb::BulkLoad(const std::vector<PosEntry>& entries) {
+  std::vector<PosEntry> ledger_entries;
+  ledger_entries.reserve(entries.size());
+  for (const PosEntry& e : entries) {
+    ledger_entries.push_back(
+        PosEntry{e.key, Hash256::Of(e.value).ToBytes()});
+  }
+  Status s = kvs_.BulkLoad(entries);
+  if (!s.ok()) return s;
+  return ledger_db_.BulkLoad(std::move(ledger_entries));
+}
+
+Status NonIntrusiveDb::Put(const Slice& key, const Slice& value) {
+  // Commit to the underlying database...
+  std::string request;
+  PutLengthPrefixedSlice(&request, key);
+  PutLengthPrefixedSlice(&request, value);
+  std::string response;
+  Status s = kvs_server_->Call(kKvsPut, request, &response);
+  if (!s.ok()) return s;
+  // ...and record the change in the ledger database.
+  request.clear();
+  PutLengthPrefixedSlice(&request, key);
+  request.append(Hash256::Of(value).ToBytes());
+  return ledger_server_->Call(kLedgerAppend, request, &response);
+}
+
+Status NonIntrusiveDb::Get(const Slice& key, std::string* value) {
+  std::string request;
+  PutLengthPrefixedSlice(&request, key);
+  std::string response;
+  Status s = kvs_server_->Call(kKvsGet, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  Slice v;
+  s = GetLengthPrefixedSlice(&input, &v);
+  if (!s.ok()) return s;
+  *value = v.ToString();
+  return Status::OK();
+}
+
+Status NonIntrusiveDb::GetVerified(const Slice& key, VerifiedValue* out) {
+  Status s = Get(key, &out->value);
+  if (!s.ok()) return s;
+  // Second hop: fetch the proof from the ledger database.
+  std::string request;
+  PutLengthPrefixedSlice(&request, key);
+  std::string response;
+  s = ledger_server_->Call(kLedgerProve, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  s = GetHash(&input, &out->proof.index_root);
+  if (!s.ok()) return s;
+  return DecodePosProof(&input, &out->proof.index_proof);
+}
+
+Status NonIntrusiveDb::Scan(const Slice& start, const Slice& end,
+                            size_t limit, std::vector<PosEntry>* out) {
+  std::string request;
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  std::string response;
+  Status s = kvs_server_->Call(kKvsScan, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  uint64_t n = 0;
+  s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  out->clear();
+  for (uint64_t i = 0; i < n; i++) {
+    Slice k, v;
+    s = GetLengthPrefixedSlice(&input, &k);
+    if (!s.ok()) return s;
+    s = GetLengthPrefixedSlice(&input, &v);
+    if (!s.ok()) return s;
+    out->push_back(PosEntry{k.ToString(), v.ToString()});
+  }
+  return Status::OK();
+}
+
+Status NonIntrusiveDb::ScanVerified(const Slice& start, const Slice& end,
+                                    size_t limit,
+                                    std::vector<VerifiedValue>* out,
+                                    std::vector<std::string>* keys) {
+  std::vector<PosEntry> rows;
+  Status s = Scan(start, end, limit, &rows);
+  if (!s.ok()) return s;
+  out->clear();
+  keys->clear();
+  for (const PosEntry& row : rows) {
+    // One ledger round trip per resultant record.
+    VerifiedValue vv;
+    vv.value = row.value;
+    std::string request;
+    PutLengthPrefixedSlice(&request, row.key);
+    std::string response;
+    s = ledger_server_->Call(kLedgerProve, request, &response);
+    if (!s.ok()) return s;
+    Slice input(response);
+    s = GetHash(&input, &vv.proof.index_root);
+    if (!s.ok()) return s;
+    s = DecodePosProof(&input, &vv.proof.index_proof);
+    if (!s.ok()) return s;
+    out->push_back(std::move(vv));
+    keys->push_back(row.key);
+  }
+  return Status::OK();
+}
+
+SpitzDigest NonIntrusiveDb::Digest() {
+  std::string response;
+  Status s = ledger_server_->Call(kLedgerDigest, std::string(), &response);
+  SpitzDigest d;
+  if (!s.ok()) return d;
+  Slice input(response);
+  if (!GetHash(&input, &d.index_root).ok()) return d;
+  GetVarint64(&input, &d.journal.block_count);
+  GetVarint64(&input, &d.journal.entry_count);
+  GetHash(&input, &d.journal.tip_hash);
+  GetHash(&input, &d.journal.merkle_root);
+  GetVarint64(&input, &d.last_commit_ts);
+  return d;
+}
+
+Status NonIntrusiveDb::VerifyValue(const SpitzDigest& digest,
+                                   const Slice& key,
+                                   const VerifiedValue& vv) {
+  if (vv.proof.index_root != digest.index_root) {
+    return Status::VerificationFailed("proof is for a different version");
+  }
+  // The ledger database maps key -> hash(value); the proof must show
+  // exactly that binding, and the value from the underlying database
+  // must match the hash.
+  std::string expected = Hash256::Of(vv.value).ToBytes();
+  return PosTree::VerifyProof(digest.index_root, key, expected,
+                              vv.proof.index_proof);
+}
+
+}  // namespace spitz

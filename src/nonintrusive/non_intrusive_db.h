@@ -1,0 +1,105 @@
+#ifndef SPITZ_NONINTRUSIVE_NON_INTRUSIVE_DB_H_
+#define SPITZ_NONINTRUSIVE_NON_INTRUSIVE_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "core/spitz_db.h"
+#include "kvs/immutable_kvs.h"
+#include "nonintrusive/rpc.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// NonIntrusiveDb — the non-intrusive VDB design of paper Figure 3,
+// evaluated against Spitz in section 6.2.3 (Figure 8): a ledger is
+// "attached without modifying the architecture of the original database
+// systems". Here, as in the paper's experiment, the underlying system is
+// the immutable KVS and the ledger database is a Spitz instance deployed
+// as a separate service (its auditor/ledger role), each behind its own
+// RPC server.
+//
+//  * Writes commit to both systems: the value goes to the underlying
+//    database and the (key, value-hash) record goes to the ledger
+//    database.
+//  * Plain reads hit only the underlying database.
+//  * Verified reads hit the underlying database for the value and then
+//    the ledger database for the proof — the extra hop whose cost the
+//    figure measures.
+// ---------------------------------------------------------------------------
+class NonIntrusiveDb {
+ public:
+  struct Options {
+    Options() {}
+    RpcServer::Options rpc;
+    SpitzOptions ledger;
+  };
+
+  explicit NonIntrusiveDb(Options options = Options());
+
+  NonIntrusiveDb(const NonIntrusiveDb&) = delete;
+  NonIntrusiveDb& operator=(const NonIntrusiveDb&) = delete;
+
+  // Commits the write in both the underlying and the ledger database
+  // (section 6.2.3: "the submitted data are committed in both ... ").
+  Status Put(const Slice& key, const Slice& value);
+
+  // Offline provisioning that loads both systems directly (no RPC):
+  // models restoring both services from the same snapshot before the
+  // measured workload starts.
+  Status BulkLoad(const std::vector<PosEntry>& entries);
+
+  // Plain read: underlying database only.
+  Status Get(const Slice& key, std::string* value);
+
+  struct VerifiedValue {
+    std::string value;
+    ReadProof proof;  // from the ledger database (maps key -> value hash)
+  };
+
+  // Verified read: value from the underlying database, proof from the
+  // ledger database — two RPC round trips.
+  Status GetVerified(const Slice& key, VerifiedValue* out);
+
+  // Range scan: rows from the underlying database; with verification,
+  // one ledger proof per row (there is no cross-system batched path).
+  Status Scan(const Slice& start, const Slice& end, size_t limit,
+              std::vector<PosEntry>* out);
+  Status ScanVerified(const Slice& start, const Slice& end, size_t limit,
+                      std::vector<VerifiedValue>* out,
+                      std::vector<std::string>* keys);
+
+  // The client's trusted state: the ledger database's digest.
+  SpitzDigest Digest();
+
+  // Client-side verification of a verified read.
+  static Status VerifyValue(const SpitzDigest& digest, const Slice& key,
+                            const VerifiedValue& vv);
+
+  uint64_t underlying_rpc_calls() const { return kvs_server_->calls_served(); }
+  uint64_t ledger_rpc_calls() const { return ledger_server_->calls_served(); }
+
+ private:
+  enum Method : uint32_t {
+    kKvsPut = 1,
+    kKvsGet = 2,
+    kKvsScan = 3,
+    kLedgerAppend = 10,
+    kLedgerProve = 11,
+    kLedgerDigest = 12,
+  };
+
+  Status HandleKvs(uint32_t method, const std::string& request,
+                   std::string* response);
+  Status HandleLedger(uint32_t method, const std::string& request,
+                      std::string* response);
+
+  ImmutableKvs kvs_;
+  SpitzDb ledger_db_;
+  std::unique_ptr<RpcServer> kvs_server_;
+  std::unique_ptr<RpcServer> ledger_server_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_NONINTRUSIVE_NON_INTRUSIVE_DB_H_

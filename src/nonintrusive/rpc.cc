@@ -1,0 +1,56 @@
+#include "nonintrusive/rpc.h"
+
+#include "common/clock.h"
+
+namespace spitz {
+
+namespace {
+// Precise short waits: sleeping is far too coarse for microsecond
+// latencies, so spin on the monotonic clock.
+void SpinMicros(uint64_t micros) {
+  if (micros == 0) return;
+  uint64_t deadline = MonotonicNanos() + micros * 1000;
+  while (MonotonicNanos() < deadline) {
+  }
+}
+}  // namespace
+
+RpcServer::RpcServer(Handler handler, Options options)
+    : handler_(std::move(handler)),
+      options_(options),
+      queue_(options.queue_depth),
+      server_([this] { Serve(); }) {}
+
+RpcServer::~RpcServer() {
+  queue_.Close();
+  server_.join();
+}
+
+void RpcServer::Serve() {
+  while (auto envelope = queue_.Pop()) {
+    Envelope* e = envelope->get();
+    SpinMicros(options_.latency_micros);  // request transit
+    std::string response;
+    Status s = handler_(e->method, e->request, &response);
+    SpinMicros(options_.latency_micros);  // response transit
+    calls_served_.fetch_add(1, std::memory_order_relaxed);
+    e->reply.set_value({std::move(s), std::move(response)});
+  }
+}
+
+Status RpcServer::Call(uint32_t method, const std::string& request,
+                       std::string* response) {
+  auto envelope = std::make_unique<Envelope>();
+  envelope->method = method;
+  envelope->request = request;
+  std::future<std::pair<Status, std::string>> reply =
+      envelope->reply.get_future();
+  if (!queue_.Push(std::move(envelope))) {
+    return Status::IOError("rpc server shut down");
+  }
+  auto [status, payload] = reply.get();
+  *response = std::move(payload);
+  return status;
+}
+
+}  // namespace spitz

@@ -1,0 +1,160 @@
+#include "store/cell_store.h"
+
+#include <algorithm>
+
+namespace spitz {
+
+namespace {
+// Encoded universal keys under one cell prefix are exactly 40 bytes
+// longer (8-byte timestamp + 32-byte value hash); this suffix compares
+// greater than any of them.
+std::string PrefixUpperBound(const std::string& prefix) {
+  return prefix + std::string(41, '\xff');
+}
+}  // namespace
+
+std::string CellStore::CellPrefix(uint32_t column_id,
+                                  const Slice& primary_key) {
+  std::string out;
+  PutFixed32(&out, __builtin_bswap32(column_id));
+  PutLengthPrefixedSlice(&out, primary_key);
+  return out;
+}
+
+UniversalKey CellStore::Write(uint32_t column_id, const Slice& primary_key,
+                              uint64_t timestamp, const Slice& value) {
+  UniversalKey key;
+  key.column_id = column_id;
+  key.primary_key = primary_key.ToString();
+  key.timestamp = timestamp;
+  key.value_hash = Hash256::Of(value);
+  Hash256 chunk_id = chunks_->Put(Chunk(ChunkType::kCell, value.ToString()));
+  std::lock_guard<std::mutex> lock(mu_);
+  index_[key.Encode()] = chunk_id;
+  return key;
+}
+
+Status CellStore::FillValue(const Hash256& chunk_id, Cell* cell) const {
+  std::shared_ptr<const Chunk> chunk;
+  Status s = chunks_->Get(chunk_id, &chunk);
+  if (!s.ok()) return s;
+  cell->value = chunk->payload();
+  if (!cell->IsConsistent()) {
+    return Status::Corruption("cell value does not match universal key hash");
+  }
+  return Status::OK();
+}
+
+Status CellStore::ReadAt(uint32_t column_id, const Slice& primary_key,
+                         uint64_t snapshot_ts, Cell* cell) const {
+  std::string prefix = CellPrefix(column_id, primary_key);
+  Hash256 chunk_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Seek just past every version with timestamp <= snapshot_ts and
+    // step back one entry.
+    std::string upper = prefix;
+    PutFixed64(&upper, __builtin_bswap64(snapshot_ts));
+    upper.append(Hash256::kSize + 1, '\xff');
+    auto it = index_.upper_bound(upper);
+    if (it == index_.begin()) return Status::NotFound("no version at ts");
+    --it;
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      return Status::NotFound("no version at ts");
+    }
+    Status s = UniversalKey::Decode(it->first, &cell->key);
+    if (!s.ok()) return s;
+    chunk_id = it->second;
+  }
+  return FillValue(chunk_id, cell);
+}
+
+Status CellStore::ReadLatest(uint32_t column_id, const Slice& primary_key,
+                             Cell* cell) const {
+  return ReadAt(column_id, primary_key, UINT64_MAX, cell);
+}
+
+Status CellStore::ReadByUniversalKey(const UniversalKey& key,
+                                     Cell* cell) const {
+  Hash256 chunk_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key.Encode());
+    if (it == index_.end()) return Status::NotFound("cell absent");
+    chunk_id = it->second;
+  }
+  cell->key = key;
+  return FillValue(chunk_id, cell);
+}
+
+Status CellStore::History(uint32_t column_id, const Slice& primary_key,
+                          std::vector<Cell>* versions) const {
+  versions->clear();
+  std::vector<Hash256> chunk_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string prefix = CellPrefix(column_id, primary_key);
+    for (auto it = index_.lower_bound(prefix);
+         it != index_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      Cell cell;
+      Status s = UniversalKey::Decode(it->first, &cell.key);
+      if (!s.ok()) return s;
+      versions->push_back(std::move(cell));
+      chunk_ids.push_back(it->second);
+    }
+  }
+  if (versions->empty()) return Status::NotFound("cell absent");
+  for (size_t i = 0; i < versions->size(); i++) {
+    Status s = FillValue(chunk_ids[i], &(*versions)[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status CellStore::ScanLatest(uint32_t column_id, const Slice& start,
+                             const Slice& end, size_t limit,
+                             std::vector<Cell>* cells) const {
+  cells->clear();
+  std::vector<Hash256> chunk_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string col_prefix;
+    PutFixed32(&col_prefix, __builtin_bswap32(column_id));
+    std::string from = col_prefix;
+    PutLengthPrefixedSlice(&from, start);
+    auto it = index_.lower_bound(from);
+    while (it != index_.end()) {
+      if (it->first.compare(0, col_prefix.size(), col_prefix) != 0) break;
+      UniversalKey key;
+      Status s = UniversalKey::Decode(it->first, &key);
+      if (!s.ok()) return s;
+      if (!end.empty() && Slice(key.primary_key).compare(end) >= 0) break;
+      // All versions of this primary key are contiguous; the last one is
+      // the newest.
+      std::string prefix = CellPrefix(column_id, key.primary_key);
+      auto next = index_.upper_bound(PrefixUpperBound(prefix));
+      auto newest = std::prev(next);
+      Cell cell;
+      s = UniversalKey::Decode(newest->first, &cell.key);
+      if (!s.ok()) return s;
+      cells->push_back(std::move(cell));
+      chunk_ids.push_back(newest->second);
+      if (limit > 0 && cells->size() >= limit) break;
+      it = next;
+    }
+  }
+  for (size_t i = 0; i < cells->size(); i++) {
+    Status s = FillValue(chunk_ids[i], &(*cells)[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+uint64_t CellStore::version_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace spitz

@@ -1,0 +1,75 @@
+#ifndef SPITZ_STORE_CELL_STORE_H_
+#define SPITZ_STORE_CELL_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/status.h"
+#include "store/cell.h"
+
+namespace spitz {
+
+// The virtual cell store of paper section 5: a multi-version store built
+// on top of the chunk layer ("as opposed to row or column store in
+// traditional databases"). Cell values live in the content-addressed
+// chunk store (deduplicated); the mapping from (column, primary key,
+// timestamp) to value hash is an ordered in-memory map over encoded
+// universal keys. Values are never overwritten — a write appends a new
+// version and historical reads stay serviceable forever (the VDB
+// immutability requirement).
+class CellStore {
+ public:
+  explicit CellStore(ChunkStore* chunks) : chunks_(chunks) {}
+
+  CellStore(const CellStore&) = delete;
+  CellStore& operator=(const CellStore&) = delete;
+
+  // Appends a new version of a cell. Returns the universal key the cell
+  // was filed under.
+  UniversalKey Write(uint32_t column_id, const Slice& primary_key,
+                     uint64_t timestamp, const Slice& value);
+
+  // Reads the newest version with timestamp <= snapshot_ts. NotFound if
+  // the cell has no version at or before that time.
+  Status ReadAt(uint32_t column_id, const Slice& primary_key,
+                uint64_t snapshot_ts, Cell* cell) const;
+
+  // Reads the newest version of the cell.
+  Status ReadLatest(uint32_t column_id, const Slice& primary_key,
+                    Cell* cell) const;
+
+  // Resolves a universal key to its cell (value fetched by hash).
+  Status ReadByUniversalKey(const UniversalKey& key, Cell* cell) const;
+
+  // Full version history of one cell, oldest first.
+  Status History(uint32_t column_id, const Slice& primary_key,
+                 std::vector<Cell>* versions) const;
+
+  // All latest-version cells of a column with primary key in
+  // [start, end) — the scan primitive behind analytical queries.
+  Status ScanLatest(uint32_t column_id, const Slice& start, const Slice& end,
+                    size_t limit, std::vector<Cell>* cells) const;
+
+  uint64_t version_count() const;
+
+ private:
+  // Key prefix for all versions of one cell.
+  static std::string CellPrefix(uint32_t column_id, const Slice& primary_key);
+
+  // Loads the value chunk and fills cell->value (also re-checks the
+  // value hash recorded in the universal key).
+  Status FillValue(const Hash256& chunk_id, Cell* cell) const;
+
+  ChunkStore* chunks_;
+  mutable std::mutex mu_;
+  // Encoded universal key -> value chunk id. Ordered so version history
+  // and primary-key ranges are contiguous.
+  std::map<std::string, Hash256> index_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_STORE_CELL_STORE_H_

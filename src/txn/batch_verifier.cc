@@ -1,0 +1,84 @@
+#include "txn/batch_verifier.h"
+
+namespace spitz {
+
+DeferredVerifier::DeferredVerifier(Options options) : options_(options) {
+  if (options_.batch_size > 0) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+DeferredVerifier::~DeferredVerifier() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    worker_.join();
+  }
+}
+
+Status DeferredVerifier::Submit(Check check) {
+  if (options_.batch_size == 0) {
+    // Online verification: the caller waits for the outcome.
+    Status s = check();
+    verified_.fetch_add(1);
+    if (!s.ok()) failures_.fetch_add(1);
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(check));
+    if (queue_.size() >= options_.batch_size) {
+      work_cv_.notify_one();
+    }
+  }
+  return Status::OK();
+}
+
+void DeferredVerifier::WorkerLoop() {
+  while (true) {
+    std::vector<Check> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || queue_.size() >= options_.batch_size;
+      });
+      if (queue_.empty() && stop_) return;
+      batch.swap(queue_);
+      busy_ = true;
+    }
+    for (Check& check : batch) {
+      Status s = check();
+      verified_.fetch_add(1);
+      if (!s.ok()) failures_.fetch_add(1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void DeferredVerifier::Flush() {
+  if (options_.batch_size == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wake the worker even if the batch is not full.
+  if (!queue_.empty()) {
+    // Temporarily treat the queue as a full batch.
+    std::vector<Check> batch;
+    batch.swap(queue_);
+    lock.unlock();
+    for (Check& check : batch) {
+      Status s = check();
+      verified_.fetch_add(1);
+      if (!s.ok()) failures_.fetch_add(1);
+    }
+    lock.lock();
+  }
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+}  // namespace spitz

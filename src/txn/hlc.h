@@ -1,0 +1,65 @@
+#ifndef SPITZ_TXN_HLC_H_
+#define SPITZ_TXN_HLC_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace spitz {
+
+// A hybrid logical clock (Kulkarni et al., cited as [28] in the paper).
+// Section 5.2 proposes HLC as the decentralized alternative to a global
+// timestamp oracle: each processor node allocates timestamps locally and
+// the causality-carrying logical component keeps them serializable.
+//
+// A timestamp packs the physical component (microseconds) in the high
+// 48 bits and a logical counter in the low 16 bits.
+class HybridLogicalClock {
+ public:
+  static constexpr int kLogicalBits = 16;
+  static constexpr uint64_t kLogicalMask = (1ull << kLogicalBits) - 1;
+
+  HybridLogicalClock() = default;
+
+  HybridLogicalClock(const HybridLogicalClock&) = delete;
+  HybridLogicalClock& operator=(const HybridLogicalClock&) = delete;
+
+  // Timestamp for a local event (e.g. transaction begin or commit).
+  uint64_t Now() {
+    uint64_t physical = NowMicros() << kLogicalBits;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (physical > last_) {
+      last_ = physical;
+    } else {
+      last_++;  // same or regressed physical clock: bump logical
+    }
+    return last_;
+  }
+
+  // Merges a timestamp received from another node, preserving causality
+  // (the returned local timestamp is greater than both the local clock
+  // and the remote timestamp).
+  uint64_t Observe(uint64_t remote) {
+    uint64_t physical = NowMicros() << kLogicalBits;
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t base = last_ > remote ? last_ : remote;
+    if (physical > base) {
+      last_ = physical;
+    } else {
+      last_ = base + 1;
+    }
+    return last_;
+  }
+
+  static uint64_t PhysicalMicros(uint64_t ts) { return ts >> kLogicalBits; }
+  static uint64_t Logical(uint64_t ts) { return ts & kLogicalMask; }
+
+ private:
+  std::mutex mu_;
+  uint64_t last_ = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_TXN_HLC_H_

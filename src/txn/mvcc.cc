@@ -1,0 +1,161 @@
+#include "txn/mvcc.h"
+
+#include <algorithm>
+
+namespace spitz {
+
+Status MvccStore::Read(const Slice& key, uint64_t ts, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.reads++;
+  auto it = table_.find(key.ToString());
+  if (it == table_.end()) return Status::NotFound("key absent");
+  Entry& entry = it->second;
+  if (entry.prepared_ts != 0 && entry.prepared_ts <= ts) {
+    // An in-doubt write below our snapshot: its outcome decides what we
+    // should see. Caller retries after 2PC resolution.
+    return Status::Busy("prepared write in doubt");
+  }
+  const Version* visible = nullptr;
+  for (const Version& v : entry.versions) {
+    if (v.wts <= ts) {
+      visible = &v;
+    } else {
+      break;
+    }
+  }
+  if (visible == nullptr) return Status::NotFound("no version at ts");
+  visible->rts = std::max(visible->rts, ts);
+  if (visible->deleted) return Status::NotFound("deleted at ts");
+  *value = visible->value;
+  return Status::OK();
+}
+
+Status MvccStore::ReadCommitted(const Slice& key, std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key.ToString());
+  if (it == table_.end()) return Status::NotFound("key absent");
+  const Entry& entry = it->second;
+  if (entry.versions.empty()) return Status::NotFound("key absent");
+  // Prepared (in-doubt) writes are simply not yet committed: read the
+  // newest committed version without waiting.
+  const Version& latest = entry.versions.back();
+  if (latest.deleted) return Status::NotFound("deleted");
+  *value = latest.value;
+  return Status::OK();
+}
+
+Status MvccStore::ValidateLocked(const WriteBatch& batch, uint64_t ts,
+                                 bool check_prepared) const {
+  for (const WriteBatch::Op& op : batch.ops()) {
+    auto it = table_.find(op.key);
+    if (it == table_.end()) continue;
+    const Entry& entry = it->second;
+    if (check_prepared && entry.prepared_ts != 0) {
+      return Status::Busy("key locked by prepared transaction");
+    }
+    // Find the version this write would supersede.
+    const Version* prev = nullptr;
+    for (const Version& v : entry.versions) {
+      if (v.wts <= ts) {
+        prev = &v;
+      } else {
+        break;
+      }
+    }
+    if (prev != nullptr && prev->rts > ts) {
+      // A transaction with a later timestamp already read the version we
+      // would overwrite: installing our write would invalidate its read.
+      return Status::Aborted("timestamp-ordering conflict on " + op.key);
+    }
+    if (prev != nullptr && prev->wts == ts) {
+      return Status::Aborted("duplicate write timestamp on " + op.key);
+    }
+  }
+  return Status::OK();
+}
+
+void MvccStore::InstallLocked(const WriteBatch& batch, uint64_t ts) {
+  for (const WriteBatch::Op& op : batch.ops()) {
+    Entry& entry = table_[op.key];
+    Version v;
+    v.wts = ts;
+    v.rts = ts;
+    v.deleted = op.type == WriteBatch::OpType::kDelete;
+    v.value = op.value;
+    // Insert preserving ascending wts (usually at the end).
+    auto pos = std::upper_bound(
+        entry.versions.begin(), entry.versions.end(), ts,
+        [](uint64_t t, const Version& vv) { return t < vv.wts; });
+    entry.versions.insert(pos, std::move(v));
+  }
+}
+
+Status MvccStore::CommitBatch(const WriteBatch& batch, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = ValidateLocked(batch, ts, /*check_prepared=*/true);
+  if (!s.ok()) {
+    stats_.aborts++;
+    return s;
+  }
+  InstallLocked(batch, ts);
+  stats_.commits++;
+  return Status::OK();
+}
+
+Status MvccStore::Prepare(const WriteBatch& batch, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = ValidateLocked(batch, ts, /*check_prepared=*/true);
+  if (!s.ok()) {
+    stats_.aborts++;
+    return s;
+  }
+  for (const WriteBatch::Op& op : batch.ops()) {
+    table_[op.key].prepared_ts = ts;
+  }
+  return Status::OK();
+}
+
+void MvccStore::CommitPrepared(const WriteBatch& batch, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstallLocked(batch, ts);
+  for (const WriteBatch::Op& op : batch.ops()) {
+    table_[op.key].prepared_ts = 0;
+  }
+  stats_.commits++;
+}
+
+void MvccStore::AbortPrepared(const WriteBatch& batch, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WriteBatch::Op& op : batch.ops()) {
+    auto it = table_.find(op.key);
+    if (it != table_.end() && it->second.prepared_ts == ts) {
+      it->second.prepared_ts = 0;
+      if (it->second.versions.empty()) table_.erase(it);
+    }
+  }
+  stats_.aborts++;
+}
+
+MvccStore::Stats MvccStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t MvccStore::LiveKeyCount(uint64_t ts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t count = 0;
+  for (const auto& [key, entry] : table_) {
+    const Version* visible = nullptr;
+    for (const Version& v : entry.versions) {
+      if (v.wts <= ts) {
+        visible = &v;
+      } else {
+        break;
+      }
+    }
+    if (visible != nullptr && !visible->deleted) count++;
+  }
+  return count;
+}
+
+}  // namespace spitz

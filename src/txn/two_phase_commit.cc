@@ -1,0 +1,109 @@
+#include "txn/two_phase_commit.h"
+
+#include "crypto/hash.h"
+
+namespace spitz {
+
+ShardedStore::ShardedStore(size_t shard_count) {
+  for (size_t i = 0; i < shard_count; i++) {
+    shards_.push_back(std::make_unique<MvccStore>());
+  }
+}
+
+size_t ShardedStore::ShardOf(const Slice& key) const {
+  // A cheap stable hash; shard routing must agree across coordinators.
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (size_t i = 0; i < key.size(); i++) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+MvccStore::Stats ShardedStore::TotalStats() const {
+  MvccStore::Stats total;
+  for (const auto& shard : shards_) {
+    MvccStore::Stats s = shard->stats();
+    total.commits += s.commits;
+    total.aborts += s.aborts;
+    total.reads += s.reads;
+  }
+  return total;
+}
+
+Status DistributedTxn::Get(const Slice& key, std::string* value) {
+  // Read-your-writes: check the buffer first (latest op wins).
+  for (auto it = writes_.ops().rbegin(); it != writes_.ops().rend(); ++it) {
+    if (Slice(it->key) == key) {
+      if (it->type == WriteBatch::OpType::kDelete) {
+        return Status::NotFound("deleted in this transaction");
+      }
+      *value = it->value;
+      return Status::OK();
+    }
+  }
+  return store_->shard(store_->ShardOf(key))->Read(key, ts_, value);
+}
+
+Status DistributedTxn::GetReadCommitted(const Slice& key,
+                                        std::string* value) {
+  for (auto it = writes_.ops().rbegin(); it != writes_.ops().rend(); ++it) {
+    if (Slice(it->key) == key) {
+      if (it->type == WriteBatch::OpType::kDelete) {
+        return Status::NotFound("deleted in this transaction");
+      }
+      *value = it->value;
+      return Status::OK();
+    }
+  }
+  return store_->shard(store_->ShardOf(key))->ReadCommitted(key, value);
+}
+
+Status DistributedTxn::Commit() {
+  if (writes_.empty()) return Status::OK();
+
+  // Partition the buffered writes by shard.
+  std::vector<WriteBatch> per_shard(store_->shard_count());
+  for (const WriteBatch::Op& op : writes_.ops()) {
+    WriteBatch& b = per_shard[store_->ShardOf(op.key)];
+    if (op.type == WriteBatch::OpType::kPut) {
+      b.Put(op.key, op.value);
+    } else {
+      b.Delete(op.key);
+    }
+  }
+
+  // Phase 1: prepare.
+  std::vector<size_t> prepared;
+  Status outcome = Status::OK();
+  for (size_t i = 0; i < per_shard.size(); i++) {
+    if (per_shard[i].empty()) continue;
+    Status s = store_->shard(i)->Prepare(per_shard[i], ts_);
+    if (!s.ok()) {
+      outcome = s;
+      break;
+    }
+    prepared.push_back(i);
+  }
+
+  // Phase 2: commit everywhere or roll back the prepared shards.
+  if (outcome.ok()) {
+    for (size_t i : prepared) {
+      store_->shard(i)->CommitPrepared(per_shard[i], ts_);
+    }
+  } else {
+    for (size_t i : prepared) {
+      store_->shard(i)->AbortPrepared(per_shard[i], ts_);
+    }
+  }
+  writes_.Clear();
+  return outcome;
+}
+
+DistributedTxn TxnCoordinator::Begin() {
+  uint64_t ts = scheme_ == TimestampScheme::kOracle ? oracle_.Allocate()
+                                                    : hlc_.Now();
+  return DistributedTxn(store_, ts);
+}
+
+}  // namespace spitz

@@ -1,0 +1,107 @@
+#ifndef SPITZ_TXN_TWO_PHASE_COMMIT_H_
+#define SPITZ_TXN_TWO_PHASE_COMMIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "txn/hlc.h"
+#include "txn/mvcc.h"
+#include "txn/timestamp_oracle.h"
+#include "txn/write_batch.h"
+
+namespace spitz {
+
+// The distributed transaction layer of section 5.2: "add distributed
+// transactions to each node, and follow the two-phase commit (2PC)
+// protocol to coordinate each transaction so that transactions committed
+// by different nodes can be made serializable."
+//
+// Keys are hash-partitioned across participant shards (each an MvccStore
+// modelling one processor node's storage). Timestamps come either from
+// the centralized oracle or from a per-coordinator hybrid logical clock,
+// selectable per coordinator — the two schemes the paper contrasts.
+class ShardedStore {
+ public:
+  explicit ShardedStore(size_t shard_count);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  MvccStore* shard(size_t i) { return shards_[i].get(); }
+  size_t ShardOf(const Slice& key) const;
+
+  // Aggregated statistics across shards.
+  MvccStore::Stats TotalStats() const;
+
+ private:
+  std::vector<std::unique_ptr<MvccStore>> shards_;
+};
+
+enum class TimestampScheme {
+  kOracle,  // centralized timestamp oracle ([41])
+  kHlc,     // hybrid logical clock ([28])
+};
+
+// A distributed transaction: buffered reads/writes against a
+// ShardedStore, committed via 2PC.
+class DistributedTxn {
+ public:
+  DistributedTxn(ShardedStore* store, uint64_t ts)
+      : store_(store), ts_(ts) {}
+
+  uint64_t ts() const { return ts_; }
+
+  // Snapshot read (sees own writes first).
+  Status Get(const Slice& key, std::string* value);
+
+  // Read-committed read: latest committed value, no read registration —
+  // never causes or suffers aborts (paper section 3.3, flexible
+  // isolation for analytical/status queries).
+  Status GetReadCommitted(const Slice& key, std::string* value);
+
+  void Put(const Slice& key, const Slice& value) { writes_.Put(key, value); }
+  void Delete(const Slice& key) { writes_.Delete(key); }
+
+  // Runs 2PC: prepare on every touched shard, then commit (or abort all
+  // on any negative vote). Returns Aborted/Busy on conflict.
+  Status Commit();
+
+  // Drops buffered writes.
+  void Abort() { writes_.Clear(); }
+
+ private:
+  ShardedStore* store_;
+  uint64_t ts_;
+  WriteBatch writes_;
+};
+
+// Hands out transactions with timestamps from the configured scheme.
+class TxnCoordinator {
+ public:
+  TxnCoordinator(ShardedStore* store, TimestampScheme scheme)
+      : store_(store), scheme_(scheme) {}
+
+  TxnCoordinator(const TxnCoordinator&) = delete;
+  TxnCoordinator& operator=(const TxnCoordinator&) = delete;
+
+  DistributedTxn Begin();
+
+  // Exposed so multiple coordinators can share one oracle.
+  TimestampOracle* oracle() { return &oracle_; }
+  HybridLogicalClock* hlc() { return &hlc_; }
+
+ private:
+  ShardedStore* store_;
+  TimestampScheme scheme_;
+  TimestampOracle oracle_;
+  HybridLogicalClock hlc_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_TXN_TWO_PHASE_COMMIT_H_

@@ -1,0 +1,46 @@
+#include "txn/write_batch.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+std::string WriteBatch::Encode() const {
+  std::string out;
+  PutVarint64(&out, ops_.size());
+  for (const Op& op : ops_) {
+    out.push_back(static_cast<char>(op.type));
+    PutLengthPrefixedSlice(&out, op.key);
+    if (op.type == OpType::kPut) {
+      PutLengthPrefixedSlice(&out, op.value);
+    }
+  }
+  return out;
+}
+
+Status WriteBatch::Decode(Slice input, WriteBatch* batch) {
+  batch->Clear();
+  uint64_t n = 0;
+  Status s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  for (uint64_t i = 0; i < n; i++) {
+    if (input.empty()) return Status::Corruption("truncated write batch");
+    OpType type = static_cast<OpType>(input[0]);
+    input.remove_prefix(1);
+    Slice key;
+    s = GetLengthPrefixedSlice(&input, &key);
+    if (!s.ok()) return s;
+    if (type == OpType::kPut) {
+      Slice value;
+      s = GetLengthPrefixedSlice(&input, &value);
+      if (!s.ok()) return s;
+      batch->Put(key, value);
+    } else if (type == OpType::kDelete) {
+      batch->Delete(key);
+    } else {
+      return Status::Corruption("unknown op type in write batch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spitz

@@ -1,0 +1,53 @@
+#ifndef SPITZ_TXN_WRITE_BATCH_H_
+#define SPITZ_TXN_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// An ordered collection of write operations applied atomically. Used by
+// transactions to buffer writes until commit and by the storage engines
+// to ingest a block's worth of changes at once.
+class WriteBatch {
+ public:
+  enum class OpType : uint8_t { kPut = 0, kDelete = 1 };
+
+  struct Op {
+    OpType type;
+    std::string key;
+    std::string value;  // empty for deletes
+  };
+
+  WriteBatch() = default;
+
+  void Put(const Slice& key, const Slice& value) {
+    ops_.push_back({OpType::kPut, key.ToString(), value.ToString()});
+  }
+
+  void Delete(const Slice& key) {
+    ops_.push_back({OpType::kDelete, key.ToString(), std::string()});
+  }
+
+  void Clear() { ops_.clear(); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  // Serialization (used by the RPC transport in the non-intrusive
+  // design).
+  std::string Encode() const;
+  static Status Decode(Slice input, WriteBatch* batch);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_TXN_WRITE_BATCH_H_

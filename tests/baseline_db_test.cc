@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <map>
+#include <vector>
+
+#include "baseline/baseline_db.h"
+#include "common/random.h"
+
+namespace spitz {
+namespace {
+
+TEST(BaselineDbTest, PutGetRoundTrip) {
+  BaselineDb db;
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(db.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_TRUE(db.Get("missing", &value).IsNotFound());
+}
+
+TEST(BaselineDbTest, DeleteRemovesFromView) {
+  BaselineDb db;
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  ASSERT_TRUE(db.Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(db.Get("k", &value).IsNotFound());
+  EXPECT_TRUE(db.Delete("k").IsNotFound());
+}
+
+TEST(BaselineDbTest, VerifiedReadRequiresSealedBlock) {
+  BaselineDb::Options options;
+  options.block_size = 100;
+  BaselineDb db(options);
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  BaselineDb::VerifiedValue vv;
+  EXPECT_TRUE(db.GetVerified("k", &vv).IsBusy());  // still buffered
+  db.FlushBlock();
+  ASSERT_TRUE(db.GetVerified("k", &vv).ok());
+  EXPECT_EQ(vv.value, "v");
+}
+
+TEST(BaselineDbTest, VerifiedReadRoundTrip) {
+  BaselineDb::Options options;
+  options.block_size = 32;
+  BaselineDb db(options);
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(
+        db.Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  db.FlushBlock();
+  JournalDigest digest = db.Digest();
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("key250", &vv).ok());
+  EXPECT_EQ(vv.value, "val250");
+  EXPECT_TRUE(BaselineDb::VerifyValue(digest, "key250", vv).ok());
+}
+
+TEST(BaselineDbTest, VerifyRejectsTamperedValue) {
+  BaselineDb db;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db.Put("key" + std::to_string(i), "honest").ok());
+  }
+  db.FlushBlock();
+  JournalDigest digest = db.Digest();
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("key50", &vv).ok());
+  vv.value = "tampered";
+  EXPECT_TRUE(
+      BaselineDb::VerifyValue(digest, "key50", vv).IsVerificationFailed());
+}
+
+TEST(BaselineDbTest, VerifyRejectsWrongKey) {
+  BaselineDb db;
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  ASSERT_TRUE(db.Put("b", "2").ok());
+  db.FlushBlock();
+  JournalDigest digest = db.Digest();
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("a", &vv).ok());
+  EXPECT_TRUE(BaselineDb::VerifyValue(digest, "b", vv).IsVerificationFailed());
+}
+
+TEST(BaselineDbTest, LatestWriteWinsInProof) {
+  BaselineDb::Options options;
+  options.block_size = 2;
+  BaselineDb db(options);
+  ASSERT_TRUE(db.Put("k", "v1").ok());
+  ASSERT_TRUE(db.Put("x", "pad").ok());  // seals block 0
+  ASSERT_TRUE(db.Put("k", "v2").ok());
+  ASSERT_TRUE(db.Put("y", "pad").ok());  // seals block 1
+  JournalDigest digest = db.Digest();
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("k", &vv).ok());
+  EXPECT_EQ(vv.value, "v2");
+  EXPECT_EQ(vv.proof.block_height, 1u);
+  EXPECT_TRUE(BaselineDb::VerifyValue(digest, "k", vv).ok());
+}
+
+TEST(BaselineDbTest, ScanOrdered) {
+  BaselineDb db;
+  for (int i = 0; i < 300; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(db.Put(key, "v" + std::to_string(i)).ok());
+  }
+  std::vector<PosEntry> rows;
+  ASSERT_TRUE(db.Scan("k000010", "k000020", 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().key, "k000010");
+}
+
+TEST(BaselineDbTest, ScanVerifiedProvesEveryRow) {
+  BaselineDb db;
+  for (int i = 0; i < 300; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(db.Put(key, "v" + std::to_string(i)).ok());
+  }
+  db.FlushBlock();
+  JournalDigest digest = db.Digest();
+  std::vector<BaselineDb::VerifiedValue> rows;
+  ASSERT_TRUE(db.ScanVerified("k000100", "k000120", 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 20u);
+  for (const auto& vv : rows) {
+    EXPECT_TRUE(BaselineDb::VerifyValue(digest, vv.entry.key, vv).ok());
+  }
+}
+
+TEST(BaselineDbTest, HistoryListsAllWrites) {
+  BaselineDb::Options options;
+  options.block_size = 2;
+  BaselineDb db(options);
+  ASSERT_TRUE(db.Put("k", "v1").ok());
+  ASSERT_TRUE(db.Put("k", "v2").ok());
+  ASSERT_TRUE(db.Put("k", "v3").ok());
+  db.FlushBlock();
+  std::vector<std::pair<uint64_t, uint64_t>> positions;
+  ASSERT_TRUE(db.History("k", &positions).ok());
+  EXPECT_EQ(positions.size(), 3u);
+  EXPECT_TRUE(db.History("ghost", &positions).IsNotFound());
+}
+
+TEST(BaselineDbTest, ConsistencyAcrossGrowth) {
+  BaselineDb::Options options;
+  options.block_size = 4;
+  BaselineDb db(options);
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v").ok());
+  }
+  JournalDigest old_digest = db.Digest();
+  for (int i = 20; i < 60; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v").ok());
+  }
+  JournalDigest new_digest = db.Digest();
+  MerkleConsistencyProof proof;
+  ASSERT_TRUE(db.ProveConsistency(old_digest.block_count, &proof).ok());
+  EXPECT_TRUE(Journal::VerifyConsistency(proof, old_digest, new_digest));
+}
+
+TEST(BaselineDbTest, RandomizedVerifiedSweep) {
+  Random rng(21);
+  BaselineDb::Options options;
+  options.block_size = 16;
+  BaselineDb db(options);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(300));
+    std::string value = rng.Bytes(12);
+    ASSERT_TRUE(db.Put(key, value).ok());
+    oracle[key] = value;
+  }
+  db.FlushBlock();
+  JournalDigest digest = db.Digest();
+  for (const auto& [key, value] : oracle) {
+    BaselineDb::VerifiedValue vv;
+    ASSERT_TRUE(db.GetVerified(key, &vv).ok()) << key;
+    EXPECT_EQ(vv.value, value);
+    EXPECT_TRUE(BaselineDb::VerifyValue(digest, key, vv).ok()) << key;
+  }
+}
+
+TEST(BaselineDbTest, BulkLoadMatchesIncremental) {
+  BaselineDb::Options options;
+  options.block_size = 16;
+  std::vector<PosEntry> entries;
+  for (int i = 0; i < 200; i++) {
+    entries.push_back({"key" + std::to_string(i), "val" + std::to_string(i)});
+  }
+  BaselineDb db(options);
+  ASSERT_TRUE(db.BulkLoad(entries).ok());
+  std::string value;
+  ASSERT_TRUE(db.Get("key123", &value).ok());
+  EXPECT_EQ(value, "val123");
+  // Sealed entries are provable.
+  JournalDigest digest = db.Digest();
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("key0", &vv).ok());
+  EXPECT_TRUE(BaselineDb::VerifyValue(digest, "key0", vv).ok());
+  // History view was materialized too.
+  std::vector<std::pair<uint64_t, uint64_t>> positions;
+  ASSERT_TRUE(db.History("key0", &positions).ok());
+  EXPECT_EQ(positions.size(), 1u);
+  EXPECT_TRUE(db.BulkLoad(entries).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spitz

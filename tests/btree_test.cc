@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace spitz {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree t;
+  EXPECT_TRUE(t.empty());
+  std::string value;
+  EXPECT_TRUE(t.Get("x", &value).IsNotFound());
+  EXPECT_EQ(t.height(), 1u);
+}
+
+TEST(BTreeTest, PutGetSingle) {
+  BTree t;
+  EXPECT_TRUE(t.Put("key", "value"));
+  std::string value;
+  ASSERT_TRUE(t.Get("key", &value).ok());
+  EXPECT_EQ(value, "value");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, OverwriteReturnsFalse) {
+  BTree t;
+  EXPECT_TRUE(t.Put("key", "v1"));
+  EXPECT_FALSE(t.Put("key", "v2"));
+  std::string value;
+  ASSERT_TRUE(t.Get("key", &value).ok());
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree t;
+  for (int i = 0; i < 10000; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%06d", i);
+    t.Put(buf, "v");
+  }
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_GE(t.height(), 2u);
+  std::string value;
+  EXPECT_TRUE(t.Get("000000", &value).ok());
+  EXPECT_TRUE(t.Get("009999", &value).ok());
+  EXPECT_TRUE(t.Get("010000", &value).IsNotFound());
+}
+
+TEST(BTreeTest, DeleteRemovesKey) {
+  BTree t;
+  t.Put("a", "1");
+  t.Put("b", "2");
+  ASSERT_TRUE(t.Delete("a").ok());
+  std::string value;
+  EXPECT_TRUE(t.Get("a", &value).IsNotFound());
+  EXPECT_TRUE(t.Get("b", &value).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Delete("a").IsNotFound());
+}
+
+TEST(BTreeTest, ScanRangeOrdered) {
+  BTree t;
+  for (int i = 0; i < 1000; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%06d", i);
+    t.Put(buf, "v" + std::to_string(i));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  t.Scan("000100", "000200", 0, &out);
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.front().first, "000100");
+  EXPECT_EQ(out.back().first, "000199");
+  for (size_t i = 1; i < out.size(); i++) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(BTreeTest, ScanWithLimitAndOpenEnd) {
+  BTree t;
+  for (int i = 0; i < 200; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%06d", i);
+    t.Put(buf, "v");
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  t.Scan("000150", "", 0, &out);
+  EXPECT_EQ(out.size(), 50u);
+  t.Scan("000000", "", 7, &out);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(BTreeTest, RandomOpsMatchStdMap) {
+  Random rng(31);
+  BTree t;
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 20000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(3000));
+    int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {
+      std::string value = rng.Bytes(8);
+      bool was_new = t.Put(key, value);
+      EXPECT_EQ(was_new, oracle.find(key) == oracle.end());
+      oracle[key] = value;
+    } else if (action < 8) {
+      Status s = t.Delete(key);
+      EXPECT_EQ(s.ok(), oracle.erase(key) > 0);
+    } else {
+      std::string value;
+      Status s = t.Get(key, &value);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_TRUE(s.IsNotFound());
+      } else {
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(value, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  // Full scan must equal the oracle in order.
+  std::vector<std::pair<std::string, std::string>> out;
+  t.Scan("", "", 0, &out);
+  ASSERT_EQ(out.size(), oracle.size());
+  size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    EXPECT_EQ(out[i].first, k);
+    EXPECT_EQ(out[i].second, v);
+    i++;
+  }
+}
+
+TEST(BTreeTest, ReverseInsertionOrderStillSorted) {
+  BTree t;
+  for (int i = 999; i >= 0; i--) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%06d", i);
+    t.Put(buf, "v");
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  t.Scan("", "", 0, &out);
+  ASSERT_EQ(out.size(), 1000u);
+  EXPECT_EQ(out.front().first, "000000");
+  EXPECT_EQ(out.back().first, "000999");
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/random.h"
+#include "store/cell.h"
+#include "store/cell_store.h"
+
+namespace spitz {
+namespace {
+
+// --- UniversalKey ------------------------------------------------------------
+
+TEST(UniversalKeyTest, EncodeDecodeRoundTrip) {
+  UniversalKey key;
+  key.column_id = 7;
+  key.primary_key = "order-42";
+  key.timestamp = 123456789;
+  key.value_hash = Hash256::Of("value");
+  UniversalKey out;
+  ASSERT_TRUE(UniversalKey::Decode(key.Encode(), &out).ok());
+  EXPECT_EQ(out, key);
+}
+
+TEST(UniversalKeyTest, EncodingSortsByColumnKeyTimestamp) {
+  auto make = [](uint32_t col, const std::string& pk, uint64_t ts) {
+    UniversalKey k;
+    k.column_id = col;
+    k.primary_key = pk;
+    k.timestamp = ts;
+    return k.Encode();
+  };
+  EXPECT_LT(make(1, "a", 5), make(2, "a", 1));
+  EXPECT_LT(make(1, "a", 5), make(1, "b", 1));
+  EXPECT_LT(make(1, "a", 5), make(1, "a", 6));
+  // Timestamps order numerically, not lexically by decimal.
+  EXPECT_LT(make(1, "a", 9), make(1, "a", 10));
+  EXPECT_LT(make(1, "a", 255), make(1, "a", 256));
+}
+
+TEST(UniversalKeyTest, DecodeTruncatedFails) {
+  UniversalKey key;
+  key.primary_key = "x";
+  std::string encoded = key.Encode();
+  encoded.resize(encoded.size() - 10);
+  UniversalKey out;
+  EXPECT_FALSE(UniversalKey::Decode(encoded, &out).ok());
+}
+
+TEST(CellTest, ConsistencyCheck) {
+  Cell cell;
+  cell.value = "hello";
+  cell.key.value_hash = Hash256::Of("hello");
+  EXPECT_TRUE(cell.IsConsistent());
+  cell.value = "tampered";
+  EXPECT_FALSE(cell.IsConsistent());
+}
+
+// --- CellStore -----------------------------------------------------------------
+
+class CellStoreTest : public ::testing::Test {
+ protected:
+  ChunkStore chunks_;
+  CellStore store_{&chunks_};
+};
+
+TEST_F(CellStoreTest, WriteReadLatest) {
+  store_.Write(1, "pk1", 100, "v1");
+  Cell cell;
+  ASSERT_TRUE(store_.ReadLatest(1, "pk1", &cell).ok());
+  EXPECT_EQ(cell.value, "v1");
+  EXPECT_EQ(cell.key.timestamp, 100u);
+  EXPECT_TRUE(cell.IsConsistent());
+}
+
+TEST_F(CellStoreTest, MissingCellNotFound) {
+  Cell cell;
+  EXPECT_TRUE(store_.ReadLatest(1, "nope", &cell).IsNotFound());
+}
+
+TEST_F(CellStoreTest, MultiVersionSnapshotReads) {
+  store_.Write(1, "pk", 100, "v@100");
+  store_.Write(1, "pk", 200, "v@200");
+  store_.Write(1, "pk", 300, "v@300");
+  Cell cell;
+  ASSERT_TRUE(store_.ReadAt(1, "pk", 250, &cell).ok());
+  EXPECT_EQ(cell.value, "v@200");
+  ASSERT_TRUE(store_.ReadAt(1, "pk", 100, &cell).ok());
+  EXPECT_EQ(cell.value, "v@100");
+  EXPECT_TRUE(store_.ReadAt(1, "pk", 99, &cell).IsNotFound());
+  ASSERT_TRUE(store_.ReadLatest(1, "pk", &cell).ok());
+  EXPECT_EQ(cell.value, "v@300");
+}
+
+TEST_F(CellStoreTest, HistoryOldestFirst) {
+  store_.Write(2, "pk", 10, "a");
+  store_.Write(2, "pk", 20, "b");
+  store_.Write(2, "pk", 30, "c");
+  std::vector<Cell> versions;
+  ASSERT_TRUE(store_.History(2, "pk", &versions).ok());
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].value, "a");
+  EXPECT_EQ(versions[2].value, "c");
+  EXPECT_TRUE(store_.History(2, "other", &versions).IsNotFound());
+}
+
+TEST_F(CellStoreTest, ColumnsAreIsolated) {
+  store_.Write(1, "pk", 100, "col1");
+  store_.Write(2, "pk", 100, "col2");
+  Cell cell;
+  ASSERT_TRUE(store_.ReadLatest(1, "pk", &cell).ok());
+  EXPECT_EQ(cell.value, "col1");
+  ASSERT_TRUE(store_.ReadLatest(2, "pk", &cell).ok());
+  EXPECT_EQ(cell.value, "col2");
+}
+
+TEST_F(CellStoreTest, ReadByUniversalKey) {
+  UniversalKey key = store_.Write(3, "pk", 50, "direct");
+  Cell cell;
+  ASSERT_TRUE(store_.ReadByUniversalKey(key, &cell).ok());
+  EXPECT_EQ(cell.value, "direct");
+  key.timestamp = 51;
+  EXPECT_TRUE(store_.ReadByUniversalKey(key, &cell).IsNotFound());
+}
+
+TEST_F(CellStoreTest, ScanLatestRange) {
+  for (int i = 0; i < 100; i++) {
+    char pk[16];
+    snprintf(pk, sizeof(pk), "pk%04d", i);
+    store_.Write(1, pk, 100, "old" + std::to_string(i));
+    store_.Write(1, pk, 200, "new" + std::to_string(i));
+  }
+  std::vector<Cell> cells;
+  ASSERT_TRUE(store_.ScanLatest(1, "pk0010", "pk0020", 0, &cells).ok());
+  ASSERT_EQ(cells.size(), 10u);
+  EXPECT_EQ(cells[0].value, "new10");   // latest version wins
+  EXPECT_EQ(cells[9].value, "new19");
+}
+
+TEST_F(CellStoreTest, ScanLatestWithLimit) {
+  for (int i = 0; i < 50; i++) {
+    char pk[16];
+    snprintf(pk, sizeof(pk), "pk%04d", i);
+    store_.Write(1, pk, 100, "v");
+  }
+  std::vector<Cell> cells;
+  ASSERT_TRUE(store_.ScanLatest(1, "", "", 7, &cells).ok());
+  EXPECT_EQ(cells.size(), 7u);
+}
+
+TEST_F(CellStoreTest, IdenticalValuesDeduplicateInChunkStore) {
+  std::string big(4096, 'x');
+  store_.Write(1, "a", 100, big);
+  uint64_t physical = chunks_.stats().physical_bytes;
+  store_.Write(1, "b", 100, big);
+  store_.Write(2, "c", 100, big);
+  EXPECT_EQ(chunks_.stats().physical_bytes, physical);
+  EXPECT_EQ(store_.version_count(), 3u);
+}
+
+TEST_F(CellStoreTest, VersionCountTracksWrites) {
+  EXPECT_EQ(store_.version_count(), 0u);
+  store_.Write(1, "a", 1, "x");
+  store_.Write(1, "a", 2, "y");
+  EXPECT_EQ(store_.version_count(), 2u);
+}
+
+}  // namespace
+}  // namespace spitz

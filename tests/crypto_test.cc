@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "crypto/hash.h"
+#include "crypto/sha256.h"
+
+namespace spitz {
+namespace {
+
+std::string HexDigest(const Slice& data) {
+  uint8_t out[Sha256::kDigestSize];
+  Sha256::Digest(data, out);
+  return Hash256::FromBytes(
+             Slice(reinterpret_cast<const char*>(out), sizeof(out)))
+      .ToHex();
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(
+      HexDigest(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      HexDigest("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexDigest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(
+      HexDigest(a),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockSizeInput) {
+  // 64-byte input exercises the padding-in-next-block path.
+  std::string s(64, 'x');
+  uint8_t a[32], b[32];
+  Sha256::Digest(s, a);
+  Sha256 h;
+  h.Update(s.data(), 30);
+  h.Update(s.data() + 30, 34);
+  h.Final(b);
+  EXPECT_EQ(0, memcmp(a, b, 32));
+}
+
+TEST(Sha256Test, StreamingMatchesOneShotProperty) {
+  Random rng(123);
+  for (int trial = 0; trial < 30; trial++) {
+    std::string data = rng.Bytes(rng.Uniform(5000));
+    uint8_t oneshot[32];
+    Sha256::Digest(data, oneshot);
+
+    Sha256 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t n = std::min<size_t>(rng.Uniform(97) + 1, data.size() - pos);
+      h.Update(data.data() + pos, n);
+      pos += n;
+    }
+    uint8_t streamed[32];
+    h.Final(streamed);
+    EXPECT_EQ(0, memcmp(oneshot, streamed, 32)) << "trial " << trial;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update(Slice("garbage"));
+  h.Reset();
+  h.Update(Slice("abc"));
+  uint8_t out[32];
+  h.Final(out);
+  EXPECT_EQ(
+      Hash256::FromBytes(Slice(reinterpret_cast<char*>(out), 32)).ToHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --- Hash256 ----------------------------------------------------------------
+
+TEST(Hash256Test, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.IsZero());
+}
+
+TEST(Hash256Test, OfIsNotZeroAndDeterministic) {
+  Hash256 a = Hash256::Of("spitz");
+  Hash256 b = Hash256::Of("spitz");
+  EXPECT_FALSE(a.IsZero());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Hash256::Of("spatz"));
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  Hash256 a = Hash256::Of("roundtrip");
+  Hash256 b = Hash256::FromHex(a.ToHex());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Hash256Test, FromHexRejectsBadInput) {
+  EXPECT_TRUE(Hash256::FromHex("zz").IsZero());
+  EXPECT_TRUE(Hash256::FromHex(std::string(64, 'g')).IsZero());
+}
+
+TEST(Hash256Test, BytesRoundTrip) {
+  Hash256 a = Hash256::Of("bytes");
+  Hash256 b = Hash256::FromBytes(a.ToBytes());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Hash256Test, DomainSeparationLeafVsRaw) {
+  // A leaf hash must differ from the raw hash of the same content.
+  EXPECT_NE(Hash256::OfLeaf("data"), Hash256::Of("data"));
+}
+
+TEST(Hash256Test, PairHashOrderMatters) {
+  Hash256 a = Hash256::Of("a"), b = Hash256::Of("b");
+  EXPECT_NE(Hash256::OfPair(a, b), Hash256::OfPair(b, a));
+}
+
+TEST(Hash256Test, PairVsLeafDomainSeparation) {
+  // OfPair(x, y) must not collide with OfLeaf(x || y).
+  Hash256 a = Hash256::Of("a"), b = Hash256::Of("b");
+  std::string concat = a.ToBytes() + b.ToBytes();
+  EXPECT_NE(Hash256::OfPair(a, b), Hash256::OfLeaf(concat));
+}
+
+TEST(Hash256Test, OrderingIsTotal) {
+  Hash256 a = Hash256::Of("1"), b = Hash256::Of("2");
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace spitz

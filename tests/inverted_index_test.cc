@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "index/inverted_index.h"
+#include "index/radix_tree.h"
+#include "index/skiplist.h"
+
+namespace spitz {
+namespace {
+
+// --- SkipList ---------------------------------------------------------------
+
+TEST(SkipListTest, InsertGet) {
+  SkipList sl;
+  sl.Insert(10, "row1");
+  sl.Insert(10, "row2");
+  sl.Insert(20, "row3");
+  std::vector<std::string> postings;
+  ASSERT_TRUE(sl.Get(10, &postings).ok());
+  EXPECT_EQ(postings.size(), 2u);
+  ASSERT_TRUE(sl.Get(20, &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"row3"});
+  EXPECT_TRUE(sl.Get(30, &postings).IsNotFound());
+  EXPECT_EQ(sl.key_count(), 2u);
+}
+
+TEST(SkipListTest, RangeScanInclusive) {
+  SkipList sl;
+  for (uint64_t v = 0; v < 100; v++) {
+    sl.Insert(v, "r" + std::to_string(v));
+  }
+  std::vector<std::string> postings;
+  sl.RangeScan(10, 20, &postings);
+  ASSERT_EQ(postings.size(), 11u);
+  EXPECT_EQ(postings.front(), "r10");
+  EXPECT_EQ(postings.back(), "r20");
+}
+
+TEST(SkipListTest, RangeScanEmptyRange) {
+  SkipList sl;
+  sl.Insert(5, "x");
+  std::vector<std::string> postings;
+  sl.RangeScan(6, 10, &postings);
+  EXPECT_TRUE(postings.empty());
+}
+
+TEST(SkipListTest, RemovePostingAndKey) {
+  SkipList sl;
+  sl.Insert(7, "a");
+  sl.Insert(7, "b");
+  ASSERT_TRUE(sl.Remove(7, "a").ok());
+  std::vector<std::string> postings;
+  ASSERT_TRUE(sl.Get(7, &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"b"});
+  ASSERT_TRUE(sl.Remove(7, "b").ok());
+  EXPECT_TRUE(sl.Get(7, &postings).IsNotFound());
+  EXPECT_EQ(sl.key_count(), 0u);
+  EXPECT_TRUE(sl.Remove(7, "b").IsNotFound());
+  sl.Insert(9, "c");
+  EXPECT_TRUE(sl.Remove(9, "zz").IsNotFound());
+}
+
+TEST(SkipListTest, LargeOrderedScanMatchesOracle) {
+  Random rng(55);
+  SkipList sl;
+  std::map<uint64_t, std::multiset<std::string>> oracle;
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v = rng.Uniform(5000);
+    std::string p = "p" + std::to_string(i);
+    sl.Insert(v, p);
+    oracle[v].insert(p);
+  }
+  EXPECT_EQ(sl.key_count(), oracle.size());
+  std::vector<std::string> postings;
+  sl.RangeScan(1000, 2000, &postings);
+  size_t expected = 0;
+  for (auto it = oracle.lower_bound(1000);
+       it != oracle.end() && it->first <= 2000; ++it) {
+    expected += it->second.size();
+  }
+  EXPECT_EQ(postings.size(), expected);
+}
+
+// --- RadixTree ----------------------------------------------------------------
+
+TEST(RadixTreeTest, InsertGetExact) {
+  RadixTree rt;
+  rt.Insert("apple", "r1");
+  rt.Insert("applet", "r2");
+  rt.Insert("app", "r3");
+  std::vector<std::string> postings;
+  ASSERT_TRUE(rt.Get("apple", &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"r1"});
+  ASSERT_TRUE(rt.Get("applet", &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"r2"});
+  ASSERT_TRUE(rt.Get("app", &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"r3"});
+  EXPECT_TRUE(rt.Get("appl", &postings).IsNotFound());
+  EXPECT_TRUE(rt.Get("apples", &postings).IsNotFound());
+  EXPECT_EQ(rt.key_count(), 3u);
+}
+
+TEST(RadixTreeTest, EmptyKeySupported) {
+  RadixTree rt;
+  rt.Insert("", "root-posting");
+  std::vector<std::string> postings;
+  ASSERT_TRUE(rt.Get("", &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"root-posting"});
+}
+
+TEST(RadixTreeTest, PrefixScanCollectsSubtreeInOrder) {
+  RadixTree rt;
+  rt.Insert("car", "1");
+  rt.Insert("cart", "2");
+  rt.Insert("carbon", "3");
+  rt.Insert("cat", "4");
+  rt.Insert("dog", "5");
+  std::vector<std::string> postings;
+  rt.PrefixScan("car", &postings);
+  EXPECT_EQ(postings, (std::vector<std::string>{"1", "3", "2"}));
+  postings.clear();
+  rt.PrefixScan("ca", &postings);
+  EXPECT_EQ(postings.size(), 4u);
+  postings.clear();
+  rt.PrefixScan("zz", &postings);
+  EXPECT_TRUE(postings.empty());
+  postings.clear();
+  rt.PrefixScan("", &postings);
+  EXPECT_EQ(postings.size(), 5u);
+}
+
+TEST(RadixTreeTest, PrefixScanMidEdge) {
+  RadixTree rt;
+  rt.Insert("abcdef", "1");
+  rt.Insert("abcxyz", "2");
+  std::vector<std::string> postings;
+  // Prefix ends inside the "abc" shared edge.
+  rt.PrefixScan("ab", &postings);
+  EXPECT_EQ(postings.size(), 2u);
+  postings.clear();
+  // Prefix ends inside the "def" edge.
+  rt.PrefixScan("abcd", &postings);
+  EXPECT_EQ(postings, std::vector<std::string>{"1"});
+  postings.clear();
+  // Diverging prefix.
+  rt.PrefixScan("abq", &postings);
+  EXPECT_TRUE(postings.empty());
+}
+
+TEST(RadixTreeTest, RemovePosting) {
+  RadixTree rt;
+  rt.Insert("key", "a");
+  rt.Insert("key", "b");
+  ASSERT_TRUE(rt.Remove("key", "a").ok());
+  std::vector<std::string> postings;
+  ASSERT_TRUE(rt.Get("key", &postings).ok());
+  EXPECT_EQ(postings, std::vector<std::string>{"b"});
+  ASSERT_TRUE(rt.Remove("key", "b").ok());
+  EXPECT_TRUE(rt.Get("key", &postings).IsNotFound());
+  EXPECT_EQ(rt.key_count(), 0u);
+  EXPECT_TRUE(rt.Remove("missing", "x").IsNotFound());
+}
+
+TEST(RadixTreeTest, LabelCompressionSavesSpace) {
+  RadixTree rt;
+  std::string common(100, 'c');
+  size_t total_key_bytes = 0;
+  for (int i = 0; i < 50; i++) {
+    std::string key = common + std::to_string(i);
+    rt.Insert(key, "p");
+    total_key_bytes += key.size();
+  }
+  // Stored labels must be far smaller than the sum of full keys.
+  EXPECT_LT(rt.label_bytes(), total_key_bytes / 4);
+}
+
+TEST(RadixTreeTest, RandomOpsMatchOracle) {
+  Random rng(66);
+  RadixTree rt;
+  std::map<std::string, std::multiset<std::string>> oracle;
+  std::vector<std::string> words;
+  for (int i = 0; i < 200; i++) {
+    words.push_back(rng.Bytes(rng.Range(1, 12)));
+  }
+  for (int i = 0; i < 5000; i++) {
+    const std::string& key = words[rng.Uniform(words.size())];
+    std::string posting = "p" + std::to_string(rng.Uniform(10));
+    if (rng.OneIn(3)) {
+      Status s = rt.Remove(key, posting);
+      auto it = oracle.find(key);
+      if (it != oracle.end() && it->second.count(posting) > 0) {
+        EXPECT_TRUE(s.ok());
+        it->second.erase(it->second.find(posting));
+        if (it->second.empty()) oracle.erase(it);
+      } else {
+        EXPECT_FALSE(s.ok());
+      }
+    } else {
+      rt.Insert(key, posting);
+      oracle[key].insert(posting);
+    }
+  }
+  EXPECT_EQ(rt.key_count(), oracle.size());
+  for (const auto& [key, expected] : oracle) {
+    std::vector<std::string> postings;
+    ASSERT_TRUE(rt.Get(key, &postings).ok()) << key;
+    std::multiset<std::string> got(postings.begin(), postings.end());
+    EXPECT_EQ(got, expected) << key;
+  }
+}
+
+// --- InvertedIndex --------------------------------------------------------------
+
+TEST(InvertedIndexTest, NumericRoutesToSkipList) {
+  InvertedIndex idx;
+  idx.AddNumeric(100, "uk1");
+  idx.AddNumeric(150, "uk2");
+  idx.AddNumeric(200, "uk3");
+  std::vector<std::string> keys;
+  idx.LookupNumericRange(100, 160, &keys);
+  EXPECT_EQ(keys, (std::vector<std::string>{"uk1", "uk2"}));
+  EXPECT_EQ(idx.numeric_value_count(), 3u);
+}
+
+TEST(InvertedIndexTest, StringRoutesToRadixTree) {
+  InvertedIndex idx;
+  idx.AddString("shipped", "uk1");
+  idx.AddString("shipping", "uk2");
+  idx.AddString("pending", "uk3");
+  std::vector<std::string> keys;
+  idx.LookupStringPrefix("ship", &keys);
+  EXPECT_EQ(keys.size(), 2u);
+  keys.clear();
+  ASSERT_TRUE(idx.LookupString("pending", &keys).ok());
+  EXPECT_EQ(keys, std::vector<std::string>{"uk3"});
+}
+
+TEST(InvertedIndexTest, RemoveMaintainsBothSides) {
+  InvertedIndex idx;
+  idx.AddNumeric(5, "a");
+  idx.AddString("x", "b");
+  ASSERT_TRUE(idx.RemoveNumeric(5, "a").ok());
+  ASSERT_TRUE(idx.RemoveString("x", "b").ok());
+  std::vector<std::string> keys;
+  EXPECT_TRUE(idx.LookupNumeric(5, &keys).IsNotFound());
+  EXPECT_TRUE(idx.LookupString("x", &keys).IsNotFound());
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ledger/block.h"
+#include "ledger/journal.h"
+
+namespace spitz {
+namespace {
+
+LedgerEntry MakeEntry(const std::string& key, const std::string& value,
+                      uint64_t txn = 1, uint64_t ts = 100) {
+  LedgerEntry e;
+  e.op = LedgerEntry::Op::kPut;
+  e.key = key;
+  e.value_hash = Hash256::Of(value);
+  e.txn_id = txn;
+  e.commit_ts = ts;
+  return e;
+}
+
+// --- LedgerEntry -------------------------------------------------------------
+
+TEST(LedgerEntryTest, EncodeDecodeRoundTrip) {
+  LedgerEntry e = MakeEntry("key1", "value1", 42, 777);
+  std::string buf;
+  e.EncodeTo(&buf);
+  Slice in(buf);
+  LedgerEntry out;
+  ASSERT_TRUE(LedgerEntry::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out, e);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(LedgerEntryTest, DeleteOpRoundTrip) {
+  LedgerEntry e = MakeEntry("k", "v");
+  e.op = LedgerEntry::Op::kDelete;
+  std::string buf;
+  e.EncodeTo(&buf);
+  Slice in(buf);
+  LedgerEntry out;
+  ASSERT_TRUE(LedgerEntry::DecodeFrom(&in, &out).ok());
+  EXPECT_EQ(out.op, LedgerEntry::Op::kDelete);
+}
+
+TEST(LedgerEntryTest, LeafHashDiffersByField) {
+  LedgerEntry a = MakeEntry("k", "v");
+  LedgerEntry b = MakeEntry("k", "w");
+  LedgerEntry c = MakeEntry("l", "v");
+  EXPECT_NE(a.LeafHash(), b.LeafHash());
+  EXPECT_NE(a.LeafHash(), c.LeafHash());
+}
+
+TEST(LedgerEntryTest, DecodeTruncatedFails) {
+  LedgerEntry e = MakeEntry("key1", "value1");
+  std::string buf;
+  e.EncodeTo(&buf);
+  buf.resize(buf.size() / 2);
+  Slice in(buf);
+  LedgerEntry out;
+  EXPECT_FALSE(LedgerEntry::DecodeFrom(&in, &out).ok());
+}
+
+// --- Block --------------------------------------------------------------------
+
+TEST(BlockTest, EncodeDecodePreservesHash) {
+  std::vector<LedgerEntry> entries = {MakeEntry("a", "1"),
+                                      MakeEntry("b", "2")};
+  Block block(3, 10, Hash256::Of("prev"), entries, Hash256::Of("idx"), 999);
+  std::string encoded = block.Encode();
+  Block decoded;
+  ASSERT_TRUE(Block::Decode(encoded, &decoded).ok());
+  EXPECT_EQ(decoded.height(), 3u);
+  EXPECT_EQ(decoded.first_seq(), 10u);
+  EXPECT_EQ(decoded.block_hash(), block.block_hash());
+  EXPECT_EQ(decoded.entries().size(), 2u);
+  EXPECT_TRUE(decoded.Validate().ok());
+}
+
+TEST(BlockTest, HashCoversEveryHeaderField) {
+  std::vector<LedgerEntry> entries = {MakeEntry("a", "1")};
+  Block base(1, 0, Hash256::Of("p"), entries, Hash256::Of("i"), 5);
+  EXPECT_NE(base.block_hash(),
+            Block(2, 0, Hash256::Of("p"), entries, Hash256::Of("i"), 5)
+                .block_hash());
+  EXPECT_NE(base.block_hash(),
+            Block(1, 1, Hash256::Of("p"), entries, Hash256::Of("i"), 5)
+                .block_hash());
+  EXPECT_NE(base.block_hash(),
+            Block(1, 0, Hash256::Of("q"), entries, Hash256::Of("i"), 5)
+                .block_hash());
+  EXPECT_NE(base.block_hash(),
+            Block(1, 0, Hash256::Of("p"), entries, Hash256::Of("j"), 5)
+                .block_hash());
+  EXPECT_NE(base.block_hash(),
+            Block(1, 0, Hash256::Of("p"), entries, Hash256::Of("i"), 6)
+                .block_hash());
+}
+
+TEST(BlockTest, HashCoversEntries) {
+  Block a(1, 0, Hash256(), {MakeEntry("a", "1")}, Hash256(), 5);
+  Block b(1, 0, Hash256(), {MakeEntry("a", "2")}, Hash256(), 5);
+  EXPECT_NE(a.block_hash(), b.block_hash());
+}
+
+TEST(BlockTest, EmptyBlockIsValid) {
+  Block b(0, 0, Hash256(), {}, Hash256(), 1);
+  EXPECT_TRUE(b.Validate().ok());
+}
+
+// --- Journal -------------------------------------------------------------------
+
+TEST(JournalTest, AppendAdvancesDigest) {
+  Journal j;
+  JournalDigest d0 = j.Digest();
+  EXPECT_EQ(d0.block_count, 0u);
+  j.Append({MakeEntry("a", "1")}, Hash256(), 1);
+  JournalDigest d1 = j.Digest();
+  EXPECT_EQ(d1.block_count, 1u);
+  EXPECT_EQ(d1.entry_count, 1u);
+  EXPECT_NE(d1.tip_hash, d0.tip_hash);
+  j.Append({MakeEntry("b", "2"), MakeEntry("c", "3")}, Hash256(), 2);
+  JournalDigest d2 = j.Digest();
+  EXPECT_EQ(d2.block_count, 2u);
+  EXPECT_EQ(d2.entry_count, 3u);
+}
+
+TEST(JournalTest, BlocksAreHashChained) {
+  Journal j;
+  j.Append({MakeEntry("a", "1")}, Hash256(), 1);
+  j.Append({MakeEntry("b", "2")}, Hash256(), 2);
+  Block b0, b1;
+  ASSERT_TRUE(j.GetBlock(0, &b0).ok());
+  ASSERT_TRUE(j.GetBlock(1, &b1).ok());
+  EXPECT_EQ(b1.prev_hash(), b0.block_hash());
+  EXPECT_TRUE(b0.prev_hash().IsZero());
+}
+
+TEST(JournalTest, GetBlockBeyondEndFails) {
+  Journal j;
+  Block b;
+  EXPECT_TRUE(j.GetBlock(0, &b).IsNotFound());
+}
+
+TEST(JournalTest, EntryProofVerifies) {
+  Journal j;
+  std::vector<LedgerEntry> entries;
+  for (int i = 0; i < 50; i++) {
+    entries.push_back(MakeEntry("key" + std::to_string(i),
+                                "value" + std::to_string(i), i, i * 10));
+  }
+  j.Append(std::vector<LedgerEntry>(entries.begin(), entries.begin() + 20),
+           Hash256::Of("idx0"), 1);
+  j.Append(std::vector<LedgerEntry>(entries.begin() + 20, entries.end()),
+           Hash256::Of("idx1"), 2);
+  JournalDigest digest = j.Digest();
+
+  for (auto [height, idx, global] : {std::tuple<uint64_t, uint64_t, int>{0, 5, 5},
+                                     {0, 19, 19},
+                                     {1, 0, 20},
+                                     {1, 29, 49}}) {
+    JournalEntryProof proof;
+    LedgerEntry entry;
+    ASSERT_TRUE(j.ProveEntry(height, idx, &proof, &entry).ok());
+    EXPECT_EQ(entry, entries[global]);
+    EXPECT_TRUE(Journal::VerifyEntry(entry, proof, digest).ok())
+        << "height=" << height << " idx=" << idx;
+  }
+}
+
+TEST(JournalTest, EntryProofRejectsTamperedEntry) {
+  Journal j;
+  j.Append({MakeEntry("a", "1"), MakeEntry("b", "2")}, Hash256(), 1);
+  JournalDigest digest = j.Digest();
+  JournalEntryProof proof;
+  LedgerEntry entry;
+  ASSERT_TRUE(j.ProveEntry(0, 0, &proof, &entry).ok());
+  entry.value_hash = Hash256::Of("tampered");
+  EXPECT_TRUE(
+      Journal::VerifyEntry(entry, proof, digest).IsVerificationFailed());
+}
+
+TEST(JournalTest, EntryProofRejectsWrongDigest) {
+  Journal j;
+  j.Append({MakeEntry("a", "1")}, Hash256(), 1);
+  JournalEntryProof proof;
+  LedgerEntry entry;
+  ASSERT_TRUE(j.ProveEntry(0, 0, &proof, &entry).ok());
+
+  Journal other;
+  other.Append({MakeEntry("x", "9")}, Hash256(), 1);
+  EXPECT_FALSE(Journal::VerifyEntry(entry, proof, other.Digest()).ok());
+}
+
+TEST(JournalTest, ProveEntryBadIndicesFail) {
+  Journal j;
+  j.Append({MakeEntry("a", "1")}, Hash256(), 1);
+  JournalEntryProof proof;
+  LedgerEntry entry;
+  EXPECT_TRUE(j.ProveEntry(5, 0, &proof, &entry).IsNotFound());
+  EXPECT_TRUE(j.ProveEntry(0, 5, &proof, &entry).IsInvalidArgument());
+}
+
+TEST(JournalTest, ConsistencyAcrossGrowth) {
+  Journal j;
+  for (int i = 0; i < 7; i++) {
+    j.Append({MakeEntry("k" + std::to_string(i), "v")}, Hash256(), i);
+  }
+  JournalDigest old_digest = j.Digest();
+  for (int i = 7; i < 23; i++) {
+    j.Append({MakeEntry("k" + std::to_string(i), "v")}, Hash256(), i);
+  }
+  JournalDigest new_digest = j.Digest();
+  MerkleConsistencyProof proof;
+  ASSERT_TRUE(j.ConsistencyProof(old_digest.block_count, &proof).ok());
+  EXPECT_TRUE(Journal::VerifyConsistency(proof, old_digest, new_digest));
+}
+
+TEST(JournalTest, ConsistencyRejectsMismatchedDigests) {
+  Journal j;
+  for (int i = 0; i < 10; i++) {
+    j.Append({MakeEntry("k" + std::to_string(i), "v")}, Hash256(), i);
+  }
+  MerkleConsistencyProof proof;
+  ASSERT_TRUE(j.ConsistencyProof(4, &proof).ok());
+  JournalDigest fake;
+  fake.block_count = 4;
+  fake.merkle_root = Hash256::Of("fake");
+  EXPECT_FALSE(Journal::VerifyConsistency(proof, fake, j.Digest()));
+}
+
+TEST(JournalTest, StoredBytesGrowWithAppends) {
+  Journal j;
+  EXPECT_EQ(j.stored_bytes(), 0u);
+  j.Append({MakeEntry("a", "1")}, Hash256(), 1);
+  uint64_t after_one = j.stored_bytes();
+  EXPECT_GT(after_one, 0u);
+  j.Append({MakeEntry("b", "2")}, Hash256(), 2);
+  EXPECT_GT(j.stored_bytes(), after_one);
+}
+
+TEST(JournalTest, IndexRootRecordedPerBlock) {
+  Journal j;
+  j.Append({MakeEntry("a", "1")}, Hash256::Of("root-v1"), 1);
+  j.Append({MakeEntry("b", "2")}, Hash256::Of("root-v2"), 2);
+  Block b0, b1;
+  ASSERT_TRUE(j.GetBlock(0, &b0).ok());
+  ASSERT_TRUE(j.GetBlock(1, &b1).ok());
+  EXPECT_EQ(b0.index_root(), Hash256::Of("root-v1"));
+  EXPECT_EQ(b1.index_root(), Hash256::Of("root-v2"));
+}
+
+// Randomized end-to-end: every entry in a multi-block journal proves.
+TEST(JournalTest, RandomizedFullSweep) {
+  Random rng(11);
+  Journal j;
+  std::vector<std::vector<LedgerEntry>> blocks;
+  for (int b = 0; b < 12; b++) {
+    std::vector<LedgerEntry> entries;
+    int n = static_cast<int>(rng.Range(1, 40));
+    for (int i = 0; i < n; i++) {
+      entries.push_back(
+          MakeEntry(rng.Bytes(8), rng.Bytes(20), rng.Next(), rng.Next()));
+    }
+    j.Append(entries, Hash256(), b);
+    blocks.push_back(std::move(entries));
+  }
+  JournalDigest digest = j.Digest();
+  for (size_t b = 0; b < blocks.size(); b++) {
+    for (size_t i = 0; i < blocks[b].size(); i++) {
+      JournalEntryProof proof;
+      LedgerEntry entry;
+      ASSERT_TRUE(j.ProveEntry(b, i, &proof, &entry).ok());
+      EXPECT_EQ(entry, blocks[b][i]);
+      EXPECT_TRUE(Journal::VerifyEntry(entry, proof, digest).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json.h"
+
+namespace spitz {
+namespace {
+
+Status Parse(const std::string& text, JsonValue* v) {
+  return JsonValue::Parse(text, v);
+}
+
+TEST(JsonTest, ParseScalars) {
+  JsonValue v;
+  ASSERT_TRUE(Parse("null", &v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(Parse("true", &v).ok());
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(Parse("false", &v).ok());
+  EXPECT_FALSE(v.as_bool());
+  ASSERT_TRUE(Parse("42", &v).ok());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+  ASSERT_TRUE(Parse("-3.5e2", &v).ok());
+  EXPECT_DOUBLE_EQ(v.as_number(), -350.0);
+  ASSERT_TRUE(Parse("\"hello\"", &v).ok());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(JsonTest, ParseEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(Parse(R"("a\"b\\c\nd\teA")", &v).ok());
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  JsonValue v;
+  ASSERT_TRUE(Parse(R"("é中")", &v).ok());
+  EXPECT_EQ(v.as_string(), "\xc3\xa9\xe4\xb8\xad");  // é中 in UTF-8
+}
+
+TEST(JsonTest, ParseNestedStructures) {
+  JsonValue v;
+  ASSERT_TRUE(Parse(R"({"a":[1,2,{"b":null}],"c":{"d":"x"}})", &v).ok());
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_TRUE(a->items()[2].Find("b")->is_null());
+  EXPECT_EQ(v.Find("c")->Find("d")->as_string(), "x");
+  EXPECT_EQ(v.Find("zz"), nullptr);
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  JsonValue v;
+  ASSERT_TRUE(Parse("  { \"a\" : [ 1 , 2 ] }  ", &v).ok());
+  EXPECT_EQ(v.Find("a")->items().size(), 2u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(Parse("", &v).ok());
+  EXPECT_FALSE(Parse("{", &v).ok());
+  EXPECT_FALSE(Parse("[1,", &v).ok());
+  EXPECT_FALSE(Parse("{\"a\":}", &v).ok());
+  EXPECT_FALSE(Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(Parse("tru", &v).ok());
+  EXPECT_FALSE(Parse("1 2", &v).ok());  // trailing garbage
+  EXPECT_FALSE(Parse("{\"a\":1}extra", &v).ok());
+  EXPECT_FALSE(Parse("1.2.3", &v).ok());
+}
+
+TEST(JsonTest, RejectsExcessiveDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  EXPECT_TRUE(Parse(deep, &v).IsInvalidArgument());
+}
+
+TEST(JsonTest, DumpRoundTrip) {
+  const char* inputs[] = {
+      R"({"name":"alice","age":30,"tags":["a","b"],"active":true})",
+      R"([1,2,3])",
+      R"("just a string")",
+      R"({"nested":{"x":null}})",
+  };
+  for (const char* input : inputs) {
+    JsonValue v1;
+    ASSERT_TRUE(Parse(input, &v1).ok()) << input;
+    std::string dumped = v1.Dump();
+    JsonValue v2;
+    ASSERT_TRUE(Parse(dumped, &v2).ok()) << dumped;
+    EXPECT_EQ(v2.Dump(), dumped);  // fixed point
+  }
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  JsonValue v = JsonValue::String("a\"b\\c\nd\x01");
+  std::string dumped = v.Dump();
+  JsonValue back;
+  ASSERT_TRUE(Parse(dumped, &back).ok());
+  EXPECT_EQ(back.as_string(), v.as_string());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("z", JsonValue::Number(1));
+  obj.Set("a", JsonValue::Number(2));
+  obj.Set("z", JsonValue::Number(3));  // overwrite in place
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_DOUBLE_EQ(obj.members()[0].second.as_number(), 3.0);
+}
+
+TEST(JsonTest, IntegersDumpWithoutDecimalPoint) {
+  JsonValue v = JsonValue::Number(1234567);
+  EXPECT_EQ(v.Dump(), "1234567");
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "chunk/file_chunk_store.h"
+#include "common/random.h"
+#include "core/spitz_db.h"
+
+namespace spitz {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/spitz_persist_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SpitzOptions DurableOptions(size_t block_size = 8) {
+    SpitzOptions options;
+    options.block_size = block_size;
+    options.data_dir = dir_;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+// --- FileChunkStore ---------------------------------------------------------
+
+TEST_F(PersistenceTest, FileChunkStoreRoundTrip) {
+  std::string path = dir_ + "/chunks.log";
+  Hash256 id;
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    id = store->Put(Chunk(ChunkType::kBlob, "persistent payload"));
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    EXPECT_EQ(store->recovered_chunks(), 1u);
+    std::shared_ptr<const Chunk> chunk;
+    ASSERT_TRUE(store->Get(id, &chunk).ok());
+    EXPECT_EQ(chunk->payload(), "persistent payload");
+    EXPECT_EQ(chunk->type(), ChunkType::kBlob);
+  }
+}
+
+TEST_F(PersistenceTest, FileChunkStoreDeduplicatesAcrossSessions) {
+  std::string path = dir_ + "/chunks.log";
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    store->Put(Chunk(ChunkType::kBlob, "same"));
+  }
+  auto size_before = std::filesystem::file_size(path);
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    store->Put(Chunk(ChunkType::kBlob, "same"));  // already on disk
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  EXPECT_EQ(std::filesystem::file_size(path), size_before);
+}
+
+TEST_F(PersistenceTest, FileChunkStoreSurvivesTornTail) {
+  std::string path = dir_ + "/chunks.log";
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    store->Put(Chunk(ChunkType::kBlob, "complete record"));
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  // Simulate a crash mid-append: garbage half-record at the tail.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.put(static_cast<char>(ChunkType::kBlob));
+    out.put(static_cast<char>(200));  // claims 200 bytes, provides 3
+    out << "xyz";
+  }
+  std::unique_ptr<FileChunkStore> store;
+  ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+  EXPECT_EQ(store->recovered_chunks(), 1u);
+  EXPECT_TRUE(store->Contains(Chunk(ChunkType::kBlob, "complete record").id()));
+}
+
+// --- SpitzDb durability ------------------------------------------------------
+
+TEST_F(PersistenceTest, OpenRequiresDataDir) {
+  SpitzOptions options;
+  std::unique_ptr<SpitzDb> db;
+  EXPECT_TRUE(SpitzDb::Open(options, &db).IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, ReopenRecoversSealedState) {
+  SpitzDigest saved;
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    for (int i = 0; i < 40; i++) {
+      ASSERT_TRUE(
+          db->Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+    }
+    db->FlushBlock();
+    ASSERT_TRUE(db->SyncStorage().ok());
+    saved = db->Digest();
+  }
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    SpitzDigest recovered = db->Digest();
+    EXPECT_EQ(recovered.index_root, saved.index_root);
+    EXPECT_EQ(recovered.journal.block_count, saved.journal.block_count);
+    EXPECT_EQ(recovered.journal.tip_hash, saved.journal.tip_hash);
+    EXPECT_EQ(recovered.journal.merkle_root, saved.journal.merkle_root);
+    std::string value;
+    ASSERT_TRUE(db->Get("key7", &value).ok());
+    EXPECT_EQ(value, "val7");
+    EXPECT_EQ(db->key_count(), 40u);
+  }
+}
+
+TEST_F(PersistenceTest, ProofsVerifyAfterRecovery) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    for (int i = 0; i < 64; i++) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "v").ok());
+    }
+    db->FlushBlock();
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+  SpitzDigest digest = db->Digest();
+  std::string value;
+  ReadProof proof;
+  ASSERT_TRUE(db->GetWithProof("k33", &value, &proof).ok());
+  EXPECT_TRUE(SpitzDb::VerifyRead(digest, "k33", value, proof).ok());
+  // Historical entries recovered from disk remain provable.
+  JournalEntryProof jproof;
+  LedgerEntry entry;
+  ASSERT_TRUE(db->ProveHistoricalEntry(0, 0, &jproof, &entry).ok());
+  EXPECT_TRUE(Journal::VerifyEntry(entry, jproof, digest.journal).ok());
+}
+
+TEST_F(PersistenceTest, WritesContinueAfterRecovery) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    for (int i = 0; i < 16; i++) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "v1").ok());
+    }
+    db->FlushBlock();
+  }
+  SpitzDigest first_digest;
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    first_digest = db->Digest();
+    for (int i = 16; i < 32; i++) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "v2").ok());
+    }
+    db->FlushBlock();
+    // The extended ledger is consistent with the recovered digest.
+    MerkleConsistencyProof proof;
+    ASSERT_TRUE(db->ProveConsistency(first_digest, &proof).ok());
+    EXPECT_TRUE(
+        SpitzDb::VerifyConsistency(proof, first_digest, db->Digest()));
+  }
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    EXPECT_EQ(db->key_count(), 32u);
+  }
+}
+
+TEST_F(PersistenceTest, UnsealedWritesAreLostAtBlockBoundarySemantics) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(16), &db).ok());
+    for (int i = 0; i < 16; i++) {  // exactly one sealed block
+      ASSERT_TRUE(db->Put("sealed" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(db->Put("unsealed", "v").ok());  // stays pending
+    // No FlushBlock: the pending entry is not durable.
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(16), &db).ok());
+  std::string value;
+  EXPECT_TRUE(db->Get("sealed3", &value).ok());
+  EXPECT_TRUE(db->Get("unsealed", &value).IsNotFound());
+}
+
+TEST_F(PersistenceTest, TornJournalTailIsDiscarded) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    for (int i = 0; i < 24; i++) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "v").ok());
+    }
+    db->FlushBlock();
+  }
+  {
+    std::ofstream out(dir_ + "/journal.log",
+                      std::ios::binary | std::ios::app);
+    out.put(static_cast<char>(120));  // length prefix without the body
+    out << "torn";
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+  EXPECT_EQ(db->key_count(), 24u);
+}
+
+TEST_F(PersistenceTest, TamperedJournalBlockDetectedOnRecovery) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    for (int i = 0; i < 16; i++) {
+      ASSERT_TRUE(db->Put("k" + std::to_string(i), "honest").ok());
+    }
+    db->FlushBlock();
+  }
+  // Flip a byte in the middle of the journal (inside a block body).
+  {
+    std::fstream f(dir_ + "/journal.log",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(60);
+    char c;
+    f.seekg(60);
+    f.get(c);
+    f.seekp(60);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  std::unique_ptr<SpitzDb> db;
+  Status s = SpitzDb::Open(DurableOptions(), &db);
+  EXPECT_FALSE(s.ok()) << "tampered block must fail recovery validation";
+}
+
+TEST_F(PersistenceTest, BulkLoadIsDurable) {
+  std::vector<PosEntry> entries;
+  for (int i = 0; i < 200; i++) {
+    entries.push_back({"key" + std::to_string(i), "val" + std::to_string(i)});
+  }
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(64), &db).ok());
+    ASSERT_TRUE(db->BulkLoad(entries).ok());
+    db->FlushBlock();
+    ASSERT_TRUE(db->SyncStorage().ok());
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(64), &db).ok());
+  EXPECT_EQ(db->key_count(), 200u);
+  std::string value;
+  ASSERT_TRUE(db->Get("key123", &value).ok());
+  EXPECT_EQ(value, "val123");
+}
+
+TEST_F(PersistenceTest, KeyHistorySurvivesRecovery) {
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(4), &db).ok());
+    for (int i = 0; i < 3; i++) {
+      ASSERT_TRUE(db->Put("doc", "rev-" + std::to_string(i)).ok());
+      ASSERT_TRUE(db->Put("pad" + std::to_string(i), "x").ok());
+    }
+    db->FlushBlock();
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(4), &db).ok());
+  std::vector<SpitzDb::HistoricalWrite> history;
+  ASSERT_TRUE(db->KeyHistory("doc", &history).ok());
+  ASSERT_EQ(history.size(), 3u);
+  SpitzDigest digest = db->Digest();
+  for (const auto& write : history) {
+    EXPECT_TRUE(
+        Journal::VerifyEntry(write.entry, write.proof, digest.journal).ok());
+  }
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/random.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+namespace {
+
+class PosTreeTest : public ::testing::Test {
+ protected:
+  ChunkStore store_;
+  PosTree tree_{&store_};
+};
+
+std::vector<PosEntry> MakeEntries(int n, const std::string& prefix = "key") {
+  std::vector<PosEntry> entries;
+  for (int i = 0; i < n; i++) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%s%08d", prefix.c_str(), i);
+    entries.push_back(PosEntry{buf, "value-" + std::to_string(i)});
+  }
+  return entries;
+}
+
+TEST_F(PosTreeTest, EmptyTree) {
+  Hash256 root = PosTree::EmptyRoot();
+  std::string value;
+  EXPECT_TRUE(tree_.Get(root, "any", &value).IsNotFound());
+  uint64_t count = 99;
+  ASSERT_TRUE(tree_.Count(root, &count).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(PosTreeTest, BuildAndGetSmall) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10), &root).ok());
+  std::string value;
+  ASSERT_TRUE(tree_.Get(root, "key00000003", &value).ok());
+  EXPECT_EQ(value, "value-3");
+  EXPECT_TRUE(tree_.Get(root, "missing", &value).IsNotFound());
+}
+
+TEST_F(PosTreeTest, BuildAndGetLarge) {
+  const int n = 20000;
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(n), &root).ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(tree_.Count(root, &count).ok());
+  EXPECT_EQ(count, static_cast<uint64_t>(n));
+  uint32_t height = 0;
+  ASSERT_TRUE(tree_.Height(root, &height).ok());
+  EXPECT_GE(height, 2u);  // must actually have internal structure
+  std::string value;
+  for (int i : {0, 1, 4242, 9999, 19999}) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%08d", i);
+    ASSERT_TRUE(tree_.Get(root, buf, &value).ok()) << i;
+    EXPECT_EQ(value, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(PosTreeTest, BuildDeduplicatesKeysLastWins) {
+  std::vector<PosEntry> entries = {{"k", "first"}, {"k", "second"}};
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(entries, &root).ok());
+  std::string value;
+  ASSERT_TRUE(tree_.Get(root, "k", &value).ok());
+  EXPECT_EQ(value, "second");
+  uint64_t count;
+  ASSERT_TRUE(tree_.Count(root, &count).ok());
+  EXPECT_EQ(count, 1u);
+}
+
+// --- Structural invariance: the SIRI property -----------------------------
+
+TEST_F(PosTreeTest, BulkBuildIsOrderInvariant) {
+  Random rng(17);
+  std::vector<PosEntry> entries = MakeEntries(5000);
+  Hash256 sorted_root;
+  ASSERT_TRUE(tree_.Build(entries, &sorted_root).ok());
+
+  // Shuffle and rebuild.
+  for (size_t i = entries.size(); i > 1; i--) {
+    std::swap(entries[i - 1], entries[rng.Uniform(i)]);
+  }
+  Hash256 shuffled_root;
+  ASSERT_TRUE(tree_.Build(entries, &shuffled_root).ok());
+  EXPECT_EQ(sorted_root, shuffled_root);
+}
+
+TEST_F(PosTreeTest, IncrementalInsertMatchesBulkBuild) {
+  // THE structural-invariance property: inserting one at a time, in any
+  // order, produces bit-identical roots to a bulk build.
+  Random rng(23);
+  std::vector<PosEntry> entries = MakeEntries(2000);
+  Hash256 bulk_root;
+  ASSERT_TRUE(tree_.Build(entries, &bulk_root).ok());
+
+  for (size_t i = entries.size(); i > 1; i--) {
+    std::swap(entries[i - 1], entries[rng.Uniform(i)]);
+  }
+  Hash256 root = PosTree::EmptyRoot();
+  for (const PosEntry& e : entries) {
+    ASSERT_TRUE(tree_.Put(root, e.key, e.value, &root).ok());
+  }
+  EXPECT_EQ(root, bulk_root);
+}
+
+TEST_F(PosTreeTest, DeleteRestoresPreviousRoot) {
+  Hash256 base;
+  ASSERT_TRUE(tree_.Build(MakeEntries(3000), &base).ok());
+  Hash256 with_extra;
+  ASSERT_TRUE(tree_.Put(base, "zzz-extra", "tmp", &with_extra).ok());
+  EXPECT_NE(base, with_extra);
+  Hash256 back;
+  ASSERT_TRUE(tree_.Delete(with_extra, "zzz-extra", &back).ok());
+  EXPECT_EQ(base, back);
+}
+
+TEST_F(PosTreeTest, DeleteInMiddleMatchesRebuild) {
+  std::vector<PosEntry> entries = MakeEntries(1500);
+  Hash256 full;
+  ASSERT_TRUE(tree_.Build(entries, &full).ok());
+  // Delete a scattering of keys and compare to a bulk build without them.
+  std::vector<int> removed = {0, 17, 500, 750, 1333, 1499};
+  Hash256 root = full;
+  for (int i : removed) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%08d", i);
+    ASSERT_TRUE(tree_.Delete(root, buf, &root).ok());
+  }
+  std::vector<PosEntry> remaining;
+  for (int i = 0; i < 1500; i++) {
+    bool gone = false;
+    for (int r : removed) gone |= (r == i);
+    if (!gone) remaining.push_back(entries[i]);
+  }
+  Hash256 rebuilt;
+  ASSERT_TRUE(tree_.Build(remaining, &rebuilt).ok());
+  EXPECT_EQ(root, rebuilt);
+}
+
+TEST_F(PosTreeTest, UpdateValueChangesRootDeterministically) {
+  Hash256 a;
+  ASSERT_TRUE(tree_.Build(MakeEntries(100), &a).ok());
+  Hash256 b;
+  ASSERT_TRUE(tree_.Put(a, "key00000050", "new-value", &b).ok());
+  EXPECT_NE(a, b);
+  // Same update from the same base must be deterministic.
+  Hash256 c;
+  ASSERT_TRUE(tree_.Put(a, "key00000050", "new-value", &c).ok());
+  EXPECT_EQ(b, c);
+}
+
+TEST_F(PosTreeTest, NoOpWriteKeepsRoot) {
+  Hash256 a;
+  ASSERT_TRUE(tree_.Build(MakeEntries(50), &a).ok());
+  Hash256 b;
+  ASSERT_TRUE(tree_.Put(a, "key00000010", "value-10", &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PosTreeTest, DeleteToEmptyYieldsEmptyRoot) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(5), &root).ok());
+  for (int i = 0; i < 5; i++) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "key%08d", i);
+    ASSERT_TRUE(tree_.Delete(root, buf, &root).ok());
+  }
+  EXPECT_TRUE(root.IsZero());
+}
+
+TEST_F(PosTreeTest, DeleteMissingKeyFails) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10), &root).ok());
+  Hash256 out;
+  EXPECT_TRUE(tree_.Delete(root, "nope", &out).IsNotFound());
+}
+
+// --- Version sharing ---------------------------------------------------------
+
+TEST_F(PosTreeTest, UpdatePathCopiesOnlyLogarithmicNodes) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(50000), &root).ok());
+  uint64_t chunks_before = store_.stats().chunk_count;
+  Hash256 root2;
+  ASSERT_TRUE(tree_.Put(root, "key00025000", "rewritten", &root2).ok());
+  uint64_t added = store_.stats().chunk_count - chunks_before;
+  // A 50k-entry tree has ~1500 leaves; an update must touch only the
+  // path (plus occasional boundary merges), not the whole tree.
+  EXPECT_LE(added, 12u);
+  EXPECT_GE(added, 2u);
+}
+
+TEST_F(PosTreeTest, OldVersionRemainsReadable) {
+  Hash256 v1;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &v1).ok());
+  Hash256 v2;
+  ASSERT_TRUE(tree_.Put(v1, "key00000500", "changed", &v2).ok());
+  std::string value;
+  ASSERT_TRUE(tree_.Get(v1, "key00000500", &value).ok());
+  EXPECT_EQ(value, "value-500");
+  ASSERT_TRUE(tree_.Get(v2, "key00000500", &value).ok());
+  EXPECT_EQ(value, "changed");
+}
+
+// --- Oracle-based randomized property test -----------------------------------
+
+struct OracleParams {
+  uint64_t seed;
+  int ops;
+};
+
+class PosTreeOracleTest : public ::testing::TestWithParam<OracleParams> {};
+
+TEST_P(PosTreeOracleTest, RandomOpsMatchStdMap) {
+  ChunkStore store;
+  PosTree tree(&store);
+  Random rng(GetParam().seed);
+  std::map<std::string, std::string> oracle;
+  Hash256 root = PosTree::EmptyRoot();
+
+  for (int i = 0; i < GetParam().ops; i++) {
+    int action = static_cast<int>(rng.Uniform(10));
+    std::string key = "k" + std::to_string(rng.Uniform(300));
+    if (action < 6) {  // put
+      std::string value = rng.Bytes(rng.Range(1, 30));
+      ASSERT_TRUE(tree.Put(root, key, value, &root).ok());
+      oracle[key] = value;
+    } else if (action < 8) {  // delete
+      Status s = tree.Delete(root, key, &root);
+      if (oracle.erase(key) > 0) {
+        ASSERT_TRUE(s.ok());
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {  // get
+      std::string value;
+      Status s = tree.Get(root, key, &value);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        ASSERT_TRUE(s.IsNotFound());
+      } else {
+        ASSERT_TRUE(s.ok());
+        ASSERT_EQ(value, it->second);
+      }
+    }
+  }
+
+  // Final state must exactly match the oracle, and equal a fresh build.
+  uint64_t count = 0;
+  ASSERT_TRUE(tree.Count(root, &count).ok());
+  EXPECT_EQ(count, oracle.size());
+  std::vector<PosEntry> scan;
+  ASSERT_TRUE(tree.Scan(root, "", "", 0, &scan).ok());
+  ASSERT_EQ(scan.size(), oracle.size());
+  size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    EXPECT_EQ(scan[i].key, k);
+    EXPECT_EQ(scan[i].value, v);
+    i++;
+  }
+  std::vector<PosEntry> fresh;
+  for (const auto& [k, v] : oracle) fresh.push_back({k, v});
+  Hash256 rebuilt;
+  ASSERT_TRUE(tree.Build(fresh, &rebuilt).ok());
+  EXPECT_EQ(root, rebuilt) << "structural invariance violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PosTreeOracleTest,
+    ::testing::Values(OracleParams{1, 800}, OracleParams{2, 800},
+                      OracleParams{3, 1500}, OracleParams{4, 1500},
+                      OracleParams{5, 3000}, OracleParams{6, 3000},
+                      OracleParams{7, 500}, OracleParams{8, 5000}));
+
+// --- Scans ---------------------------------------------------------------
+
+TEST_F(PosTreeTest, ScanRange) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &root).ok());
+  std::vector<PosEntry> out;
+  ASSERT_TRUE(tree_.Scan(root, "key00000100", "key00000110", 0, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().key, "key00000100");
+  EXPECT_EQ(out.back().key, "key00000109");
+}
+
+TEST_F(PosTreeTest, ScanWithLimit) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &root).ok());
+  std::vector<PosEntry> out;
+  ASSERT_TRUE(tree_.Scan(root, "key00000100", "", 25, &out).ok());
+  ASSERT_EQ(out.size(), 25u);
+  EXPECT_EQ(out.front().key, "key00000100");
+  EXPECT_EQ(out.back().key, "key00000124");
+}
+
+TEST_F(PosTreeTest, ScanOpenEnded) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(100), &root).ok());
+  std::vector<PosEntry> out;
+  ASSERT_TRUE(tree_.Scan(root, "key00000095", "", 0, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST_F(PosTreeTest, ScanEmptyRange) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(100), &root).ok());
+  std::vector<PosEntry> out;
+  ASSERT_TRUE(tree_.Scan(root, "zzz", "", 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// --- Point proofs ------------------------------------------------------------
+
+TEST_F(PosTreeTest, MembershipProofVerifies) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(5000), &root).ok());
+  std::string value;
+  PosProof proof;
+  ASSERT_TRUE(tree_.GetWithProof(root, "key00002500", &value, &proof).ok());
+  EXPECT_EQ(value, "value-2500");
+  EXPECT_TRUE(PosTree::VerifyProof(root, "key00002500", value, proof).ok());
+}
+
+TEST_F(PosTreeTest, NonMembershipProofVerifies) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(5000), &root).ok());
+  std::string value;
+  PosProof proof;
+  EXPECT_TRUE(
+      tree_.GetWithProof(root, "key00002500x", &value, &proof).IsNotFound());
+  EXPECT_TRUE(
+      PosTree::VerifyProof(root, "key00002500x", std::nullopt, proof).ok());
+  // Claiming the absent key is present must fail.
+  EXPECT_FALSE(PosTree::VerifyProof(root, "key00002500x",
+                                    std::string("fake"), proof)
+                   .ok());
+}
+
+TEST_F(PosTreeTest, ProofRejectsWrongValue) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &root).ok());
+  std::string value;
+  PosProof proof;
+  ASSERT_TRUE(tree_.GetWithProof(root, "key00000042", &value, &proof).ok());
+  EXPECT_FALSE(
+      PosTree::VerifyProof(root, "key00000042", std::string("wrong"), proof)
+          .ok());
+}
+
+TEST_F(PosTreeTest, ProofRejectsWrongRoot) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &root).ok());
+  std::string value;
+  PosProof proof;
+  ASSERT_TRUE(tree_.GetWithProof(root, "key00000042", &value, &proof).ok());
+  EXPECT_FALSE(
+      PosTree::VerifyProof(Hash256::Of("evil"), "key00000042", value, proof)
+          .ok());
+}
+
+TEST_F(PosTreeTest, ProofRejectsTamperedPayload) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &root).ok());
+  std::string value;
+  PosProof proof;
+  ASSERT_TRUE(tree_.GetWithProof(root, "key00000042", &value, &proof).ok());
+  ASSERT_GE(proof.node_payloads.size(), 2u);
+  proof.node_payloads.back()[3] ^= 0x1;
+  EXPECT_FALSE(
+      PosTree::VerifyProof(root, "key00000042", value, proof).ok());
+}
+
+TEST_F(PosTreeTest, ProofAgainstStaleRootFails) {
+  Hash256 v1;
+  ASSERT_TRUE(tree_.Build(MakeEntries(1000), &v1).ok());
+  Hash256 v2;
+  ASSERT_TRUE(tree_.Put(v1, "key00000042", "updated", &v2).ok());
+  std::string value;
+  PosProof proof;
+  ASSERT_TRUE(tree_.GetWithProof(v2, "key00000042", &value, &proof).ok());
+  // A proof from v2 does not verify against the v1 digest.
+  EXPECT_FALSE(PosTree::VerifyProof(v1, "key00000042", value, proof).ok());
+}
+
+// --- Range proofs -------------------------------------------------------------
+
+TEST_F(PosTreeTest, RangeProofVerifies) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10000), &root).ok());
+  std::vector<PosEntry> out;
+  PosRangeProof proof;
+  ASSERT_TRUE(tree_.ScanWithProof(root, "key00003000", "key00003100", 0, &out,
+                                  &proof)
+                  .ok());
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_TRUE(PosTree::VerifyRangeProof(root, "key00003000", "key00003100", 0,
+                                        out, proof)
+                  .ok());
+}
+
+TEST_F(PosTreeTest, RangeProofRejectsDroppedResult) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10000), &root).ok());
+  std::vector<PosEntry> out;
+  PosRangeProof proof;
+  ASSERT_TRUE(tree_.ScanWithProof(root, "key00003000", "key00003100", 0, &out,
+                                  &proof)
+                  .ok());
+  out.erase(out.begin() + 50);  // server drops a row
+  EXPECT_FALSE(PosTree::VerifyRangeProof(root, "key00003000", "key00003100",
+                                         0, out, proof)
+                   .ok());
+}
+
+TEST_F(PosTreeTest, RangeProofRejectsModifiedResult) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10000), &root).ok());
+  std::vector<PosEntry> out;
+  PosRangeProof proof;
+  ASSERT_TRUE(tree_.ScanWithProof(root, "key00003000", "key00003100", 0, &out,
+                                  &proof)
+                  .ok());
+  out[10].value = "forged";
+  EXPECT_FALSE(PosTree::VerifyRangeProof(root, "key00003000", "key00003100",
+                                         0, out, proof)
+                   .ok());
+}
+
+TEST_F(PosTreeTest, RangeProofWithLimitVerifies) {
+  Hash256 root;
+  ASSERT_TRUE(tree_.Build(MakeEntries(10000), &root).ok());
+  std::vector<PosEntry> out;
+  PosRangeProof proof;
+  ASSERT_TRUE(
+      tree_.ScanWithProof(root, "key00003000", "", 37, &out, &proof).ok());
+  ASSERT_EQ(out.size(), 37u);
+  EXPECT_TRUE(
+      PosTree::VerifyRangeProof(root, "key00003000", "", 37, out, proof)
+          .ok());
+}
+
+TEST_F(PosTreeTest, EmptyRangeProofOnEmptyTree) {
+  std::vector<PosEntry> out;
+  PosRangeProof proof;
+  ASSERT_TRUE(tree_.ScanWithProof(PosTree::EmptyRoot(), "a", "z", 0, &out,
+                                  &proof)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(
+      PosTree::VerifyRangeProof(PosTree::EmptyRoot(), "a", "z", 0, out, proof)
+          .ok());
+}
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,325 @@
+// Parameterized property sweeps across configuration space: the
+// invariants of DESIGN.md section 5 must hold for every tuning of the
+// structures, not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "chunk/chunk_store.h"
+#include "chunk/chunker.h"
+#include "common/random.h"
+#include "core/spitz_db.h"
+#include "index/pos_tree.h"
+#include "ledger/merkle_tree.h"
+#include "txn/two_phase_commit.h"
+
+namespace spitz {
+namespace {
+
+// --- POS-tree invariants across split-pattern widths ------------------------
+
+class PosTreeOptionsSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PosTreeOptionsSweep, StructuralInvarianceHolds) {
+  PosTreeOptions options;
+  options.leaf_pattern_bits = GetParam();
+  options.meta_pattern_bits = GetParam();
+  ChunkStore store;
+  PosTree tree(&store, options);
+  Random rng(GetParam());
+
+  std::map<std::string, std::string> oracle;
+  Hash256 root = PosTree::EmptyRoot();
+  for (int i = 0; i < 1200; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(250));
+    if (rng.OneIn(4) && oracle.count(key)) {
+      ASSERT_TRUE(tree.Delete(root, key, &root).ok());
+      oracle.erase(key);
+    } else {
+      std::string value = rng.Bytes(10);
+      ASSERT_TRUE(tree.Put(root, key, value, &root).ok());
+      oracle[key] = value;
+    }
+  }
+  std::vector<PosEntry> entries;
+  for (const auto& [k, v] : oracle) entries.push_back({k, v});
+  Hash256 rebuilt;
+  ASSERT_TRUE(tree.Build(entries, &rebuilt).ok());
+  EXPECT_EQ(root, rebuilt)
+      << "invariance violated at pattern bits " << GetParam();
+
+  // Every key still proves against the root under these options.
+  int checked = 0;
+  for (const auto& [k, v] : oracle) {
+    if (checked++ > 40) break;
+    std::string value;
+    PosProof proof;
+    ASSERT_TRUE(tree.GetWithProof(root, k, &value, &proof).ok());
+    EXPECT_TRUE(PosTree::VerifyProof(root, k, value, proof).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternBits, PosTreeOptionsSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// With rare pattern boundaries and a tiny node cap, nearly every cut is
+// a cap cut — the hardest path for the incremental re-chunking logic.
+TEST(PosTreeCapDominatedTest, InvarianceUnderCapCuts) {
+  PosTreeOptions options;
+  options.leaf_pattern_bits = 10;  // boundaries ~1/1024: rare
+  options.meta_pattern_bits = 10;
+  options.max_node_elements = 4;   // caps dominate
+  ChunkStore store;
+  PosTree tree(&store, options);
+  Random rng(7);
+  std::map<std::string, std::string> oracle;
+  Hash256 root = PosTree::EmptyRoot();
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(300));
+    if (rng.OneIn(4) && oracle.count(key)) {
+      ASSERT_TRUE(tree.Delete(root, key, &root).ok());
+      oracle.erase(key);
+    } else {
+      std::string value = rng.Bytes(8);
+      ASSERT_TRUE(tree.Put(root, key, value, &root).ok());
+      oracle[key] = value;
+    }
+  }
+  std::vector<PosEntry> entries;
+  for (const auto& [k, v] : oracle) entries.push_back({k, v});
+  Hash256 rebuilt;
+  ASSERT_TRUE(tree.Build(entries, &rebuilt).ok());
+  EXPECT_EQ(root, rebuilt);
+  // Scans and proofs still correct under the pathological shape.
+  std::vector<PosEntry> scan;
+  ASSERT_TRUE(tree.Scan(root, "", "", 0, &scan).ok());
+  EXPECT_EQ(scan.size(), oracle.size());
+}
+
+// --- POS-tree with adversarial keys ------------------------------------------
+
+class PosTreeHostileKeys
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(PosTreeHostileKeys, RoundTripsAndProves) {
+  auto [mode, n] = GetParam();
+  ChunkStore store;
+  PosTree tree(&store);
+  Random rng(99);
+  std::map<std::string, std::string> oracle;
+  Hash256 root = PosTree::EmptyRoot();
+  for (int i = 0; i < n; i++) {
+    std::string key;
+    if (std::string(mode) == "nul-bytes") {
+      key = std::string(1, '\0') + std::to_string(i) + std::string(1, '\0');
+    } else if (std::string(mode) == "high-bytes") {
+      key = std::string(2, '\xff') + std::to_string(i);
+    } else if (std::string(mode) == "long-keys") {
+      key = std::string(500, 'a' + (i % 26)) + std::to_string(i);
+    } else if (std::string(mode) == "shared-prefix") {
+      key = std::string(64, 'p') + std::to_string(i);
+    } else {  // empty-ish
+      key = i == 0 ? std::string() : std::string(i % 4, ' ') +
+                                         std::to_string(i);
+    }
+    std::string value = rng.Bytes(20);
+    ASSERT_TRUE(tree.Put(root, key, value, &root).ok());
+    oracle[key] = value;
+  }
+  // Everything readable, provable, and scan-ordered.
+  for (const auto& [k, v] : oracle) {
+    std::string value;
+    PosProof proof;
+    ASSERT_TRUE(tree.GetWithProof(root, k, &value, &proof).ok());
+    EXPECT_EQ(value, v);
+    EXPECT_TRUE(PosTree::VerifyProof(root, k, value, proof).ok());
+  }
+  std::vector<PosEntry> scan;
+  ASSERT_TRUE(tree.Scan(root, "", "", 0, &scan).ok());
+  ASSERT_EQ(scan.size(), oracle.size());
+  auto oit = oracle.begin();
+  for (const PosEntry& e : scan) {
+    EXPECT_EQ(e.key, oit->first);
+    ++oit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyShapes, PosTreeHostileKeys,
+    ::testing::Values(std::pair<const char*, int>{"nul-bytes", 100},
+                      std::pair<const char*, int>{"high-bytes", 100},
+                      std::pair<const char*, int>{"long-keys", 60},
+                      std::pair<const char*, int>{"shared-prefix", 150},
+                      std::pair<const char*, int>{"empty-ish", 40}));
+
+// --- Chunker bounds across options --------------------------------------------
+
+struct ChunkerParams {
+  size_t min_size;
+  size_t max_size;
+  uint32_t mask;
+};
+
+class ChunkerOptionsSweep : public ::testing::TestWithParam<ChunkerParams> {};
+
+TEST_P(ChunkerOptionsSweep, CoverageAndBounds) {
+  ChunkerOptions options;
+  options.min_size = GetParam().min_size;
+  options.max_size = GetParam().max_size;
+  options.mask = GetParam().mask;
+  Random rng(GetParam().mask);
+  for (size_t input_size : {size_t(0), size_t(1), options.min_size,
+                            options.max_size, size_t(100000)}) {
+    std::string data = rng.Bytes(input_size);
+    auto extents = ChunkData(data, options);
+    size_t pos = 0;
+    for (size_t i = 0; i < extents.size(); i++) {
+      EXPECT_EQ(extents[i].offset, pos);
+      if (i + 1 < extents.size()) {
+        EXPECT_GE(extents[i].length, options.min_size);
+        EXPECT_LE(extents[i].length, options.max_size);
+      }
+      pos += extents[i].length;
+    }
+    EXPECT_EQ(pos, data.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, ChunkerOptionsSweep,
+    ::testing::Values(ChunkerParams{64, 1024, 0x3f},
+                      ChunkerParams{512, 8192, 0x3ff},
+                      ChunkerParams{1024, 4096, 0xff},
+                      ChunkerParams{16, 64, 0x0f}));
+
+// --- Merkle tree proofs across sizes -------------------------------------------
+
+class MerkleSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleSizeSweep, AllLeavesProveAndConsistencyHolds) {
+  const int n = GetParam();
+  MerkleTree tree;
+  std::vector<Hash256> roots;
+  for (int i = 0; i < n; i++) {
+    tree.AppendLeafHash(Hash256::OfLeaf("leaf" + std::to_string(i)));
+    roots.push_back(tree.Root());
+  }
+  Hash256 final_root = tree.Root();
+  for (int i = 0; i < n; i += (n > 64 ? 13 : 1)) {
+    MerkleInclusionProof proof;
+    ASSERT_TRUE(tree.InclusionProof(i, &proof).ok());
+    EXPECT_TRUE(MerkleTree::VerifyInclusion(
+        Hash256::OfLeaf("leaf" + std::to_string(i)), proof, final_root));
+  }
+  for (int old_size = 1; old_size < n; old_size += (n > 64 ? 17 : 1)) {
+    MerkleConsistencyProof proof;
+    ASSERT_TRUE(tree.ConsistencyProof(old_size, &proof).ok());
+    EXPECT_TRUE(MerkleTree::VerifyConsistency(proof, roots[old_size - 1],
+                                              final_root));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizeSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 63, 64, 65,
+                                           255, 257));
+
+// --- Serializability across coordinator configurations -------------------------
+
+struct TxnParams {
+  size_t shards;
+  int threads;
+  TimestampScheme scheme;
+};
+
+class TxnConfigSweep : public ::testing::TestWithParam<TxnParams> {};
+
+TEST_P(TxnConfigSweep, TransfersPreserveTotal) {
+  constexpr int kAccounts = 12;
+  constexpr int kInitial = 500;
+  ShardedStore store(GetParam().shards);
+  TxnCoordinator coord(&store, GetParam().scheme);
+  {
+    DistributedTxn init = coord.Begin();
+    for (int i = 0; i < kAccounts; i++) {
+      init.Put("a" + std::to_string(i), std::to_string(kInitial));
+    }
+    ASSERT_TRUE(init.Commit().ok());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < GetParam().threads; t++) {
+    threads.emplace_back([&, t] {
+      Random rng(500 + t);
+      for (int i = 0; i < 150; i++) {
+        DistributedTxn txn = coord.Begin();
+        int from = static_cast<int>(rng.Uniform(kAccounts));
+        int to = static_cast<int>(rng.Uniform(kAccounts));
+        if (from == to) continue;
+        std::string fv, tv;
+        if (!txn.Get("a" + std::to_string(from), &fv).ok()) continue;
+        if (!txn.Get("a" + std::to_string(to), &tv).ok()) continue;
+        int amount = static_cast<int>(rng.Range(1, 40));
+        if (atoi(fv.c_str()) < amount) continue;
+        txn.Put("a" + std::to_string(from),
+                std::to_string(atoi(fv.c_str()) - amount));
+        txn.Put("a" + std::to_string(to),
+                std::to_string(atoi(tv.c_str()) + amount));
+        (void)txn.Commit();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  DistributedTxn audit = coord.Begin();
+  long total = 0;
+  for (int i = 0; i < kAccounts; i++) {
+    std::string value;
+    ASSERT_TRUE(audit.Get("a" + std::to_string(i), &value).ok());
+    total += atoi(value.c_str());
+  }
+  EXPECT_EQ(total, static_cast<long>(kAccounts) * kInitial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TxnConfigSweep,
+    ::testing::Values(TxnParams{1, 4, TimestampScheme::kOracle},
+                      TxnParams{4, 4, TimestampScheme::kOracle},
+                      TxnParams{8, 8, TimestampScheme::kOracle},
+                      TxnParams{4, 4, TimestampScheme::kHlc},
+                      TxnParams{8, 8, TimestampScheme::kHlc}));
+
+// --- SpitzDb block-size sweep: proofs hold regardless of sealing cadence -------
+
+class SpitzBlockSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpitzBlockSizeSweep, DigestsProofsAndConsistency) {
+  SpitzOptions options;
+  options.block_size = GetParam();
+  SpitzDb db(options);
+  SpitzDigest first;
+  for (int i = 0; i < 150; i++) {
+    ASSERT_TRUE(
+        db.Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+    if (i == 60) first = db.Digest();
+  }
+  db.FlushBlock();
+  SpitzDigest last = db.Digest();
+  EXPECT_EQ(last.journal.entry_count, 150u);
+
+  std::string value;
+  ReadProof proof;
+  ASSERT_TRUE(db.GetWithProof("k99", &value, &proof).ok());
+  EXPECT_TRUE(SpitzDb::VerifyRead(last, "k99", value, proof).ok());
+
+  MerkleConsistencyProof consistency;
+  ASSERT_TRUE(db.ProveConsistency(first, &consistency).ok());
+  EXPECT_TRUE(SpitzDb::VerifyConsistency(consistency, first, last));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, SpitzBlockSizeSweep,
+                         ::testing::Values(1u, 2u, 7u, 64u, 1000u));
+
+}  // namespace
+}  // namespace spitz

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/processor.h"
+#include "core/verifier.h"
+#include "kvs/immutable_kvs.h"
+#include "nonintrusive/non_intrusive_db.h"
+#include "nonintrusive/rpc.h"
+
+namespace spitz {
+namespace {
+
+// --- ImmutableKvs -------------------------------------------------------------
+
+TEST(ImmutableKvsTest, PutGetScan) {
+  ImmutableKvs kvs;
+  for (int i = 0; i < 200; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(kvs.Put(key, "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(kvs.Get("k000123", &value).ok());
+  EXPECT_EQ(value, "v123");
+  std::vector<PosEntry> rows;
+  ASSERT_TRUE(kvs.Scan("k000010", "k000015", 0, &rows).ok());
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(kvs.key_count(), 200u);
+}
+
+TEST(ImmutableKvsTest, DeleteAndMissing) {
+  ImmutableKvs kvs;
+  ASSERT_TRUE(kvs.Put("k", "v").ok());
+  ASSERT_TRUE(kvs.Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(kvs.Get("k", &value).IsNotFound());
+  EXPECT_TRUE(kvs.Delete("k").IsNotFound());
+}
+
+TEST(ImmutableKvsTest, OldRootsStayReadable) {
+  ImmutableKvs kvs;
+  ASSERT_TRUE(kvs.Put("k", "old").ok());
+  Hash256 old_root = kvs.CurrentRoot();
+  ASSERT_TRUE(kvs.Put("k", "new").ok());
+  EXPECT_NE(kvs.CurrentRoot(), old_root);
+  // Old version still resolvable through the chunk store (immutability).
+  std::string value;
+  ASSERT_TRUE(kvs.Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+// --- RpcServer ------------------------------------------------------------------
+
+TEST(RpcTest, EchoCall) {
+  RpcServer::Options options;
+  options.latency_micros = 0;
+  RpcServer server(
+      [](uint32_t method, const std::string& req, std::string* resp) {
+        *resp = std::to_string(method) + ":" + req;
+        return Status::OK();
+      },
+      options);
+  std::string response;
+  ASSERT_TRUE(server.Call(7, "ping", &response).ok());
+  EXPECT_EQ(response, "7:ping");
+  EXPECT_EQ(server.calls_served(), 1u);
+}
+
+TEST(RpcTest, HandlerErrorPropagates) {
+  RpcServer::Options options;
+  options.latency_micros = 0;
+  RpcServer server(
+      [](uint32_t, const std::string&, std::string*) {
+        return Status::NotFound("nope");
+      },
+      options);
+  std::string response;
+  EXPECT_TRUE(server.Call(1, "", &response).IsNotFound());
+}
+
+TEST(RpcTest, ConcurrentCallersSerializedThroughQueue) {
+  RpcServer::Options options;
+  options.latency_micros = 0;
+  std::atomic<int> in_handler{0};
+  std::atomic<bool> overlap{false};
+  RpcServer server(
+      [&](uint32_t, const std::string& req, std::string* resp) {
+        if (in_handler.fetch_add(1) > 0) overlap = true;
+        *resp = req;
+        in_handler--;
+        return Status::OK();
+      },
+      options);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 8; t++) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < 100; i++) {
+        std::string resp;
+        ASSERT_TRUE(server.Call(0, "x", &resp).ok());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_FALSE(overlap.load()) << "one server thread implies no overlap";
+  EXPECT_EQ(server.calls_served(), 800u);
+}
+
+TEST(RpcTest, LatencyIsApplied) {
+  RpcServer::Options options;
+  options.latency_micros = 200;  // 400us round trip
+  RpcServer server(
+      [](uint32_t, const std::string&, std::string*) { return Status::OK(); },
+      options);
+  std::string response;
+  uint64_t start = MonotonicNanos();
+  ASSERT_TRUE(server.Call(0, "", &response).ok());
+  uint64_t elapsed_us = (MonotonicNanos() - start) / 1000;
+  EXPECT_GE(elapsed_us, 380u);
+}
+
+// --- NonIntrusiveDb --------------------------------------------------------------
+
+NonIntrusiveDb::Options FastOptions() {
+  NonIntrusiveDb::Options options;
+  options.rpc.latency_micros = 0;
+  return options;
+}
+
+TEST(NonIntrusiveDbTest, PutGetRoundTrip) {
+  NonIntrusiveDb db(FastOptions());
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(db.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_TRUE(db.Get("missing", &value).IsNotFound());
+}
+
+TEST(NonIntrusiveDbTest, WriteHitsBothSystems) {
+  NonIntrusiveDb db(FastOptions());
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  EXPECT_EQ(db.underlying_rpc_calls(), 1u);
+  EXPECT_EQ(db.ledger_rpc_calls(), 1u);
+}
+
+TEST(NonIntrusiveDbTest, VerifiedReadRoundTrip) {
+  NonIntrusiveDb db(FastOptions());
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(
+        db.Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  SpitzDigest digest = db.Digest();
+  NonIntrusiveDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("key42", &vv).ok());
+  EXPECT_EQ(vv.value, "val42");
+  EXPECT_TRUE(NonIntrusiveDb::VerifyValue(digest, "key42", vv).ok());
+}
+
+TEST(NonIntrusiveDbTest, VerifyDetectsUnderlyingTampering) {
+  NonIntrusiveDb db(FastOptions());
+  ASSERT_TRUE(db.Put("k", "honest").ok());
+  SpitzDigest digest = db.Digest();
+  NonIntrusiveDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("k", &vv).ok());
+  // The underlying database returns a different value than was ledgered.
+  vv.value = "tampered";
+  EXPECT_TRUE(
+      NonIntrusiveDb::VerifyValue(digest, "k", vv).IsVerificationFailed());
+}
+
+TEST(NonIntrusiveDbTest, ScanAndVerify) {
+  NonIntrusiveDb db(FastOptions());
+  for (int i = 0; i < 200; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(db.Put(key, "v" + std::to_string(i)).ok());
+  }
+  SpitzDigest digest = db.Digest();
+  std::vector<NonIntrusiveDb::VerifiedValue> rows;
+  std::vector<std::string> keys;
+  ASSERT_TRUE(db.ScanVerified("k000050", "k000060", 0, &rows, &keys).ok());
+  ASSERT_EQ(rows.size(), 10u);
+  for (size_t i = 0; i < rows.size(); i++) {
+    EXPECT_TRUE(NonIntrusiveDb::VerifyValue(digest, keys[i], rows[i]).ok());
+  }
+  // Each row required its own ledger round trip (plus the digest and the
+  // 200 appends): the per-record cost of the composed design.
+  EXPECT_GE(db.ledger_rpc_calls(), 211u);
+}
+
+// --- ProcessorPool -----------------------------------------------------------------
+
+TEST(ProcessorPoolTest, HandlesAllRequestTypes) {
+  SpitzDb db;
+  ProcessorPool pool(&db, 4);
+
+  Request put;
+  put.type = Request::Type::kPut;
+  put.key = "k1";
+  put.value = "v1";
+  Response r = pool.Execute(put);
+  ASSERT_TRUE(r.status.ok());
+
+  Request get;
+  get.type = Request::Type::kGet;
+  get.key = "k1";
+  r = pool.Execute(get);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.value, "v1");
+
+  Request vget;
+  vget.type = Request::Type::kVerifiedGet;
+  vget.key = "k1";
+  r = pool.Execute(vget);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(
+      SpitzDb::VerifyRead(r.digest, "k1", r.value, r.read_proof).ok());
+
+  Request del;
+  del.type = Request::Type::kDelete;
+  del.key = "k1";
+  ASSERT_TRUE(pool.Execute(del).status.ok());
+  EXPECT_TRUE(pool.Execute(get).status.IsNotFound());
+  EXPECT_EQ(pool.processed(), 5u);
+}
+
+TEST(ProcessorPoolTest, VerifiedScanThroughPool) {
+  SpitzDb db;
+  ProcessorPool pool(&db, 2);
+  for (int i = 0; i < 100; i++) {
+    Request put;
+    put.type = Request::Type::kPut;
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    put.key = key;
+    put.value = "v";
+    ASSERT_TRUE(pool.Execute(put).status.ok());
+  }
+  Request scan;
+  scan.type = Request::Type::kVerifiedScan;
+  scan.key = "k000010";
+  scan.end_key = "k000030";
+  Response r = pool.Execute(scan);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rows.size(), 20u);
+  EXPECT_TRUE(SpitzDb::VerifyScan(r.digest, "k000010", "k000030", 0, r.rows,
+                                  r.scan_proof)
+                  .ok());
+}
+
+TEST(ProcessorPoolTest, ConcurrentMixedWorkload) {
+  SpitzDb db;
+  ProcessorPool pool(&db, 4);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 500; i++) {
+    Request put;
+    put.type = Request::Type::kPut;
+    put.key = "k" + std::to_string(i % 50);
+    put.value = "v" + std::to_string(i);
+    futures.push_back(pool.Submit(std::move(put)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().status.ok());
+  }
+  ASSERT_TRUE(db.DrainAudits().ok());
+  EXPECT_EQ(db.key_count(), 50u);
+}
+
+TEST(ProcessorPoolTest, ShutdownRejectsNewWork) {
+  SpitzDb db;
+  ProcessorPool pool(&db, 2);
+  pool.Shutdown();
+  Request get;
+  get.type = Request::Type::kGet;
+  get.key = "x";
+  Response r = pool.Execute(get);
+  EXPECT_TRUE(r.status.IsIOError());
+}
+
+// --- ClientVerifier ------------------------------------------------------------------
+
+TEST(ClientVerifierTest, TrustOnFirstUseThenConsistency) {
+  SpitzOptions options;
+  options.block_size = 4;
+  SpitzDb db(options);
+  ClientVerifier client;
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(client.ObserveDigest(db.Digest()).ok());
+
+  for (int i = 20; i < 40; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v").ok());
+  }
+  SpitzDigest next = db.Digest();
+  MerkleConsistencyProof proof;
+  ASSERT_TRUE(db.ProveConsistency(client.digest(), &proof).ok());
+  EXPECT_TRUE(client.ObserveDigest(next, &proof).ok());
+}
+
+TEST(ClientVerifierTest, RejectsDigestWithoutProof) {
+  SpitzOptions options;
+  options.block_size = 2;
+  SpitzDb db(options);
+  ClientVerifier client;
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  ASSERT_TRUE(db.Put("b", "2").ok());
+  ASSERT_TRUE(client.ObserveDigest(db.Digest()).ok());
+  ASSERT_TRUE(db.Put("c", "3").ok());
+  ASSERT_TRUE(db.Put("d", "4").ok());
+  EXPECT_TRUE(
+      client.ObserveDigest(db.Digest()).IsVerificationFailed());
+}
+
+TEST(ClientVerifierTest, RejectsRollback) {
+  SpitzOptions options;
+  options.block_size = 2;
+  SpitzDb db(options);
+  ClientVerifier client;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(client.ObserveDigest(db.Digest()).ok());
+
+  // A "server" presenting a shorter history.
+  SpitzDb shorter(options);
+  ASSERT_TRUE(shorter.Put("k0", "v").ok());
+  ASSERT_TRUE(shorter.Put("k1", "v").ok());
+  EXPECT_TRUE(
+      client.ObserveDigest(shorter.Digest()).IsVerificationFailed());
+}
+
+TEST(ClientVerifierTest, RejectsForkAtEqualSize) {
+  SpitzOptions options;
+  options.block_size = 2;
+  SpitzDb honest(options), forked(options);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(honest.Put("k" + std::to_string(i), "honest").ok());
+    ASSERT_TRUE(forked.Put("k" + std::to_string(i), "forged").ok());
+  }
+  ClientVerifier client;
+  ASSERT_TRUE(client.ObserveDigest(honest.Digest()).ok());
+  EXPECT_TRUE(
+      client.ObserveDigest(forked.Digest()).IsVerificationFailed());
+}
+
+TEST(ClientVerifierTest, ChecksReadsAgainstRetainedDigest) {
+  SpitzDb db;
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  ClientVerifier client;
+  ASSERT_TRUE(client.ObserveDigest(db.Digest()).ok());
+  std::string value;
+  ReadProof proof;
+  ASSERT_TRUE(db.GetWithProof("k", &value, &proof).ok());
+  EXPECT_TRUE(client.CheckRead("k", value, proof).ok());
+  EXPECT_TRUE(client.CheckRead("k", std::string("forged"), proof)
+                  .IsVerificationFailed());
+}
+
+TEST(ClientVerifierTest, NoDigestMeansNoTrust) {
+  ClientVerifier client;
+  ReadProof proof;
+  EXPECT_TRUE(
+      client.CheckRead("k", std::nullopt, proof).IsVerificationFailed());
+}
+
+}  // namespace
+}  // namespace spitz

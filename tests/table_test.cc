@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/table.h"
+
+namespace spitz {
+namespace {
+
+TableSchema OrdersSchema() {
+  TableSchema schema;
+  schema.name = "orders";
+  schema.primary_key_column = "order_id";
+  schema.columns = {
+      {"order_id", ColumnSpec::Type::kString, false},
+      {"customer", ColumnSpec::Type::kString, true},
+      {"status", ColumnSpec::Type::kString, true},
+      {"amount", ColumnSpec::Type::kNumeric, true},
+  };
+  return schema;
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : table_(&db_, &cell_chunks_, OrdersSchema(), 1) {}
+
+  SpitzDb db_;
+  ChunkStore cell_chunks_;
+  Table table_;
+};
+
+TEST_F(TableTest, UpsertAndGetRow) {
+  ASSERT_TRUE(table_
+                  .Upsert({{"order_id", "o1"},
+                           {"customer", "alice"},
+                           {"status", "pending"},
+                           {"amount", "250"}})
+                  .ok());
+  Row row;
+  ASSERT_TRUE(table_.GetRow("o1", &row).ok());
+  EXPECT_EQ(row["customer"], "alice");
+  EXPECT_EQ(row["amount"], "250");
+  EXPECT_EQ(table_.row_count(), 1u);
+}
+
+TEST_F(TableTest, MissingRowNotFound) {
+  Row row;
+  EXPECT_TRUE(table_.GetRow("ghost", &row).IsNotFound());
+}
+
+TEST_F(TableTest, UpsertRequiresPrimaryKey) {
+  EXPECT_TRUE(table_.Upsert({{"customer", "bob"}}).IsInvalidArgument());
+}
+
+TEST_F(TableTest, UpsertRejectsUnknownColumn) {
+  EXPECT_TRUE(table_
+                  .Upsert({{"order_id", "o1"}, {"bogus", "x"}})
+                  .IsInvalidArgument());
+}
+
+TEST_F(TableTest, PartialUpdateKeepsOtherColumns) {
+  ASSERT_TRUE(table_
+                  .Upsert({{"order_id", "o1"},
+                           {"customer", "alice"},
+                           {"status", "pending"}})
+                  .ok());
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "shipped"}}).ok());
+  Row row;
+  ASSERT_TRUE(table_.GetRow("o1", &row).ok());
+  EXPECT_EQ(row["customer"], "alice");
+  EXPECT_EQ(row["status"], "shipped");
+  EXPECT_EQ(table_.row_count(), 1u);  // still one row
+}
+
+TEST_F(TableTest, UpsertJsonDocument) {
+  ASSERT_TRUE(table_
+                  .UpsertJson(R"({"order_id":"o9","customer":"carol",
+                                  "status":"pending","amount":99})")
+                  .ok());
+  Row row;
+  ASSERT_TRUE(table_.GetRow("o9", &row).ok());
+  EXPECT_EQ(row["customer"], "carol");
+  EXPECT_EQ(row["amount"], "99");
+}
+
+TEST_F(TableTest, UpsertJsonRejectsNonObject) {
+  EXPECT_TRUE(table_.UpsertJson("[1,2,3]").IsInvalidArgument());
+  EXPECT_TRUE(table_.UpsertJson("{bad json").IsInvalidArgument());
+}
+
+TEST_F(TableTest, NumericRangeQuery) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(table_
+                    .Upsert({{"order_id", "o" + std::to_string(i)},
+                             {"amount", std::to_string(i * 10)}})
+                    .ok());
+  }
+  std::vector<std::string> pks;
+  ASSERT_TRUE(table_.QueryNumericRange("amount", 100, 150, &pks).ok());
+  // amounts 100,110,...,150 -> o10..o15
+  EXPECT_EQ(pks.size(), 6u);
+}
+
+TEST_F(TableTest, NumericRangeReflectsUpdates) {
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"amount", "100"}}).ok());
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"amount", "500"}}).ok());
+  std::vector<std::string> pks;
+  ASSERT_TRUE(table_.QueryNumericRange("amount", 50, 150, &pks).ok());
+  EXPECT_TRUE(pks.empty()) << "old value must be unindexed";
+  ASSERT_TRUE(table_.QueryNumericRange("amount", 400, 600, &pks).ok());
+  EXPECT_EQ(pks, std::vector<std::string>{"o1"});
+}
+
+TEST_F(TableTest, StringQueries) {
+  ASSERT_TRUE(
+      table_.Upsert({{"order_id", "o1"}, {"status", "shipped"}}).ok());
+  ASSERT_TRUE(
+      table_.Upsert({{"order_id", "o2"}, {"status", "shipping"}}).ok());
+  ASSERT_TRUE(
+      table_.Upsert({{"order_id", "o3"}, {"status", "pending"}}).ok());
+  std::vector<std::string> pks;
+  ASSERT_TRUE(table_.QueryStringEquals("status", "shipped", &pks).ok());
+  EXPECT_EQ(pks, std::vector<std::string>{"o1"});
+  ASSERT_TRUE(table_.QueryStringPrefix("status", "ship", &pks).ok());
+  EXPECT_EQ(pks.size(), 2u);
+  ASSERT_TRUE(table_.QueryStringEquals("status", "unknown", &pks).ok());
+  EXPECT_TRUE(pks.empty());
+}
+
+TEST_F(TableTest, QueryOnUnindexedColumnFails) {
+  std::vector<std::string> pks;
+  EXPECT_TRUE(
+      table_.QueryNumericRange("order_id", 0, 10, &pks).IsInvalidArgument());
+}
+
+TEST_F(TableTest, CellHistoryTracksVersions) {
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "pending"}}).ok());
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "paid"}}).ok());
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "shipped"}}).ok());
+  std::vector<std::pair<uint64_t, std::string>> versions;
+  ASSERT_TRUE(table_.CellHistory("o1", "status", &versions).ok());
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].second, "pending");
+  EXPECT_EQ(versions[2].second, "shipped");
+  EXPECT_LT(versions[0].first, versions[2].first);
+}
+
+TEST_F(TableTest, GetRowAtSnapshot) {
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "pending"}}).ok());
+  std::vector<std::pair<uint64_t, std::string>> versions;
+  ASSERT_TRUE(table_.CellHistory("o1", "status", &versions).ok());
+  uint64_t first_ts = versions[0].first;
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "shipped"}}).ok());
+  Row row;
+  ASSERT_TRUE(table_.GetRowAt("o1", first_ts, &row).ok());
+  EXPECT_EQ(row["status"], "pending");
+}
+
+TEST_F(TableTest, VerifiedRowReadChecksProofs) {
+  ASSERT_TRUE(table_
+                  .Upsert({{"order_id", "o1"},
+                           {"customer", "alice"},
+                           {"status", "pending"},
+                           {"amount", "250"}})
+                  .ok());
+  Row row;
+  ASSERT_TRUE(table_.GetRowVerified("o1", &row).ok());
+  EXPECT_EQ(row.size(), 4u);
+  EXPECT_EQ(row["customer"], "alice");
+}
+
+TEST_F(TableTest, ScanRowsByPrimaryKeyRange) {
+  for (int i = 0; i < 30; i++) {
+    char pk[16];
+    snprintf(pk, sizeof(pk), "o%04d", i);
+    ASSERT_TRUE(table_
+                    .Upsert({{"order_id", pk},
+                             {"amount", std::to_string(i)}})
+                    .ok());
+  }
+  std::vector<std::pair<std::string, Row>> rows;
+  ASSERT_TRUE(table_.ScanRows("o0010", "o0015", 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows.front().first, "o0010");
+  EXPECT_EQ(rows.front().second.at("amount"), "10");
+  ASSERT_TRUE(table_.ScanRows("o0000", "", 3, &rows).ok());
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(TableTest, WritesAreLedgered) {
+  ASSERT_TRUE(table_.Upsert({{"order_id", "o1"}, {"status", "x"}}).ok());
+  // Two cells (order_id + status) -> two ledger entries.
+  EXPECT_EQ(db_.entry_count(), 2u);
+}
+
+}  // namespace
+}  // namespace spitz
