@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node_size.dir/ablation_node_size.cc.o"
+  "CMakeFiles/ablation_node_size.dir/ablation_node_size.cc.o.d"
+  "ablation_node_size"
+  "ablation_node_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_siri.dir/ablation_siri.cc.o"
+  "CMakeFiles/ablation_siri.dir/ablation_siri.cc.o.d"
+  "ablation_siri"
+  "ablation_siri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_siri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

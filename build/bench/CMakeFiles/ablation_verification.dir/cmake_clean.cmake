@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_verification.dir/ablation_verification.cc.o"
+  "CMakeFiles/ablation_verification.dir/ablation_verification.cc.o.d"
+  "ablation_verification"
+  "ablation_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

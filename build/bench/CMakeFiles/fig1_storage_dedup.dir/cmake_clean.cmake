@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_storage_dedup.dir/fig1_storage_dedup.cc.o"
+  "CMakeFiles/fig1_storage_dedup.dir/fig1_storage_dedup.cc.o.d"
+  "fig1_storage_dedup"
+  "fig1_storage_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_storage_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_point_ops.dir/fig6_point_ops.cc.o"
+  "CMakeFiles/fig6_point_ops.dir/fig6_point_ops.cc.o.d"
+  "fig6_point_ops"
+  "fig6_point_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_point_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

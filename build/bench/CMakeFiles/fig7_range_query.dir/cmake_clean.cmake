@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_range_query.dir/fig7_range_query.cc.o"
+  "CMakeFiles/fig7_range_query.dir/fig7_range_query.cc.o.d"
+  "fig7_range_query"
+  "fig7_range_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nonintrusive.dir/fig8_nonintrusive.cc.o"
+  "CMakeFiles/fig8_nonintrusive.dir/fig8_nonintrusive.cc.o.d"
+  "fig8_nonintrusive"
+  "fig8_nonintrusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nonintrusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_audit.dir/ecommerce_audit.cpp.o"
+  "CMakeFiles/ecommerce_audit.dir/ecommerce_audit.cpp.o.d"
+  "ecommerce_audit"
+  "ecommerce_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_analytics.dir/federated_analytics.cpp.o"
+  "CMakeFiles/federated_analytics.dir/federated_analytics.cpp.o.d"
+  "federated_analytics"
+  "federated_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_records.dir/medical_records.cpp.o"
+  "CMakeFiles/medical_records.dir/medical_records.cpp.o.d"
+  "medical_records"
+  "medical_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_repl.dir/sql_repl.cpp.o"
+  "CMakeFiles/sql_repl.dir/sql_repl.cpp.o.d"
+  "sql_repl"
+  "sql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

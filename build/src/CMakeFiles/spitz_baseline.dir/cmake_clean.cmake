@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_baseline.dir/baseline/baseline_db.cc.o"
+  "CMakeFiles/spitz_baseline.dir/baseline/baseline_db.cc.o.d"
+  "libspitz_baseline.a"
+  "libspitz_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

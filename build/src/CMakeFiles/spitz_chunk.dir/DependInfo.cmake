@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/blob_store.cc" "src/CMakeFiles/spitz_chunk.dir/chunk/blob_store.cc.o" "gcc" "src/CMakeFiles/spitz_chunk.dir/chunk/blob_store.cc.o.d"
+  "/root/repo/src/chunk/chunk_store.cc" "src/CMakeFiles/spitz_chunk.dir/chunk/chunk_store.cc.o" "gcc" "src/CMakeFiles/spitz_chunk.dir/chunk/chunk_store.cc.o.d"
+  "/root/repo/src/chunk/chunker.cc" "src/CMakeFiles/spitz_chunk.dir/chunk/chunker.cc.o" "gcc" "src/CMakeFiles/spitz_chunk.dir/chunk/chunker.cc.o.d"
+  "/root/repo/src/chunk/file_chunk_store.cc" "src/CMakeFiles/spitz_chunk.dir/chunk/file_chunk_store.cc.o" "gcc" "src/CMakeFiles/spitz_chunk.dir/chunk/file_chunk_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_chunk.dir/chunk/blob_store.cc.o"
+  "CMakeFiles/spitz_chunk.dir/chunk/blob_store.cc.o.d"
+  "CMakeFiles/spitz_chunk.dir/chunk/chunk_store.cc.o"
+  "CMakeFiles/spitz_chunk.dir/chunk/chunk_store.cc.o.d"
+  "CMakeFiles/spitz_chunk.dir/chunk/chunker.cc.o"
+  "CMakeFiles/spitz_chunk.dir/chunk/chunker.cc.o.d"
+  "CMakeFiles/spitz_chunk.dir/chunk/file_chunk_store.cc.o"
+  "CMakeFiles/spitz_chunk.dir/chunk/file_chunk_store.cc.o.d"
+  "libspitz_chunk.a"
+  "libspitz_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_common.dir/common/codec.cc.o"
+  "CMakeFiles/spitz_common.dir/common/codec.cc.o.d"
+  "CMakeFiles/spitz_common.dir/common/status.cc.o"
+  "CMakeFiles/spitz_common.dir/common/status.cc.o.d"
+  "libspitz_common.a"
+  "libspitz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

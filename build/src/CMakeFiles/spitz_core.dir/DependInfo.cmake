@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/federated.cc" "src/CMakeFiles/spitz_core.dir/core/federated.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/federated.cc.o.d"
+  "/root/repo/src/core/json.cc" "src/CMakeFiles/spitz_core.dir/core/json.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/json.cc.o.d"
+  "/root/repo/src/core/processor.cc" "src/CMakeFiles/spitz_core.dir/core/processor.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/processor.cc.o.d"
+  "/root/repo/src/core/spitz_db.cc" "src/CMakeFiles/spitz_core.dir/core/spitz_db.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/spitz_db.cc.o.d"
+  "/root/repo/src/core/sql.cc" "src/CMakeFiles/spitz_core.dir/core/sql.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/sql.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/spitz_core.dir/core/table.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/table.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/CMakeFiles/spitz_core.dir/core/verifier.cc.o" "gcc" "src/CMakeFiles/spitz_core.dir/core/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

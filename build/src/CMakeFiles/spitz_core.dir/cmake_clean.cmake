@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_core.dir/core/federated.cc.o"
+  "CMakeFiles/spitz_core.dir/core/federated.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/json.cc.o"
+  "CMakeFiles/spitz_core.dir/core/json.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/processor.cc.o"
+  "CMakeFiles/spitz_core.dir/core/processor.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/spitz_db.cc.o"
+  "CMakeFiles/spitz_core.dir/core/spitz_db.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/sql.cc.o"
+  "CMakeFiles/spitz_core.dir/core/sql.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/table.cc.o"
+  "CMakeFiles/spitz_core.dir/core/table.cc.o.d"
+  "CMakeFiles/spitz_core.dir/core/verifier.cc.o"
+  "CMakeFiles/spitz_core.dir/core/verifier.cc.o.d"
+  "libspitz_core.a"
+  "libspitz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

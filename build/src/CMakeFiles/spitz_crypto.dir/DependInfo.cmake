@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hash.cc" "src/CMakeFiles/spitz_crypto.dir/crypto/hash.cc.o" "gcc" "src/CMakeFiles/spitz_crypto.dir/crypto/hash.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/spitz_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/spitz_crypto.dir/crypto/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

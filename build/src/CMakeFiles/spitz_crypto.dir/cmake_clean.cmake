@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_crypto.dir/crypto/hash.cc.o"
+  "CMakeFiles/spitz_crypto.dir/crypto/hash.cc.o.d"
+  "CMakeFiles/spitz_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/spitz_crypto.dir/crypto/sha256.cc.o.d"
+  "libspitz_crypto.a"
+  "libspitz_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

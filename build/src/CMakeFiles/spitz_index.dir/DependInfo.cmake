@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/spitz_index.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/mbt.cc" "src/CMakeFiles/spitz_index.dir/index/mbt.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/mbt.cc.o.d"
+  "/root/repo/src/index/mpt.cc" "src/CMakeFiles/spitz_index.dir/index/mpt.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/mpt.cc.o.d"
+  "/root/repo/src/index/pos_tree.cc" "src/CMakeFiles/spitz_index.dir/index/pos_tree.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/pos_tree.cc.o.d"
+  "/root/repo/src/index/pos_tree_iterator.cc" "src/CMakeFiles/spitz_index.dir/index/pos_tree_iterator.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/pos_tree_iterator.cc.o.d"
+  "/root/repo/src/index/radix_tree.cc" "src/CMakeFiles/spitz_index.dir/index/radix_tree.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/radix_tree.cc.o.d"
+  "/root/repo/src/index/skiplist.cc" "src/CMakeFiles/spitz_index.dir/index/skiplist.cc.o" "gcc" "src/CMakeFiles/spitz_index.dir/index/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_index.dir/index/btree.cc.o"
+  "CMakeFiles/spitz_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/mbt.cc.o"
+  "CMakeFiles/spitz_index.dir/index/mbt.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/mpt.cc.o"
+  "CMakeFiles/spitz_index.dir/index/mpt.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/pos_tree.cc.o"
+  "CMakeFiles/spitz_index.dir/index/pos_tree.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/pos_tree_iterator.cc.o"
+  "CMakeFiles/spitz_index.dir/index/pos_tree_iterator.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/radix_tree.cc.o"
+  "CMakeFiles/spitz_index.dir/index/radix_tree.cc.o.d"
+  "CMakeFiles/spitz_index.dir/index/skiplist.cc.o"
+  "CMakeFiles/spitz_index.dir/index/skiplist.cc.o.d"
+  "libspitz_index.a"
+  "libspitz_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_ledger.dir/ledger/block.cc.o"
+  "CMakeFiles/spitz_ledger.dir/ledger/block.cc.o.d"
+  "CMakeFiles/spitz_ledger.dir/ledger/journal.cc.o"
+  "CMakeFiles/spitz_ledger.dir/ledger/journal.cc.o.d"
+  "CMakeFiles/spitz_ledger.dir/ledger/merkle_tree.cc.o"
+  "CMakeFiles/spitz_ledger.dir/ledger/merkle_tree.cc.o.d"
+  "libspitz_ledger.a"
+  "libspitz_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_nonintrusive.dir/nonintrusive/non_intrusive_db.cc.o"
+  "CMakeFiles/spitz_nonintrusive.dir/nonintrusive/non_intrusive_db.cc.o.d"
+  "CMakeFiles/spitz_nonintrusive.dir/nonintrusive/rpc.cc.o"
+  "CMakeFiles/spitz_nonintrusive.dir/nonintrusive/rpc.cc.o.d"
+  "libspitz_nonintrusive.a"
+  "libspitz_nonintrusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_nonintrusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

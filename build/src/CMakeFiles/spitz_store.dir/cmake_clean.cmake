@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_store.dir/store/cell_store.cc.o"
+  "CMakeFiles/spitz_store.dir/store/cell_store.cc.o.d"
+  "libspitz_store.a"
+  "libspitz_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/batch_verifier.cc" "src/CMakeFiles/spitz_txn.dir/txn/batch_verifier.cc.o" "gcc" "src/CMakeFiles/spitz_txn.dir/txn/batch_verifier.cc.o.d"
+  "/root/repo/src/txn/mvcc.cc" "src/CMakeFiles/spitz_txn.dir/txn/mvcc.cc.o" "gcc" "src/CMakeFiles/spitz_txn.dir/txn/mvcc.cc.o.d"
+  "/root/repo/src/txn/two_phase_commit.cc" "src/CMakeFiles/spitz_txn.dir/txn/two_phase_commit.cc.o" "gcc" "src/CMakeFiles/spitz_txn.dir/txn/two_phase_commit.cc.o.d"
+  "/root/repo/src/txn/write_batch.cc" "src/CMakeFiles/spitz_txn.dir/txn/write_batch.cc.o" "gcc" "src/CMakeFiles/spitz_txn.dir/txn/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_txn.dir/txn/batch_verifier.cc.o"
+  "CMakeFiles/spitz_txn.dir/txn/batch_verifier.cc.o.d"
+  "CMakeFiles/spitz_txn.dir/txn/mvcc.cc.o"
+  "CMakeFiles/spitz_txn.dir/txn/mvcc.cc.o.d"
+  "CMakeFiles/spitz_txn.dir/txn/two_phase_commit.cc.o"
+  "CMakeFiles/spitz_txn.dir/txn/two_phase_commit.cc.o.d"
+  "CMakeFiles/spitz_txn.dir/txn/write_batch.cc.o"
+  "CMakeFiles/spitz_txn.dir/txn/write_batch.cc.o.d"
+  "libspitz_txn.a"
+  "libspitz_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspitz_txn.a"
+)

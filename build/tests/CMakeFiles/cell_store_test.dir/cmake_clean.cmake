@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_store_test.dir/cell_store_test.cc.o"
+  "CMakeFiles/cell_store_test.dir/cell_store_test.cc.o.d"
+  "cell_store_test"
+  "cell_store_test.pdb"
+  "cell_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_test.dir/federated_test.cc.o"
+  "CMakeFiles/federated_test.dir/federated_test.cc.o.d"
+  "federated_test"
+  "federated_test.pdb"
+  "federated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

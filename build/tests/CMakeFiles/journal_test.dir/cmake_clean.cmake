@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_test.dir/journal_test.cc.o"
+  "CMakeFiles/journal_test.dir/journal_test.cc.o.d"
+  "journal_test"
+  "journal_test.pdb"
+  "journal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/json_test.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/json_test.dir/json_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spitz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spitz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_tree_test.dir/merkle_tree_test.cc.o"
+  "CMakeFiles/merkle_tree_test.dir/merkle_tree_test.cc.o.d"
+  "merkle_tree_test"
+  "merkle_tree_test.pdb"
+  "merkle_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpt_mbt_test.dir/mpt_mbt_test.cc.o"
+  "CMakeFiles/mpt_mbt_test.dir/mpt_mbt_test.cc.o.d"
+  "mpt_mbt_test"
+  "mpt_mbt_test.pdb"
+  "mpt_mbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpt_mbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pos_tree_test.dir/pos_tree_test.cc.o"
+  "CMakeFiles/pos_tree_test.dir/pos_tree_test.cc.o.d"
+  "pos_tree_test"
+  "pos_tree_test.pdb"
+  "pos_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pos_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitz_db_test.dir/spitz_db_test.cc.o"
+  "CMakeFiles/spitz_db_test.dir/spitz_db_test.cc.o.d"
+  "spitz_db_test"
+  "spitz_db_test.pdb"
+  "spitz_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitz_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_test.dir/systems_test.cc.o"
+  "CMakeFiles/systems_test.dir/systems_test.cc.o.d"
+  "systems_test"
+  "systems_test.pdb"
+  "systems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_test.dir/txn_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn_test.cc.o.d"
+  "txn_test"
+  "txn_test.pdb"
+  "txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

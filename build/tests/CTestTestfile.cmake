@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_test[1]_include.cmake")
+include("/root/repo/build/tests/merkle_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/pos_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/inverted_index_test[1]_include.cmake")
+include("/root/repo/build/tests/mpt_mbt_test[1]_include.cmake")
+include("/root/repo/build/tests/cell_store_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/spitz_db_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_db_test[1]_include.cmake")
+include("/root/repo/build/tests/systems_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/federated_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
