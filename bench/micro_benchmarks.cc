@@ -7,11 +7,14 @@
 #include "chunk/chunk_store.h"
 #include "chunk/chunker.h"
 #include "common/random.h"
+#include "core/spitz_db.h"
 #include "crypto/sha256.h"
 #include "index/btree.h"
+#include "index/node_cache.h"
 #include "index/pos_tree.h"
 #include "index/skiplist.h"
 #include "ledger/merkle_tree.h"
+#include "txn/batch_verifier.h"
 #include "txn/mvcc.h"
 
 namespace spitz {
@@ -108,6 +111,81 @@ void BM_PosTreeVerifiedGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PosTreeVerifiedGet)->Arg(100000);
+
+// Verified reads through the full database stack, with the decoded-node
+// cache on (arg1 = cache bytes; 0 disables it for an ablation). Reports
+// the pipeline counters new BENCH_*.json files track: node-cache hit
+// rate and the deferred verifier's queue depth/backlog.
+void BM_SpitzDbVerifiedGet(benchmark::State& state) {
+  SpitzOptions options;
+  options.node_cache_bytes = static_cast<size_t>(state.range(1));
+  SpitzDb db(options);
+  Random rng(11);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<PosEntry> entries;
+  for (int i = 0; i < n; i++) {
+    entries.push_back({"key" + std::to_string(i), rng.Bytes(20)});
+  }
+  if (!db.BulkLoad(entries).ok()) abort();
+  SpitzDigest digest = db.Digest();
+  PosNodeCacheStats cache_before = db.node_cache_stats();
+  std::string value;
+  size_t i = 0;
+  for (auto _ : state) {
+    ReadProof proof;
+    const std::string& key = entries[i % entries.size()].key;
+    if (!db.GetWithProof(key, &value, &proof).ok()) abort();
+    if (!SpitzDb::VerifyRead(digest, key, value, proof).ok()) abort();
+    // Every read is also audited in the background — keeps a realistic
+    // deferred-verification load on the pipeline.
+    if (!db.AuditKey(key).ok()) abort();
+    i += 104729;
+  }
+  DeferredVerifier::Stats audit = db.audit_stats();
+  state.counters["verifier_queue_depth"] =
+      static_cast<double>(audit.queue_depth);
+  state.counters["verifier_workers"] = static_cast<double>(audit.workers);
+  if (!db.DrainAudits().ok()) abort();
+  PosNodeCacheStats cache = db.node_cache_stats();
+  uint64_t lookups = (cache.hits - cache_before.hits) +
+                     (cache.misses - cache_before.misses);
+  state.counters["node_cache_hit_rate"] =
+      lookups == 0
+          ? 0.0
+          : static_cast<double>(cache.hits - cache_before.hits) /
+                static_cast<double>(lookups);
+  state.counters["node_cache_bytes"] = static_cast<double>(cache.bytes);
+}
+BENCHMARK(BM_SpitzDbVerifiedGet)
+    ->Args({100000, 32 << 20})
+    ->Args({100000, 0});
+
+// Drain rate of the deferred-verification worker pool on a CPU-bound
+// check, reporting the backlog the producer saw (arg = workers).
+void BM_DeferredVerifierDrain(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  Random rng(12);
+  std::string data = rng.Bytes(1024);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DeferredVerifier verifier(DeferredVerifier::Options(64, workers));
+    state.ResumeTiming();
+    for (int i = 0; i < 4096; i++) {
+      verifier.Submit([&data] {
+        uint8_t out[Sha256::kDigestSize];
+        Sha256::Digest(data, out);
+        benchmark::DoNotOptimize(out);
+        return Status::OK();
+      });
+    }
+    state.counters["verifier_queue_depth"] =
+        static_cast<double>(verifier.queue_depth());
+    verifier.Flush();
+    if (verifier.verified_count() != 4096) abort();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DeferredVerifierDrain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_BTreePutGet(benchmark::State& state) {
   BTree tree;

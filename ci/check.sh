@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite in Release, then the concurrency tests
+# under ThreadSanitizer. Both must be green for a change to land.
+#
+# Usage: ci/check.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> tier-1: Release build + full ctest"
+cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "==> tier-2: ThreadSanitizer concurrency suite"
+cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DSPITZ_SANITIZE=thread
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
+      --target concurrency_test txn_test spitz_db_test
+# TSAN_OPTIONS makes any reported race fail the run (exit code).
+TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
+  ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+        -R 'Concurrency|DeferredVerifier|SpitzDb'
+
+echo "==> all checks passed"

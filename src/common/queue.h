@@ -1,11 +1,13 @@
 #ifndef SPITZ_COMMON_QUEUE_H_
 #define SPITZ_COMMON_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace spitz {
 
@@ -49,6 +51,31 @@ class BoundedQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  // Blocks until at least one item is available (or the queue is closed),
+  // then moves up to `max_items` into *out in FIFO order. Returns false
+  // only when the queue is closed and fully drained — the consumer-pool
+  // exit signal. Draining several items per lock acquisition is what
+  // lets a pool of consumers amortize synchronization under load.
+  bool PopBatch(size_t max_items, std::vector<T>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    size_t n = std::min(max_items, items_.size());
+    out->reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    // Several producer slots may have opened up at once.
+    if (n > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
+    return true;
   }
 
   // Non-blocking pop.

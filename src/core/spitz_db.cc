@@ -30,12 +30,17 @@ std::unique_ptr<ChunkStore> MakeChunkStore(const SpitzOptions& options,
 SpitzDb::SpitzDb(SpitzOptions options)
     : options_(options),
       chunks_(std::make_unique<ChunkStore>()),
+      node_cache_(options.node_cache_bytes > 0
+                      ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
+                      : nullptr),
       index_(chunks_.get(), options.index_options),
-      auditor_(std::make_unique<DeferredVerifier>(
-          DeferredVerifier::Options(options.audit_batch_size))) {
+      auditor_(std::make_unique<DeferredVerifier>(DeferredVerifier::Options(
+          options.audit_batch_size, options.audit_workers))) {
   // Durable databases must go through Open() so recovery errors are
   // reported; the plain constructor is the in-memory path.
   options_.data_dir.clear();
+  index_.SetNodeCache(node_cache_.get());
+  PublishSnapshotLocked(/*journal_changed=*/true);
 }
 
 Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
@@ -48,10 +53,17 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
   instance->chunks_ = MakeChunkStore(options, &s);
   if (!s.ok()) return s;
   // Rebind the index to the durable store (the default-constructed one
-  // pointed at the throwaway in-memory store).
+  // pointed at the throwaway in-memory store); Reset drops the cache
+  // attachment, so re-create and re-attach it for the durable store.
   instance->index_.Reset(instance->chunks_.get(), options.index_options);
+  instance->node_cache_ =
+      options.node_cache_bytes > 0
+          ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
+          : nullptr;
+  instance->index_.SetNodeCache(instance->node_cache_.get());
   s = instance->Recover();
   if (!s.ok()) return s;
+  instance->PublishSnapshotLocked(/*journal_changed=*/true);
   *db = std::move(instance);
   return Status::OK();
 }
@@ -125,6 +137,17 @@ Status SpitzDb::SyncStorage() {
   return Status::OK();
 }
 
+void SpitzDb::PublishSnapshotLocked(bool journal_changed) {
+  std::shared_ptr<const Snapshot> prev = CurrentSnapshot();
+  auto snap = std::make_shared<Snapshot>();
+  snap->root = root_;
+  snap->last_commit_ts = last_commit_ts_;
+  snap->journal = (journal_changed || prev == nullptr) ? ledger_.Digest()
+                                                       : prev->journal;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
 Status SpitzDb::Put(const Slice& key, const Slice& value) {
   WriteBatch batch;
   batch.Put(key, value);
@@ -172,6 +195,7 @@ Status SpitzDb::WriteLocked(const WriteBatch& batch) {
   if (pending_.size() >= options_.block_size) {
     SealBlockLocked();
   }
+  PublishSnapshotLocked(/*journal_changed=*/false);
   return Status::OK();
 }
 
@@ -183,6 +207,7 @@ void SpitzDb::SealBlockLocked() {
   pending_.clear();
   IndexBlockHistoryLocked(height);
   PersistBlockLocked(height);
+  PublishSnapshotLocked(/*journal_changed=*/true);
 }
 
 void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
@@ -232,6 +257,7 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
     i += options_.block_size;
   }
   pending_.assign(all.begin() + i, all.end());
+  PublishSnapshotLocked(/*journal_changed=*/true);
   return Status::OK();
 }
 
@@ -275,55 +301,42 @@ void SpitzDb::FlushBlock() {
   SealBlockLocked();
 }
 
+// The read path is lock-free: one atomic shared_ptr load pins an
+// immutable snapshot (root + digest), and the traversal below it only
+// touches content-addressed chunks that no writer ever mutates. Readers
+// therefore never serialize against commits or against each other.
+
 Status SpitzDb::Get(const Slice& key, std::string* value) const {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
-  return index_.Get(root, key, value);
+  return index_.Get(CurrentSnapshot()->root, key, value);
 }
 
 Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
                              ReadProof* proof) const {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
+  Hash256 root = CurrentSnapshot()->root;
   proof->index_root = root;
   return index_.GetWithProof(root, key, value, &proof->index_proof);
 }
 
 Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
                      std::vector<PosEntry>* out) const {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
-  return index_.Scan(root, start, end, limit, out);
+  return index_.Scan(CurrentSnapshot()->root, start, end, limit, out);
 }
 
 Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
                               size_t limit, std::vector<PosEntry>* out,
                               ScanProof* proof) const {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
+  Hash256 root = CurrentSnapshot()->root;
   proof->index_root = root;
   return index_.ScanWithProof(root, start, end, limit, out,
                               &proof->index_proof);
 }
 
 SpitzDigest SpitzDb::Digest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
   SpitzDigest d;
-  d.index_root = root_;
-  d.journal = ledger_.Digest();
-  d.last_commit_ts = last_commit_ts_;
+  d.index_root = snap->root;
+  d.journal = snap->journal;
+  d.last_commit_ts = snap->last_commit_ts;
   return d;
 }
 
@@ -408,11 +421,7 @@ Status SpitzDb::ScanAt(const Hash256& index_root, const Slice& start,
 
 Status SpitzDb::AuditWrite(
     const Slice& key, const std::optional<std::string>& expected_value) {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
+  Hash256 root = CurrentSnapshot()->root;
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy, expected_value] {
     std::string value;
@@ -435,11 +444,7 @@ Status SpitzDb::AuditWrite(
 }
 
 Status SpitzDb::AuditKey(const Slice& key) {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
+  Hash256 root = CurrentSnapshot()->root;
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy] {
     std::string value;
@@ -469,13 +474,8 @@ uint64_t SpitzDb::entry_count() const {
 }
 
 uint64_t SpitzDb::key_count() const {
-  Hash256 root;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    root = root_;
-  }
   uint64_t count = 0;
-  index_.Count(root, &count);
+  index_.Count(CurrentSnapshot()->root, &count);
   return count;
 }
 

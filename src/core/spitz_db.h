@@ -1,6 +1,7 @@
 #ifndef SPITZ_CORE_SPITZ_DB_H_
 #define SPITZ_CORE_SPITZ_DB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "chunk/chunk_store.h"
 #include "common/status.h"
 #include "crypto/hash.h"
+#include "index/node_cache.h"
 #include "index/pos_tree.h"
 #include "index/pos_tree_iterator.h"
 #include "ledger/journal.h"
@@ -50,6 +52,12 @@ struct SpitzOptions {
   // Deferred-verification batch for the auditor (0 = online; paper 5.3
   // uses deferred).
   size_t audit_batch_size = 64;
+  // Worker threads draining the deferred-verification queue (0 = one
+  // per hardware thread). Ignored in online mode.
+  size_t audit_workers = 0;
+  // Byte budget for the decoded POS-tree node cache shared by every
+  // read, write and audit traversal (0 disables caching).
+  size_t node_cache_bytes = PosNodeCache::kDefaultCapacityBytes;
   // When non-empty, the database is durable: chunks and sealed ledger
   // blocks are persisted under this directory and recovered by Open().
   // Durability is at block boundaries — call FlushBlock() to make the
@@ -116,12 +124,8 @@ class SpitzDb {
   // a stable snapshot: concurrent writes never disturb it. Pass a
   // historical root (IndexRootAt) to iterate an old version.
   std::unique_ptr<PosTreeIterator> NewIterator() const {
-    Hash256 root;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      root = root_;
-    }
-    return std::make_unique<PosTreeIterator>(chunks_.get(), root);
+    return std::make_unique<PosTreeIterator>(chunks_.get(),
+                                             CurrentSnapshot()->root);
   }
   std::unique_ptr<PosTreeIterator> NewIteratorAt(
       const Hash256& index_root) const {
@@ -206,10 +210,42 @@ class SpitzDb {
   const ChunkStore* chunk_store() const { return chunks_.get(); }
   uint64_t key_count() const;
 
+  // Decoded-node cache counters (all zero when the cache is disabled).
+  PosNodeCacheStats node_cache_stats() const {
+    return node_cache_ ? node_cache_->stats() : PosNodeCacheStats{};
+  }
+  // Deferred-verifier counters (queue depth, worker pool size, ...).
+  DeferredVerifier::Stats audit_stats() const { return auditor_->stats(); }
+
   // Durable databases only: fsync the chunk log.
   Status SyncStorage();
 
  private:
+  // The immutable read-path state published by every commit: readers
+  // grab one shared_ptr and then traverse chunks that can never change
+  // underneath them, so Get/GetWithProof/Scan/Digest never serialize
+  // against commits or each other. mu_ remains the *writer* lock only;
+  // snapshot_mu_ guards nothing but the pointer copy below (a few
+  // instructions — it is never held across a traversal or a commit).
+  // A std::atomic<shared_ptr> would also work, but libstdc++'s
+  // lock-bit implementation trips ThreadSanitizer, and the dedicated
+  // micro-mutex is just as uncontended in practice.
+  struct Snapshot {
+    Hash256 root;  // current index version
+    uint64_t last_commit_ts = 0;
+    JournalDigest journal;  // digest of the sealed-block history
+  };
+
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+  // Re-publishes the snapshot from the writer-side state; callers hold
+  // mu_ (or are single-threaded, during construction/recovery). The
+  // journal digest is O(sealed blocks) to recompute, so it is carried
+  // over from the previous snapshot unless `journal_changed`.
+  void PublishSnapshotLocked(bool journal_changed);
+
   // Applies ops to the index and ledger under mu_.
   Status WriteLocked(const WriteBatch& batch);
   void SealBlockLocked();
@@ -224,12 +260,17 @@ class SpitzDb {
 
   SpitzOptions options_;
   std::unique_ptr<ChunkStore> chunks_;
+  std::unique_ptr<PosNodeCache> node_cache_;
   PosTree index_;
   // Durable mode: sealed blocks are appended here (length-prefixed).
   FILE* journal_file_ = nullptr;
   Journal ledger_;
   TimestampOracle clock_;
   std::unique_ptr<DeferredVerifier> auditor_;
+
+  // Read-path state; see Snapshot above. Never null after construction.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
 
   mutable std::mutex mu_;
   Hash256 root_;                      // current index version

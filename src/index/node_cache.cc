@@ -1,0 +1,77 @@
+#include "index/node_cache.h"
+
+#include <algorithm>
+
+namespace spitz {
+
+PosNodeCache::PosNodeCache(size_t capacity_bytes, size_t shard_count)
+    : capacity_bytes_(capacity_bytes),
+      shard_count_(std::max<size_t>(1, shard_count)),
+      shard_budget_(std::max<size_t>(1, capacity_bytes / shard_count_)),
+      shards_(new Shard[shard_count_]) {}
+
+std::shared_ptr<const PosNode> PosNodeCache::Lookup(const Hash256& id) {
+  Shard* shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(id);
+  if (it == shard->map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Promote to most-recently-used.
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  return it->second->second;
+}
+
+void PosNodeCache::Insert(const Hash256& id,
+                          std::shared_ptr<const PosNode> node) {
+  if (node == nullptr) return;
+  const size_t charge = node->ByteSize();
+  if (charge > shard_budget_) return;  // would evict an entire shard
+  Shard* shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(id);
+  if (it != shard->map.end()) {
+    // Same id ⇒ same content; just refresh recency.
+    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+    return;
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  shard->lru.emplace_front(id, std::move(node));
+  shard->map.emplace(id, shard->lru.begin());
+  shard->bytes += charge;
+  while (shard->bytes > shard_budget_ && shard->lru.size() > 1) {
+    auto& victim = shard->lru.back();
+    shard->bytes -= victim.second->ByteSize();
+    shard->map.erase(victim.first);
+    shard->lru.pop_back();
+    shard->evictions++;
+  }
+}
+
+void PosNodeCache::Clear() {
+  for (size_t i = 0; i < shard_count_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].lru.clear();
+    shards_[i].map.clear();
+    shards_[i].bytes = 0;
+  }
+}
+
+PosNodeCacheStats PosNodeCache::stats() const {
+  PosNodeCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.capacity_bytes = capacity_bytes_;
+  for (size_t i = 0; i < shard_count_; i++) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    s.entries += shards_[i].lru.size();
+    s.bytes += shards_[i].bytes;
+    s.evictions += shards_[i].evictions;
+  }
+  return s;
+}
+
+}  // namespace spitz

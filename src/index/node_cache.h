@@ -1,0 +1,104 @@
+#ifndef SPITZ_INDEX_NODE_CACHE_H_
+#define SPITZ_INDEX_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "crypto/hash.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+
+struct PosNodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;         // nodes currently resident
+  uint64_t bytes = 0;           // resident charge
+  uint64_t capacity_bytes = 0;  // configured budget
+
+  double hit_rate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+// A sharded LRU cache of decoded POS-tree nodes, keyed by chunk id with
+// a byte-budget capacity. Hot upper tree levels (the root and first
+// meta levels are touched by *every* traversal) stay decoded in memory,
+// eliminating the chunk fetch + varint decode + string materialization
+// that otherwise repeats per lookup.
+//
+// Coherence is trivial: a chunk id is the content hash of an immutable
+// chunk, so a cached node can never be stale — there is no invalidation
+// path at all, only eviction. This is the same property that makes the
+// lock-free snapshot read path of SpitzDb sound (see DESIGN.md,
+// "Concurrency model").
+//
+// Thread safety: fully thread-safe. The id space is uniform (SHA-256),
+// so striping the LRU into shards by id byte spreads both the hash-map
+// and the recency-list mutations across `shard_count` mutexes.
+class PosNodeCache {
+ public:
+  explicit PosNodeCache(size_t capacity_bytes = kDefaultCapacityBytes,
+                        size_t shard_count = 16);
+
+  PosNodeCache(const PosNodeCache&) = delete;
+  PosNodeCache& operator=(const PosNodeCache&) = delete;
+
+  static constexpr size_t kDefaultCapacityBytes = 32 << 20;
+
+  // Returns the cached node (promoting it to most-recently-used) or
+  // nullptr on a miss.
+  std::shared_ptr<const PosNode> Lookup(const Hash256& id);
+
+  // Inserts (or refreshes) a node, evicting least-recently-used entries
+  // from the same shard until the shard is back under budget. Nodes
+  // larger than a whole shard's budget are not cached.
+  void Insert(const Hash256& id, std::shared_ptr<const PosNode> node);
+
+  // Drops every entry (counters are retained).
+  void Clear();
+
+  PosNodeCacheStats stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<Hash256, std::shared_ptr<const PosNode>>> lru;
+    std::unordered_map<
+        Hash256,
+        std::list<std::pair<Hash256, std::shared_ptr<const PosNode>>>::iterator,
+        Hash256Hasher>
+        map;
+    size_t bytes = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard* ShardOf(const Hash256& id) {
+    // Digest bytes are uniform; any byte selects a shard evenly. Byte 9
+    // is deliberately distinct from ChunkStore's shard byte so the two
+    // stripings decorrelate.
+    return &shards_[id.data()[9] % shard_count_];
+  }
+
+  const size_t capacity_bytes_;
+  const size_t shard_count_;
+  const size_t shard_budget_;  // capacity_bytes_ / shard_count_
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_NODE_CACHE_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/codec.h"
+#include "index/node_cache.h"
 
 namespace spitz {
 
@@ -119,8 +120,30 @@ Status PosTree::DecodeMeta(const Slice& payload, std::vector<ChildRef>* out) {
 }
 
 Status PosTree::LoadNode(const Hash256& id,
-                         std::shared_ptr<const Chunk>* chunk) const {
-  return store_->Get(id, chunk);
+                         std::shared_ptr<const PosNode>* node) const {
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->Lookup(id)) {
+      *node = std::move(cached);
+      return Status::OK();
+    }
+  }
+  std::shared_ptr<const Chunk> chunk;
+  Status s = store_->Get(id, &chunk);
+  if (!s.ok()) return s;
+  auto decoded = std::make_shared<PosNode>();
+  decoded->type = chunk->type();
+  decoded->payload = chunk->payload();
+  if (chunk->type() == ChunkType::kIndexLeaf) {
+    s = DecodeLeaf(chunk->data(), &decoded->entries);
+  } else if (chunk->type() == ChunkType::kIndexMeta) {
+    s = DecodeMeta(chunk->data(), &decoded->children);
+  } else {
+    return Status::Corruption("unexpected chunk type in tree");
+  }
+  if (!s.ok()) return s;
+  if (cache_ != nullptr) cache_->Insert(id, decoded);
+  *node = std::move(decoded);
+  return Status::OK();
 }
 
 PosTree::ChildRef PosTree::StoreLeaf(
@@ -225,31 +248,25 @@ Status PosTree::Get(const Hash256& root, const Slice& key,
   if (root.IsZero()) return Status::NotFound("empty tree");
   Hash256 id = root;
   while (true) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(id, &node);
     if (!s.ok()) return s;
-    if (chunk->type() == ChunkType::kIndexMeta) {
-      std::vector<ChildRef> children;
-      s = DecodeMeta(chunk->data(), &children);
-      if (!s.ok()) return s;
-      if (children.empty()) return Status::Corruption("empty meta node");
-      id = children[RouteChild(children, key)].id;
-    } else if (chunk->type() == ChunkType::kIndexLeaf) {
-      std::vector<PosEntry> entries;
-      s = DecodeLeaf(chunk->data(), &entries);
-      if (!s.ok()) return s;
-      auto it = std::lower_bound(entries.begin(), entries.end(), key,
-                                 [](const PosEntry& e, const Slice& k) {
-                                   return Slice(e.key).compare(k) < 0;
-                                 });
-      if (it == entries.end() || Slice(it->key) != key) {
-        return Status::NotFound("key absent");
+    if (!node->is_leaf()) {
+      if (node->children.empty()) {
+        return Status::Corruption("empty meta node");
       }
-      *value = it->value;
-      return Status::OK();
-    } else {
-      return Status::Corruption("unexpected chunk type in tree");
+      id = node->children[RouteChild(node->children, key)].id;
+      continue;
     }
+    auto it = std::lower_bound(node->entries.begin(), node->entries.end(),
+                               key, [](const PosEntry& e, const Slice& k) {
+                                 return Slice(e.key).compare(k) < 0;
+                               });
+    if (it == node->entries.end() || Slice(it->key) != key) {
+      return Status::NotFound("key absent");
+    }
+    *value = it->value;
+    return Status::OK();
   }
 }
 
@@ -260,34 +277,28 @@ Status PosTree::GetWithProof(const Hash256& root, const Slice& key,
   if (root.IsZero()) return Status::NotFound("empty tree");
   Hash256 id = root;
   while (true) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(id, &node);
     if (!s.ok()) return s;
-    proof->node_payloads.push_back(chunk->payload());
-    proof->node_types.push_back(static_cast<uint8_t>(chunk->type()));
-    if (chunk->type() == ChunkType::kIndexMeta) {
-      std::vector<ChildRef> children;
-      s = DecodeMeta(chunk->data(), &children);
-      if (!s.ok()) return s;
-      if (children.empty()) return Status::Corruption("empty meta node");
-      id = children[RouteChild(children, key)].id;
-    } else if (chunk->type() == ChunkType::kIndexLeaf) {
-      std::vector<PosEntry> entries;
-      s = DecodeLeaf(chunk->data(), &entries);
-      if (!s.ok()) return s;
-      auto it = std::lower_bound(entries.begin(), entries.end(), key,
-                                 [](const PosEntry& e, const Slice& k) {
-                                   return Slice(e.key).compare(k) < 0;
-                                 });
-      if (it == entries.end() || Slice(it->key) != key) {
-        // The proof still demonstrates non-membership.
-        return Status::NotFound("key absent");
+    proof->node_payloads.push_back(node->payload);
+    proof->node_types.push_back(static_cast<uint8_t>(node->type));
+    if (!node->is_leaf()) {
+      if (node->children.empty()) {
+        return Status::Corruption("empty meta node");
       }
-      *value = it->value;
-      return Status::OK();
-    } else {
-      return Status::Corruption("unexpected chunk type in tree");
+      id = node->children[RouteChild(node->children, key)].id;
+      continue;
     }
+    auto it = std::lower_bound(node->entries.begin(), node->entries.end(),
+                               key, [](const PosEntry& e, const Slice& k) {
+                                 return Slice(e.key).compare(k) < 0;
+                               });
+    if (it == node->entries.end() || Slice(it->key) != key) {
+      // The proof still demonstrates non-membership.
+      return Status::NotFound("key absent");
+    }
+    *value = it->value;
+    return Status::OK();
   }
 }
 
@@ -295,31 +306,31 @@ Status PosTree::Scan(const Hash256& root, const Slice& start, const Slice& end,
                      size_t limit, std::vector<PosEntry>* out) const {
   out->clear();
   if (root.IsZero()) return Status::OK();
+  // Frames share the decoded (possibly cached) node rather than copying
+  // its child list.
   struct Frame {
-    std::vector<ChildRef> children;
+    std::shared_ptr<const PosNode> node;
     size_t idx;
+
+    const std::vector<ChildRef>& children() const { return node->children; }
   };
   std::vector<Frame> frames;
   Hash256 id = root;
 
   // Descend to the first relevant leaf, then walk rightward.
   while (true) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(id, &node);
     if (!s.ok()) return s;
-    if (chunk->type() == ChunkType::kIndexMeta) {
+    if (!node->is_leaf()) {
+      if (node->children.empty()) return Status::Corruption("empty meta node");
       Frame f;
-      s = DecodeMeta(chunk->data(), &f.children);
-      if (!s.ok()) return s;
-      if (f.children.empty()) return Status::Corruption("empty meta node");
-      f.idx = RouteChild(f.children, start);
-      id = f.children[f.idx].id;
+      f.idx = RouteChild(node->children, start);
+      id = node->children[f.idx].id;
+      f.node = std::move(node);
       frames.push_back(std::move(f));
-    } else if (chunk->type() == ChunkType::kIndexLeaf) {
-      std::vector<PosEntry> entries;
-      s = DecodeLeaf(chunk->data(), &entries);
-      if (!s.ok()) return s;
-      for (const PosEntry& e : entries) {
+    } else {
+      for (const PosEntry& e : node->entries) {
         if (Slice(e.key).compare(start) < 0) continue;
         if (!end.empty() && Slice(e.key).compare(end) >= 0) {
           return Status::OK();
@@ -329,29 +340,26 @@ Status PosTree::Scan(const Hash256& root, const Slice& start, const Slice& end,
       }
       // Advance to the next leaf.
       while (!frames.empty() &&
-             frames.back().idx + 1 >= frames.back().children.size()) {
+             frames.back().idx + 1 >= frames.back().children().size()) {
         frames.pop_back();
       }
       if (frames.empty()) return Status::OK();
       frames.back().idx++;
-      id = frames.back().children[frames.back().idx].id;
+      id = frames.back().children()[frames.back().idx].id;
       // Descend to that subtree's leftmost leaf via the main loop; any
       // meta nodes encountered get a frame with idx = 0.
       while (true) {
-        std::shared_ptr<const Chunk> c2;
-        s = LoadNode(id, &c2);
+        std::shared_ptr<const PosNode> n2;
+        s = LoadNode(id, &n2);
         if (!s.ok()) return s;
-        if (c2->type() != ChunkType::kIndexMeta) break;
+        if (n2->is_leaf()) break;
+        if (n2->children.empty()) return Status::Corruption("empty meta node");
         Frame f;
-        s = DecodeMeta(c2->data(), &f.children);
-        if (!s.ok()) return s;
-        if (f.children.empty()) return Status::Corruption("empty meta node");
         f.idx = 0;
-        id = f.children[0].id;
+        id = n2->children[0].id;
+        f.node = std::move(n2);
         frames.push_back(std::move(f));
       }
-    } else {
-      return Status::Corruption("unexpected chunk type in tree");
     }
   }
 }
@@ -375,16 +383,12 @@ Status PosTree::ScanWithProof(const Hash256& root, const Slice& start,
     PosRangeProof* proof;
 
     Status Visit(const Hash256& id, bool* done) {
-      std::shared_ptr<const Chunk> chunk;
-      Status s = tree->LoadNode(id, &chunk);
+      std::shared_ptr<const PosNode> node;
+      Status s = tree->LoadNode(id, &node);
       if (!s.ok()) return s;
-      proof->nodes[id] = {static_cast<uint8_t>(chunk->type()),
-                          chunk->payload()};
-      if (chunk->type() == ChunkType::kIndexLeaf) {
-        std::vector<PosEntry> entries;
-        s = DecodeLeaf(chunk->data(), &entries);
-        if (!s.ok()) return s;
-        for (const PosEntry& e : entries) {
+      proof->nodes[id] = {static_cast<uint8_t>(node->type), node->payload};
+      if (node->is_leaf()) {
+        for (const PosEntry& e : node->entries) {
           if (Slice(e.key).compare(start) < 0) continue;
           if (!end.empty() && Slice(e.key).compare(end) >= 0) {
             *done = true;
@@ -398,12 +402,7 @@ Status PosTree::ScanWithProof(const Hash256& root, const Slice& start,
         }
         return Status::OK();
       }
-      if (chunk->type() != ChunkType::kIndexMeta) {
-        return Status::Corruption("unexpected chunk type in tree");
-      }
-      std::vector<ChildRef> children;
-      s = DecodeMeta(chunk->data(), &children);
-      if (!s.ok()) return s;
+      const std::vector<ChildRef>& children = node->children;
       for (size_t i = 0; i < children.size() && !*done; i++) {
         // Skip subtrees entirely below the range start.
         if (Slice(children[i].last_key).compare(start) < 0) continue;
@@ -423,20 +422,14 @@ Status PosTree::ScanWithProof(const Hash256& root, const Slice& start,
 Status PosTree::Count(const Hash256& root, uint64_t* count) const {
   *count = 0;
   if (root.IsZero()) return Status::OK();
-  std::shared_ptr<const Chunk> chunk;
-  Status s = LoadNode(root, &chunk);
+  std::shared_ptr<const PosNode> node;
+  Status s = LoadNode(root, &node);
   if (!s.ok()) return s;
-  if (chunk->type() == ChunkType::kIndexLeaf) {
-    std::vector<PosEntry> entries;
-    s = DecodeLeaf(chunk->data(), &entries);
-    if (!s.ok()) return s;
-    *count = entries.size();
+  if (node->is_leaf()) {
+    *count = node->entries.size();
     return Status::OK();
   }
-  std::vector<ChildRef> children;
-  s = DecodeMeta(chunk->data(), &children);
-  if (!s.ok()) return s;
-  for (const ChildRef& c : children) *count += c.count;
+  for (const ChildRef& c : node->children) *count += c.count;
   return Status::OK();
 }
 
@@ -444,16 +437,13 @@ Status PosTree::Height(const Hash256& root, uint32_t* height) const {
   *height = 0;
   Hash256 id = root;
   while (!id.IsZero()) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(id, &node);
     if (!s.ok()) return s;
     (*height)++;
-    if (chunk->type() == ChunkType::kIndexLeaf) break;
-    std::vector<ChildRef> children;
-    s = DecodeMeta(chunk->data(), &children);
-    if (!s.ok()) return s;
-    if (children.empty()) return Status::Corruption("empty meta node");
-    id = children[0].id;
+    if (node->is_leaf()) break;
+    if (node->children.empty()) return Status::Corruption("empty meta node");
+    id = node->children[0].id;
   }
   return Status::OK();
 }
@@ -469,18 +459,17 @@ std::optional<PosTree::ChildRef> PosTree::SiblingCursor::Next() {
   // Re-descend to the cursor level along the leftmost path.
   for (size_t l = i + 1; l < frames_.size(); l++) {
     const Hash256& child_id = frames_[l - 1].children[frames_[l - 1].idx].id;
-    std::shared_ptr<const Chunk> chunk;
-    Status s = tree_->LoadNode(child_id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = tree_->LoadNode(child_id, &node);
     if (!s.ok()) return std::nullopt;
-    PathFrame f;
-    f.id = child_id;
-    if (DecodeMeta(chunk->data(), &f.children).ok() &&
-        chunk->type() == ChunkType::kIndexMeta) {
-      f.idx = 0;
-      frames_[l] = std::move(f);
-    } else {
+    if (node->is_leaf()) {
       return std::nullopt;  // structure shallower than expected
     }
+    PathFrame f;
+    f.id = child_id;
+    f.children = node->children;
+    f.idx = 0;
+    frames_[l] = std::move(f);
   }
   const PathFrame& bottom = frames_.back();
   return bottom.children[bottom.idx];
@@ -509,24 +498,20 @@ Status PosTree::Update(const Hash256& root, const Slice& key,
   Hash256 id = root;
   std::vector<PosEntry> leaf_entries;
   while (true) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(id, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(id, &node);
     if (!s.ok()) return s;
-    if (chunk->type() == ChunkType::kIndexMeta) {
+    if (!node->is_leaf()) {
+      if (node->children.empty()) return Status::Corruption("empty meta node");
       PathFrame f;
       f.id = id;
-      s = DecodeMeta(chunk->data(), &f.children);
-      if (!s.ok()) return s;
-      if (f.children.empty()) return Status::Corruption("empty meta node");
+      f.children = node->children;
       f.idx = RouteChild(f.children, key);
       id = f.children[f.idx].id;
       frames.push_back(std::move(f));
-    } else if (chunk->type() == ChunkType::kIndexLeaf) {
-      Status sl = DecodeLeaf(chunk->data(), &leaf_entries);
-      if (!sl.ok()) return sl;
-      break;
     } else {
-      return Status::Corruption("unexpected chunk type in tree");
+      leaf_entries = node->entries;
+      break;
     }
   }
 
@@ -572,14 +557,15 @@ Status PosTree::Update(const Hash256& root, const Slice& key,
       break;
     }
     consumed_old++;
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(next->id, &chunk);
+    std::shared_ptr<const PosNode> next_node;
+    Status s = LoadNode(next->id, &next_node);
     if (!s.ok()) return s;
-    std::vector<PosEntry> next_entries;
-    s = DecodeLeaf(chunk->data(), &next_entries);
-    if (!s.ok()) return s;
+    if (!next_node->is_leaf()) {
+      return Status::Corruption("expected leaf sibling during update");
+    }
     pending = std::move(suffix);
-    pending.insert(pending.end(), next_entries.begin(), next_entries.end());
+    pending.insert(pending.end(), next_node->entries.begin(),
+                   next_node->entries.end());
   }
 
   // 4. Propagate upward level by level.
@@ -608,11 +594,13 @@ Status PosTree::Update(const Hash256& root, const Slice& key,
         break;
       }
       nodes_consumed_here++;
-      std::shared_ptr<const Chunk> chunk;
-      Status s = LoadNode(sib->id, &chunk);
+      std::shared_ptr<const PosNode> sib_node;
+      Status s = LoadNode(sib->id, &sib_node);
       if (!s.ok()) return s;
-      s = DecodeMeta(chunk->data(), &remaining);
-      if (!s.ok()) return s;
+      if (sib_node->is_leaf()) {
+        return Status::Corruption("expected meta sibling during update");
+      }
+      remaining = sib_node->children;
     }
     pending_children.insert(pending_children.end(),
                             remaining.begin() + to_consume, remaining.end());
@@ -634,15 +622,15 @@ Status PosTree::Update(const Hash256& root, const Slice& key,
         break;
       }
       nodes_consumed_here++;
-      std::shared_ptr<const Chunk> chunk;
-      Status s = LoadNode(sib->id, &chunk);
+      std::shared_ptr<const PosNode> sib_node;
+      Status s = LoadNode(sib->id, &sib_node);
       if (!s.ok()) return s;
-      std::vector<ChildRef> sib_children;
-      s = DecodeMeta(chunk->data(), &sib_children);
-      if (!s.ok()) return s;
+      if (sib_node->is_leaf()) {
+        return Status::Corruption("expected meta sibling during update");
+      }
       level_pending = std::move(suffix);
-      level_pending.insert(level_pending.end(), sib_children.begin(),
-                           sib_children.end());
+      level_pending.insert(level_pending.end(), sib_node->children.begin(),
+                           sib_node->children.end());
     }
     new_refs = std::move(refs_up);
     consumed_old = nodes_consumed_here;
@@ -653,15 +641,12 @@ Status PosTree::Update(const Hash256& root, const Slice& key,
   //    (structural invariance).
   Hash256 result = BuildUp(std::move(new_refs));
   while (!result.IsZero()) {
-    std::shared_ptr<const Chunk> chunk;
-    Status s = LoadNode(result, &chunk);
+    std::shared_ptr<const PosNode> node;
+    Status s = LoadNode(result, &node);
     if (!s.ok()) return s;
-    if (chunk->type() != ChunkType::kIndexMeta) break;
-    std::vector<ChildRef> children;
-    s = DecodeMeta(chunk->data(), &children);
-    if (!s.ok()) return s;
-    if (children.size() != 1) break;
-    result = children[0].id;
+    if (node->is_leaf()) break;
+    if (node->children.size() != 1) break;
+    result = node->children[0].id;
   }
   *new_root = result;
   return Status::OK();

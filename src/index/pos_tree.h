@@ -83,10 +83,19 @@ struct PosTreeOptions {
   size_t max_node_elements = 256;  // hard cap (deterministic left-to-right)
 };
 
+class PosNodeCache;
+struct PosNode;
+
 // A handle over one version of a POS-tree. The tree itself lives in the
 // chunk store; a version is identified by its root chunk id. All
 // mutating operations return the root of a NEW version and never modify
 // existing chunks.
+//
+// Thread safety: all const methods are safe to call concurrently from
+// any number of threads (the chunk store and node cache are internally
+// synchronized, and every loaded node is immutable). Distinct versions
+// can be read and written concurrently because a "write" only creates
+// new chunks.
 class PosTree {
  public:
   // An empty tree is represented by the zero hash.
@@ -99,11 +108,22 @@ class PosTree {
   PosTree& operator=(const PosTree&) = delete;
 
   // Re-points this handle at a different chunk store (used when a
-  // database swaps in its durable store during Open()).
+  // database swaps in its durable store during Open()). Drops any
+  // attached node cache — entries from the old store would alias ids.
+  // (In practice ids are content hashes, so aliases carry identical
+  // content; dropping the cache is purely conservative.)
   void Reset(ChunkStore* store, PosTreeOptions options) {
     store_ = store;
     options_ = options;
+    cache_ = nullptr;
   }
+
+  // Attaches a decoded-node cache consulted (and populated) by every
+  // traversal. Pass nullptr to detach. The cache may be shared across
+  // trees over the same chunk store; because node ids are content
+  // hashes of immutable chunks, cached entries can never go stale.
+  void SetNodeCache(PosNodeCache* cache) { cache_ = cache; }
+  PosNodeCache* node_cache() const { return cache_; }
 
   // Bulk-loads a tree from entries (they will be sorted and deduplicated
   // by key, last write wins). Returns the new root.
@@ -160,14 +180,17 @@ class PosTree {
                                  const std::vector<PosEntry>& expected,
                                  const PosRangeProof& proof);
 
- private:
-  friend class PosTreeIterator;
-
+  // A reference from a meta node to one child subtree. Public because
+  // decoded nodes (PosNode) expose their child lists to iterators and
+  // the node cache.
   struct ChildRef {
     std::string last_key;  // max key in the subtree
     Hash256 id;
     uint64_t count = 0;  // entries in the subtree
   };
+
+ private:
+  friend class PosTreeIterator;
 
   struct PathFrame {
     Hash256 id;
@@ -202,7 +225,11 @@ class PosTree {
   static std::string EncodeMeta(const std::vector<ChildRef>& children);
   static Status DecodeMeta(const Slice& payload, std::vector<ChildRef>* out);
 
-  Status LoadNode(const Hash256& id, std::shared_ptr<const Chunk>* chunk) const;
+  // Fetches and decodes the node `id`, consulting the attached cache
+  // first. On a miss the chunk is fetched from the store, decoded once,
+  // and (when a cache is attached) memoized for later traversals.
+  Status LoadNode(const Hash256& id,
+                  std::shared_ptr<const PosNode>* node) const;
 
   // Writes a leaf chunk and returns its ref.
   ChildRef StoreLeaf(const std::vector<PosEntry>& entries) const;
@@ -228,6 +255,32 @@ class PosTree {
 
   ChunkStore* store_;
   PosTreeOptions options_;
+  PosNodeCache* cache_ = nullptr;
+};
+
+// A fully decoded POS-tree node: the raw payload (kept because proofs
+// ship payload bytes) plus the parsed entries or child refs. Immutable
+// once built, so one instance is safely shared by the cache and any
+// number of concurrent traversals.
+struct PosNode {
+  ChunkType type = ChunkType::kIndexLeaf;
+  std::string payload;
+  std::vector<PosEntry> entries;           // type == kIndexLeaf
+  std::vector<PosTree::ChildRef> children; // type == kIndexMeta
+
+  bool is_leaf() const { return type == ChunkType::kIndexLeaf; }
+
+  // Approximate resident footprint, used as the cache charge.
+  size_t ByteSize() const {
+    size_t n = sizeof(PosNode) + payload.size();
+    for (const PosEntry& e : entries) {
+      n += sizeof(PosEntry) + e.key.size() + e.value.size();
+    }
+    for (const PosTree::ChildRef& c : children) {
+      n += sizeof(PosTree::ChildRef) + c.last_key.size();
+    }
+    return n;
+  }
 };
 
 }  // namespace spitz

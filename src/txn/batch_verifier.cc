@@ -1,84 +1,123 @@
 #include "txn/batch_verifier.h"
 
+#include <algorithm>
+
 namespace spitz {
 
-DeferredVerifier::DeferredVerifier(Options options) : options_(options) {
-  if (options_.batch_size > 0) {
-    worker_ = std::thread([this] { WorkerLoop(); });
+namespace {
+
+size_t ResolveWorkers(const DeferredVerifier::Options& options) {
+  if (options.batch_size == 0) return 0;  // online mode: no pool
+  if (options.num_workers > 0) return options.num_workers;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+size_t ResolveCapacity(const DeferredVerifier::Options& options,
+                       size_t workers) {
+  if (options.queue_capacity > 0) return options.queue_capacity;
+  // Enough headroom that every worker can hold a full batch in flight
+  // while another full round waits, but bounded so a stalled verifier
+  // exerts backpressure instead of buffering the whole workload.
+  return std::max<size_t>(1024, options.batch_size * workers * 4);
+}
+
+}  // namespace
+
+DeferredVerifier::DeferredVerifier(Options options)
+    : options_(options),
+      queue_(ResolveCapacity(options, ResolveWorkers(options))) {
+  size_t n = ResolveWorkers(options_);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 DeferredVerifier::~DeferredVerifier() {
-  if (worker_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    work_cv_.notify_all();
-    worker_.join();
+  // Closing the queue lets workers drain everything already accepted and
+  // then observe end-of-stream; nothing submitted is dropped.
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
   }
+  // A Flush() racing this destructor may still be between its predicate
+  // check and its wait. Taking the flush mutex once after the join
+  // orders this destructor after any such waiter's wakeup.
+  { std::lock_guard<std::mutex> lock(flush_mu_); }
+  flush_cv_.notify_all();
+}
+
+void DeferredVerifier::RunCheck(Check& check) {
+  Status s = check();
+  verified_.fetch_add(1, std::memory_order_release);
+  if (!s.ok()) failures_.fetch_add(1, std::memory_order_release);
 }
 
 Status DeferredVerifier::Submit(Check check) {
   if (options_.batch_size == 0) {
     // Online verification: the caller waits for the outcome.
     Status s = check();
-    verified_.fetch_add(1);
-    if (!s.ok()) failures_.fetch_add(1);
+    verified_.fetch_add(1, std::memory_order_release);
+    if (!s.ok()) failures_.fetch_add(1, std::memory_order_release);
     return s;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(check));
-    if (queue_.size() >= options_.batch_size) {
-      work_cv_.notify_one();
-    }
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.Push(std::move(check))) {
+    // Queue already closed (shutdown race): the check was not enqueued,
+    // so no worker will complete it. Roll back the submission watermark
+    // so Flush barriers stay exact, and wake any flusher that captured
+    // the watermark before the rollback.
+    submitted_.fetch_sub(1, std::memory_order_acq_rel);
+    { std::lock_guard<std::mutex> lock(flush_mu_); }
+    flush_cv_.notify_all();
+    return Status::InvalidArgument("verifier is shut down");
   }
   return Status::OK();
 }
 
 void DeferredVerifier::WorkerLoop() {
-  while (true) {
-    std::vector<Check> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || queue_.size() >= options_.batch_size;
-      });
-      if (queue_.empty() && stop_) return;
-      batch.swap(queue_);
-      busy_ = true;
-    }
+  std::vector<Check> batch;
+  const size_t max_batch = std::max<size_t>(1, options_.batch_size);
+  while (queue_.PopBatch(max_batch, &batch)) {
     for (Check& check : batch) {
-      Status s = check();
-      verified_.fetch_add(1);
-      if (!s.ok()) failures_.fetch_add(1);
+      RunCheck(check);
     }
+    // Publish completions under the flush mutex so a flusher's predicate
+    // check cannot interleave between the counter bump and the notify.
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      busy_ = false;
-      if (queue_.empty()) idle_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      completed_.fetch_add(batch.size(), std::memory_order_release);
     }
+    flush_cv_.notify_all();
+    batch.clear();
   }
 }
 
 void DeferredVerifier::Flush() {
-  if (options_.batch_size == 0) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  // Wake the worker even if the batch is not full.
-  if (!queue_.empty()) {
-    // Temporarily treat the queue as a full batch.
-    std::vector<Check> batch;
-    batch.swap(queue_);
-    lock.unlock();
-    for (Check& check : batch) {
-      Status s = check();
-      verified_.fetch_add(1);
-      if (!s.ok()) failures_.fetch_add(1);
-    }
-    lock.lock();
-  }
-  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  if (options_.batch_size == 0) return;  // online checks ran inline
+  // Exact barrier: wait for everything submitted before this call. The
+  // flush mutex synchronizes with workers' completion publishing, so
+  // counter reads after Flush() see every check it waited for.
+  const uint64_t target = submitted_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] {
+    uint64_t done = completed_.load(std::memory_order_acquire);
+    // The second clause covers a Submit that rolled back its watermark
+    // after this flush captured `target` (shutdown race).
+    return done >= target ||
+           done >= submitted_.load(std::memory_order_acquire);
+  });
+}
+
+DeferredVerifier::Stats DeferredVerifier::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_acquire);
+  s.verified = verified_.load(std::memory_order_acquire);
+  s.failures = failures_.load(std::memory_order_acquire);
+  s.queue_depth = queue_.size();
+  s.workers = workers_.size();
+  return s;
 }
 
 }  // namespace spitz

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/queue.h"
 #include "common/status.h"
 
 namespace spitz {
@@ -18,17 +19,56 @@ namespace spitz {
 // transactions are verified asynchronously in batch."
 //
 // Checks (arbitrary Status-returning closures — typically proof
-// re-computations) are queued and executed by a background thread in
-// batches. In online mode (batch_size == 0) Submit runs the check
-// synchronously, modelling commit-after-verification; the
-// ablation_verification benchmark compares the two.
+// re-computations) are queued and executed by a pool of background
+// workers draining a bounded MPMC queue in batches. In online mode
+// (batch_size == 0) Submit runs the check synchronously, modelling
+// commit-after-verification; the ablation_verification benchmark
+// compares the two.
+//
+// Concurrency contract:
+//  * Submit is safe from any number of producer threads. When the
+//    pending queue is full, Submit blocks (backpressure) rather than
+//    letting an unbounded verification backlog accumulate behind fast
+//    writers.
+//  * Flush() is an exact barrier: every check submitted (from any
+//    thread) before the Flush call has executed by the time it returns.
+//    Checks submitted concurrently with the Flush may or may not be
+//    covered.
+//  * Counter coherence: verified_count(), failure_count() and failed()
+//    are monotone atomics readable from any thread at any time. A
+//    Flush() additionally establishes a happens-before edge with every
+//    check it waited for, so counters read after a Flush() reflect at
+//    least all checks submitted before it (acquire/release ordering plus
+//    the flush mutex).
+//  * Shutdown: the destructor closes the queue, drains every check that
+//    was accepted, and joins the workers — nothing submitted is ever
+//    dropped. A Flush() that races destruction-begin is safe: workers
+//    publish completions before exiting, and the destructor takes the
+//    flush mutex after the join so no waiter can miss the final wakeup.
+//    (As with any object, calls after the destructor *returns* are
+//    undefined.)
 class DeferredVerifier {
  public:
   struct Options {
-    Options() : batch_size(64) {}
+    Options() {}
     explicit Options(size_t n) : batch_size(n) {}
-    // 0 = online (synchronous) verification.
-    size_t batch_size;
+    Options(size_t n, size_t workers) : batch_size(n), num_workers(workers) {}
+    // Maximum checks a worker drains per queue acquisition.
+    // 0 = online (synchronous) verification, no workers.
+    size_t batch_size = 64;
+    // Worker pool size in deferred mode. 0 = one per hardware thread.
+    size_t num_workers = 0;
+    // Pending-check capacity before Submit blocks. 0 = derived from
+    // batch_size and the worker count.
+    size_t queue_capacity = 0;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t verified = 0;
+    uint64_t failures = 0;
+    size_t queue_depth = 0;  // checks waiting (excludes in-flight)
+    size_t workers = 0;
   };
 
   using Check = std::function<Status()>;
@@ -45,29 +85,43 @@ class DeferredVerifier {
   // via stats() and failed()).
   Status Submit(Check check);
 
-  // Blocks until every queued check has executed.
+  // Blocks until every check submitted before this call has executed.
   void Flush();
 
-  uint64_t verified_count() const { return verified_.load(); }
-  uint64_t failure_count() const { return failures_.load(); }
+  uint64_t verified_count() const {
+    return verified_.load(std::memory_order_acquire);
+  }
+  uint64_t failure_count() const {
+    return failures_.load(std::memory_order_acquire);
+  }
 
   // True once any deferred check has failed — the timely-detection
   // signal a client polls.
-  bool failed() const { return failures_.load() > 0; }
+  bool failed() const {
+    return failures_.load(std::memory_order_acquire) > 0;
+  }
+
+  size_t worker_count() const { return workers_.size(); }
+  size_t queue_depth() const { return queue_.size(); }
+  Stats stats() const;
 
  private:
   void WorkerLoop();
+  // Runs one check and records its outcome in the counters.
+  void RunCheck(Check& check);
 
   const Options options_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<Check> queue_;
-  bool stop_ = false;
-  bool busy_ = false;
+  BoundedQueue<Check> queue_;
+  // submitted_ is bumped before the enqueue, completed_ after the
+  // execution; Flush waits for completed_ to catch up to the submitted_
+  // watermark it observed.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> verified_{0};
   std::atomic<uint64_t> failures_{0};
-  std::thread worker_;
+  mutable std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace spitz
