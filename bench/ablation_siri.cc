@@ -2,29 +2,51 @@
 //
 // Paper section 3.1 cites the SIRI analysis ([59]) concluding that the
 // POS-tree "has better overall performance" among the three instances
-// (POS-tree, Merkle Patricia Trie, Merkle Bucket Tree). This benchmark
-// reproduces that comparison on the dimensions Spitz's ledger cares
-// about: point read, point update, proof size, client verification
-// cost, and version sharing (chunks added per update).
+// (POS-tree, Merkle Patricia Trie, Merkle Bucket Tree).
+//
+// Phase 1 reproduces that comparison at the index level — every
+// backend driven through the uniform SiriIndex interface — on the
+// dimensions Spitz's ledger cares about: point read, point update,
+// wire-format proof size, client verification cost, and version
+// sharing (chunks added per update).
+//
+// Phase 2 runs the *whole SpitzDb stack* on each backend via
+// SpitzOptions::index_backend: block sealing, digest publication,
+// snapshot reads, proof generation, and a full encode -> decode ->
+// verify wire round trip per proof (what a remote client actually
+// pays), plus the deferred audit path.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "chunk/chunk_store.h"
-#include "index/mbt.h"
-#include "index/mpt.h"
-#include "index/pos_tree.h"
+#include "core/spitz_db.h"
+#include "index/siri.h"
 
 namespace spitz {
 namespace bench {
 namespace {
 
+// Index-level phase: POS-tree puts are cheap, MBT puts rewrite a whole
+// bucket plus the directory, so sizes are chosen to keep the slowest
+// backend in the seconds range.
 constexpr size_t kRecords = 100000;
 constexpr size_t kReadOps = 20000;
 constexpr size_t kWriteOps = 3000;
 constexpr size_t kProofOps = 3000;
 
-struct Result {
+// System-level phase (every op also pays ledger sealing + snapshots).
+constexpr size_t kDbRecords = 20000;
+constexpr size_t kDbWriteOps = 2000;
+constexpr size_t kDbReadOps = 10000;
+constexpr size_t kDbProofOps = 2000;
+constexpr size_t kDbAuditOps = 500;
+
+constexpr SiriBackend kBackends[] = {SiriBackend::kPosTree,
+                                     SiriBackend::kMerklePatriciaTrie,
+                                     SiriBackend::kMerkleBucketTree};
+
+struct IndexResult {
   const char* name;
   double get_kops;
   double put_kops;
@@ -33,129 +55,162 @@ struct Result {
   double chunks_per_update;
 };
 
-void Print(const Result& r) {
+void PrintIndexResult(const IndexResult& r) {
   printf("%-10s  %12.1f  %12.1f  %14.1f  %14.0f  %18.1f\n", r.name,
          r.get_kops, r.put_kops, r.verify_kops, r.proof_bytes,
          r.chunks_per_update);
 }
 
-size_t ProofSize(const PosProof& p) { return p.ByteSize(); }
-size_t ProofSize(const MerklePatriciaTrie::Proof& p) {
-  size_t n = 0;
-  for (const auto& payload : p.node_payloads) n += payload.size();
-  return n;
-}
-size_t ProofSize(const MerkleBucketTree::Proof& p) {
-  return p.directory_payload.size() + p.bucket_payload.size();
-}
+IndexResult RunIndexLevel(SiriBackend kind,
+                          const std::vector<PosEntry>& data) {
+  ChunkStore store;
+  std::unique_ptr<SiriIndex> index = MakeSiriIndex(kind, &store);
+  Hash256 root = index->EmptyRoot();
+  if (!index->Build(data, &root).ok()) abort();
 
-template <typename Tree, typename ProofT, typename GetProofFn,
-          typename VerifyFn>
-Result RunOne(const char* name, Tree* tree, ChunkStore* store,
-              const std::vector<PosEntry>& data, Hash256 root,
-              GetProofFn get_proof, VerifyFn verify) {
   Random rng(5);
   auto random_key = [&]() -> const std::string& {
     return data[rng.Uniform(data.size())].key;
   };
-  Result r;
-  r.name = name;
+  IndexResult r;
+  r.name = SiriBackendName(kind);
 
   std::string value;
   r.get_kops = MeasureOpsPerSec(kReadOps, [&](size_t) {
-    if (!tree->Get(root, random_key(), &value).ok()) abort();
+    if (!index->Get(root, random_key(), &value).ok()) abort();
   }) / 1000.0;
 
-  uint64_t chunks_before = store->stats().chunk_count;
+  uint64_t chunks_before = store.stats().chunk_count;
   Random value_rng(6);
   Hash256 w = root;
   r.put_kops = MeasureOpsPerSec(kWriteOps, [&](size_t) {
-    if (!tree->Put(w, random_key(), value_rng.Bytes(20), &w).ok()) abort();
+    if (!index->Put(w, random_key(), value_rng.Bytes(20), &w).ok()) abort();
   }) / 1000.0;
   r.chunks_per_update =
-      static_cast<double>(store->stats().chunk_count - chunks_before) /
+      static_cast<double>(store.stats().chunk_count - chunks_before) /
       kWriteOps;
 
-  // Proof generation + client verification.
+  // Proof generation + serialization + client verification, measured as
+  // a remote client pays it: the proof crosses a wire, so the verified
+  // object is a *decoded* envelope and the size is the encoded size.
   double total_proof_bytes = 0;
   r.verify_kops = MeasureOpsPerSec(kProofOps, [&](size_t) {
     const std::string& key = random_key();
-    ProofT proof;
-    if (!get_proof(w, key, &value, &proof)) abort();
-    total_proof_bytes += ProofSize(proof);
-    if (!verify(w, key, value, proof)) abort();
+    SiriProof proof;
+    if (!index->GetWithProof(w, key, &value, &proof).ok()) abort();
+    std::string wire = proof.Encode();
+    total_proof_bytes += wire.size();
+    SiriProof decoded;
+    Slice input(wire);
+    if (!SiriProof::DecodeFrom(&input, &decoded).ok()) abort();
+    if (!decoded.Verify(w, key, value).ok()) abort();
   }) / 1000.0;
   r.proof_bytes = total_proof_bytes / kProofOps;
   return r;
 }
 
+struct DbResult {
+  const char* name;
+  double put_kops;
+  double get_kops;
+  double verified_get_kops;
+  double wire_proof_bytes;
+  double audit_kops;
+  bool scan_supported;
+};
+
+void PrintDbResult(const DbResult& r) {
+  printf("%-10s  %12.1f  %12.1f  %16.1f  %16.0f  %12.1f  %6s\n", r.name,
+         r.put_kops, r.get_kops, r.verified_get_kops, r.wire_proof_bytes,
+         r.audit_kops, r.scan_supported ? "yes" : "no");
+}
+
+DbResult RunSystemLevel(SiriBackend kind,
+                        const std::vector<PosEntry>& data) {
+  SpitzOptions options;
+  options.index_backend = kind;
+  SpitzDb db(options);
+  DbResult r;
+  r.name = SiriBackendName(kind);
+  r.scan_supported = db.SupportsScan();
+
+  if (!db.BulkLoad(data).ok()) abort();
+
+  Random rng(7);
+  auto random_key = [&]() -> const std::string& {
+    return data[rng.Uniform(data.size())].key;
+  };
+
+  Random value_rng(8);
+  r.put_kops = MeasureOpsPerSec(kDbWriteOps, [&](size_t) {
+    if (!db.Put(random_key(), value_rng.Bytes(20)).ok()) abort();
+  }) / 1000.0;
+  if (!db.FlushBlock().ok()) abort();
+
+  std::string value;
+  r.get_kops = MeasureOpsPerSec(kDbReadOps, [&](size_t) {
+    if (!db.Get(random_key(), &value).ok()) abort();
+  }) / 1000.0;
+
+  // Verified read with the full wire round trip: the serialized
+  // ReadProof envelope (index root + tagged SiriProof) is what the RPC
+  // layer ships; decode + VerifyRead is what the client runs.
+  SpitzDigest digest = db.Digest();
+  double total_wire_bytes = 0;
+  r.verified_get_kops = MeasureOpsPerSec(kDbProofOps, [&](size_t) {
+    const std::string& key = random_key();
+    ReadProof proof;
+    if (!db.GetWithProof(key, &value, &proof).ok()) abort();
+    std::string wire;
+    proof.EncodeTo(&wire);
+    total_wire_bytes += wire.size();
+    ReadProof decoded;
+    Slice input(wire);
+    if (!ReadProof::DecodeFrom(&input, &decoded).ok()) abort();
+    if (decoded.index_root != digest.index_root) abort();
+    if (!SpitzDb::VerifyRead(digest, key, value, decoded).ok()) abort();
+  }) / 1000.0;
+  r.wire_proof_bytes = total_wire_bytes / kDbProofOps;
+
+  r.audit_kops = MeasureOpsPerSec(kDbAuditOps, [&](size_t) {
+    if (!db.AuditKey(random_key()).ok()) abort();
+  }) / 1000.0;
+  if (!db.DrainAudits().ok()) abort();
+  return r;
+}
+
 void Run() {
-  std::vector<PosEntry> data = MakeRecords(kRecords);
-
-  printf("Ablation A1: SIRI index family at %zu records\n", kRecords);
-  printf("%-10s  %12s  %12s  %14s  %14s  %18s\n", "index", "get Kops/s",
-         "put Kops/s", "verify Kops/s", "proof bytes", "chunks/update");
-
   {
-    ChunkStore store;
-    PosTree tree(&store);
-    Hash256 root;
-    if (!tree.Build(data, &root).ok()) abort();
-    Result r = RunOne<PosTree, PosProof>(
-        "POS-tree", &tree, &store, data, root,
-        [&](const Hash256& rt, const std::string& key, std::string* value,
-            PosProof* proof) {
-          return tree.GetWithProof(rt, key, value, proof).ok();
-        },
-        [&](const Hash256& rt, const std::string& key,
-            const std::string& value, const PosProof& proof) {
-          return PosTree::VerifyProof(rt, key, value, proof).ok();
-        });
-    Print(r);
-  }
-  {
-    ChunkStore store;
-    MerklePatriciaTrie tree(&store);
-    Hash256 root = MerklePatriciaTrie::EmptyRoot();
-    for (const PosEntry& e : data) {
-      if (!tree.Put(root, e.key, e.value, &root).ok()) abort();
+    std::vector<PosEntry> data = MakeRecords(kRecords);
+    printf("Ablation A1 phase 1: SIRI index family at %zu records\n",
+           kRecords);
+    printf("%-10s  %12s  %12s  %14s  %14s  %18s\n", "index", "get Kops/s",
+           "put Kops/s", "verify Kops/s", "proof bytes", "chunks/update");
+    for (SiriBackend kind : kBackends) {
+      PrintIndexResult(RunIndexLevel(kind, data));
     }
-    Result r = RunOne<MerklePatriciaTrie, MerklePatriciaTrie::Proof>(
-        "MPT", &tree, &store, data, root,
-        [&](const Hash256& rt, const std::string& key, std::string* value,
-            MerklePatriciaTrie::Proof* proof) {
-          return tree.GetWithProof(rt, key, value, proof).ok();
-        },
-        [&](const Hash256& rt, const std::string& key,
-            const std::string& value,
-            const MerklePatriciaTrie::Proof& proof) {
-          return MerklePatriciaTrie::VerifyProof(rt, key, value, proof).ok();
-        });
-    Print(r);
   }
+
   {
-    ChunkStore store;
-    MerkleBucketTree tree(&store);
-    Hash256 root = MerkleBucketTree::EmptyRoot();
-    for (const PosEntry& e : data) {
-      if (!tree.Put(root, e.key, e.value, &root).ok()) abort();
+    std::vector<PosEntry> data = MakeRecords(kDbRecords, 43);
+    printf(
+        "\nAblation A1 phase 2: full SpitzDb stack per backend at %zu "
+        "records (block sealing + digest + wire-format proofs)\n",
+        kDbRecords);
+    printf("%-10s  %12s  %12s  %16s  %16s  %12s  %6s\n", "backend",
+           "put Kops/s", "get Kops/s", "vget Kops/s", "wire proof B",
+           "audit Kops/s", "scan");
+    for (SiriBackend kind : kBackends) {
+      PrintDbResult(RunSystemLevel(kind, data));
     }
-    Result r = RunOne<MerkleBucketTree, MerkleBucketTree::Proof>(
-        "MBT", &tree, &store, data, root,
-        [&](const Hash256& rt, const std::string& key, std::string* value,
-            MerkleBucketTree::Proof* proof) {
-          return tree.GetWithProof(rt, key, value, proof).ok();
-        },
-        [&](const Hash256& rt, const std::string& key,
-            const std::string& value, const MerkleBucketTree::Proof& proof) {
-          return MerkleBucketTree::VerifyProof(rt, key, value, proof).ok();
-        });
-    Print(r);
   }
+
   printf(
       "\nexpected: POS-tree best overall balance (paper 3.1 / SIRI "
       "analysis); MBT pays a full directory rewrite per update and bulky "
-      "proofs; MPT pays deeper traversals and per-nibble nodes.\n");
+      "proofs; MPT pays deeper traversals and per-nibble nodes. Only the "
+      "POS-tree backend serves ordered scans, so it alone supports "
+      "Figure 7's range queries.\n");
 }
 
 }  // namespace

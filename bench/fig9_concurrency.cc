@@ -57,9 +57,7 @@ double RunReaders(const SpitzDb& db, const std::vector<PosEntry>& records,
       for (size_t n = 0; n < ops; n++) {
         const std::string& key = records[i % records.size()].key;
         if (!db.GetWithProof(key, &value, &proof).ok() ||
-            !PosTree::VerifyProof(proof.index_root, key, value,
-                                  proof.index_proof)
-                 .ok()) {
+            !proof.index_proof.Verify(proof.index_root, key, value).ok()) {
           errors.fetch_add(1);
         }
         i += 104729;

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite in Release, then the concurrency tests
-# under ThreadSanitizer. Both must be green for a change to land.
+# CI entry point: tier-1 suite in Release, the concurrency tests under
+# ThreadSanitizer, and the proof-codec + database tests under
+# ASan+UBSan (untrusted wire bytes are decoded there, so memory errors
+# and UB are the failure modes that matter). All legs must be green for
+# a change to land.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -23,5 +26,15 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
         -R 'Concurrency|DeferredVerifier|SpitzDb'
+
+echo "==> tier-2: ASan+UBSan proof-codec and database suite"
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DSPITZ_SANITIZE=address,undefined
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+      --target siri_proof_test siri_backend_test spitz_db_test
+ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
+UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
+  ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+        -R 'Siri|SpitzDb|SpitzOptions'
 
 echo "==> all checks passed"

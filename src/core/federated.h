@@ -36,7 +36,12 @@ class FederatedAnalytics {
   struct PartyEvidence {
     std::string party;
     SpitzDigest digest;
-    ScanProof proof;
+    // The party's scan proof in serialized wire form (ScanProof
+    // encoding). Stored as bytes so the bundle can be shipped to a
+    // downstream auditor verbatim; every verification — including the
+    // coordinator's own — decodes from these bytes rather than sharing
+    // an in-process struct with the party.
+    std::string proof_wire;
     std::vector<PosEntry> rows;
   };
 

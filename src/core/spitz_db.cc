@@ -25,21 +25,46 @@ std::unique_ptr<ChunkStore> MakeChunkStore(const SpitzOptions& options,
   return file_store;
 }
 
+SiriIndexOptions MakeSiriOptions(const SpitzOptions& options) {
+  SiriIndexOptions siri;
+  siri.pos = options.index_options;
+  siri.mbt_bucket_count = options.mbt_bucket_count;
+  return siri;
+}
+
 }  // namespace
+
+Status SpitzOptions::Validate() const {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be at least 1");
+  }
+  if (index_backend == SiriBackend::kMerkleBucketTree &&
+      mbt_bucket_count == 0) {
+    return Status::InvalidArgument(
+        "mbt_bucket_count must be at least 1 for the MBT backend");
+  }
+  return Status::OK();
+}
 
 SpitzDb::SpitzDb(SpitzOptions options)
     : options_(options),
+      init_status_(options.Validate()),
       chunks_(std::make_unique<ChunkStore>()),
       node_cache_(options.node_cache_bytes > 0
                       ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
                       : nullptr),
-      index_(chunks_.get(), options.index_options),
       auditor_(std::make_unique<DeferredVerifier>(DeferredVerifier::Options(
           options.audit_batch_size, options.audit_workers))) {
   // Durable databases must go through Open() so recovery errors are
   // reported; the plain constructor is the in-memory path.
   options_.data_dir.clear();
-  index_.SetNodeCache(node_cache_.get());
+  // Clamp rejected values so nothing downstream divides by zero even if
+  // the caller ignores the statuses carrying init_status_.
+  if (options_.block_size == 0) options_.block_size = 64;
+  if (options_.mbt_bucket_count == 0) options_.mbt_bucket_count = 256;
+  index_ = MakeSiriIndex(options_.index_backend, chunks_.get(),
+                         MakeSiriOptions(options_));
+  index_->SetNodeCache(node_cache_.get());
   PublishSnapshotLocked(/*journal_changed=*/true);
 }
 
@@ -47,20 +72,23 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
   if (options.data_dir.empty()) {
     return Status::InvalidArgument("Open() requires options.data_dir");
   }
+  Status s = options.Validate();
+  if (!s.ok()) return s;
   auto instance = std::unique_ptr<SpitzDb>(new SpitzDb());
   instance->options_ = options;
-  Status s;
   instance->chunks_ = MakeChunkStore(options, &s);
   if (!s.ok()) return s;
   // Rebind the index to the durable store (the default-constructed one
-  // pointed at the throwaway in-memory store); Reset drops the cache
-  // attachment, so re-create and re-attach it for the durable store.
-  instance->index_.Reset(instance->chunks_.get(), options.index_options);
+  // pointed at the throwaway in-memory store), re-creating the node
+  // cache so no entry aliases ids from the old store.
   instance->node_cache_ =
       options.node_cache_bytes > 0
           ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
           : nullptr;
-  instance->index_.SetNodeCache(instance->node_cache_.get());
+  instance->index_ = MakeSiriIndex(options.index_backend,
+                                   instance->chunks_.get(),
+                                   MakeSiriOptions(options));
+  instance->index_->SetNodeCache(instance->node_cache_.get());
   s = instance->Recover();
   if (!s.ok()) return s;
   instance->PublishSnapshotLocked(/*journal_changed=*/true);
@@ -95,7 +123,7 @@ Status SpitzDb::Recover() {
       root_ = last.index_root();
       // Sanity: the recovered root must resolve in the chunk store.
       uint64_t count = 0;
-      s = index_.Count(root_, &count);
+      s = index_->Count(root_, &count);
       if (!s.ok()) {
         return Status::Corruption(
             "recovered index root missing from chunk store");
@@ -161,6 +189,7 @@ Status SpitzDb::Delete(const Slice& key) {
 }
 
 Status SpitzDb::Write(const WriteBatch& batch) {
+  if (!init_status_.ok()) return init_status_;
   std::lock_guard<std::mutex> lock(mu_);
   return WriteLocked(batch);
 }
@@ -172,9 +201,9 @@ Status SpitzDb::WriteLocked(const WriteBatch& batch) {
   for (const WriteBatch::Op& op : batch.ops()) {
     Status s;
     if (op.type == WriteBatch::OpType::kPut) {
-      s = index_.Put(root, op.key, op.value, &root);
+      s = index_->Put(root, op.key, op.value, &root);
     } else {
-      s = index_.Delete(root, op.key, &root);
+      s = index_->Delete(root, op.key, &root);
       if (s.IsNotFound()) continue;  // deleting an absent key is a no-op
     }
     if (!s.ok()) return s;
@@ -192,22 +221,26 @@ Status SpitzDb::WriteLocked(const WriteBatch& batch) {
     entry.commit_ts = commit_ts;
     pending_.push_back(std::move(entry));
   }
+  Status seal = Status::OK();
   if (pending_.size() >= options_.block_size) {
-    SealBlockLocked();
+    seal = SealBlockLocked();
   }
   PublishSnapshotLocked(/*journal_changed=*/false);
-  return Status::OK();
+  return seal;
 }
 
-void SpitzDb::SealBlockLocked() {
-  if (pending_.empty()) return;
+Status SpitzDb::SealBlockLocked() {
+  if (pending_.empty()) return Status::OK();
   // Each block stores the index root as of its last entry — "each block
   // in the ledger stores a historical index instance" (section 6.1).
   uint64_t height = ledger_.Append(std::move(pending_), root_, NowMicros());
   pending_.clear();
   IndexBlockHistoryLocked(height);
-  PersistBlockLocked(height);
+  Status persist = PersistBlockLocked(height);
   PublishSnapshotLocked(/*journal_changed=*/true);
+  // The in-memory seal stands either way; a persistence failure means
+  // this block will not survive a restart, which the caller must hear.
+  return persist;
 }
 
 void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
@@ -218,14 +251,22 @@ void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
   }
 }
 
-void SpitzDb::PersistBlockLocked(uint64_t height) {
-  if (journal_file_ == nullptr) return;
+Status SpitzDb::PersistBlockLocked(uint64_t height) {
+  if (journal_file_ == nullptr) return Status::OK();
   std::string record;
   PutLengthPrefixedSlice(&record, ledger_.SerializedBlock(height));
-  fwrite(record.data(), 1, record.size(), journal_file_);
+  size_t written = fwrite(record.data(), 1, record.size(), journal_file_);
+  if (written != record.size()) {
+    return Status::IOError("short journal write for block " +
+                           std::to_string(height) + ": " +
+                           std::to_string(written) + "/" +
+                           std::to_string(record.size()) + " bytes");
+  }
+  return Status::OK();
 }
 
 Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
+  if (!init_status_.ok()) return init_status_;
   std::lock_guard<std::mutex> lock(mu_);
   if (!root_.IsZero() || ledger_.block_count() != 0 || !pending_.empty()) {
     return Status::InvalidArgument("bulk load requires an empty database");
@@ -241,7 +282,7 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
     entry.commit_ts = commit_ts + i;
     pending_.push_back(std::move(entry));
   }
-  Status s = index_.Build(std::move(entries), &root_);
+  Status s = index_->Build(std::move(entries), &root_);
   if (!s.ok()) return s;
   last_commit_ts_ = commit_ts + pending_.size();
   // Seal full blocks; the (possibly short) tail stays pending.
@@ -253,7 +294,8 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
                                    all.begin() + i + options_.block_size);
     uint64_t height = ledger_.Append(std::move(block), root_, NowMicros());
     IndexBlockHistoryLocked(height);
-    PersistBlockLocked(height);
+    s = PersistBlockLocked(height);
+    if (!s.ok()) return s;
     i += options_.block_size;
   }
   pending_.assign(all.begin() + i, all.end());
@@ -296,9 +338,9 @@ Status SpitzDb::AuditLastBlock() {
   });
 }
 
-void SpitzDb::FlushBlock() {
+Status SpitzDb::FlushBlock() {
   std::lock_guard<std::mutex> lock(mu_);
-  SealBlockLocked();
+  return SealBlockLocked();
 }
 
 // The read path is lock-free: one atomic shared_ptr load pins an
@@ -307,28 +349,30 @@ void SpitzDb::FlushBlock() {
 // therefore never serialize against commits or against each other.
 
 Status SpitzDb::Get(const Slice& key, std::string* value) const {
-  return index_.Get(CurrentSnapshot()->root, key, value);
+  return index_->Get(CurrentSnapshot()->root, key, value);
 }
 
 Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
                              ReadProof* proof) const {
   Hash256 root = CurrentSnapshot()->root;
+  Status s = index_->GetWithProof(root, key, value, &proof->index_proof);
   proof->index_root = root;
-  return index_.GetWithProof(root, key, value, &proof->index_proof);
+  return s;
 }
 
 Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
                      std::vector<PosEntry>* out) const {
-  return index_.Scan(CurrentSnapshot()->root, start, end, limit, out);
+  return index_->Scan(CurrentSnapshot()->root, start, end, limit, out);
 }
 
 Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
                               size_t limit, std::vector<PosEntry>* out,
                               ScanProof* proof) const {
   Hash256 root = CurrentSnapshot()->root;
+  Status s = index_->ScanWithProof(root, start, end, limit, out,
+                                   &proof->index_proof);
   proof->index_root = root;
-  return index_.ScanWithProof(root, start, end, limit, out,
-                              &proof->index_proof);
+  return s;
 }
 
 SpitzDigest SpitzDb::Digest() const {
@@ -346,8 +390,7 @@ Status SpitzDb::VerifyRead(const SpitzDigest& digest, const Slice& key,
   if (proof.index_root != digest.index_root) {
     return Status::VerificationFailed("proof is for a different version");
   }
-  return PosTree::VerifyProof(digest.index_root, key, expected_value,
-                              proof.index_proof);
+  return proof.index_proof.Verify(digest.index_root, key, expected_value);
 }
 
 Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
@@ -357,8 +400,38 @@ Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
   if (proof.index_root != digest.index_root) {
     return Status::VerificationFailed("proof is for a different version");
   }
-  return PosTree::VerifyRangeProof(digest.index_root, start, end, limit,
-                                   results, proof.index_proof);
+  return proof.index_proof.Verify(digest.index_root, start, end, limit,
+                                  results);
+}
+
+// --- Proof wire formats -----------------------------------------------------
+
+void ReadProof::EncodeTo(std::string* out) const {
+  out->append(index_root.ToBytes());
+  index_proof.EncodeTo(out);
+}
+
+Status ReadProof::DecodeFrom(Slice* input, ReadProof* out) {
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated read proof");
+  }
+  out->index_root = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return SiriProof::DecodeFrom(input, &out->index_proof);
+}
+
+void ScanProof::EncodeTo(std::string* out) const {
+  out->append(index_root.ToBytes());
+  index_proof.EncodeTo(out);
+}
+
+Status ScanProof::DecodeFrom(Slice* input, ScanProof* out) {
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated scan proof");
+  }
+  out->index_root = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return SiriRangeProof::DecodeFrom(input, &out->index_proof);
 }
 
 Status SpitzDb::ProveConsistency(const SpitzDigest& old_digest,
@@ -410,13 +483,13 @@ Status SpitzDb::IndexRootAt(uint64_t block_height, Hash256* root) const {
 
 Status SpitzDb::GetAt(const Hash256& index_root, const Slice& key,
                       std::string* value) const {
-  return index_.Get(index_root, key, value);
+  return index_->Get(index_root, key, value);
 }
 
 Status SpitzDb::ScanAt(const Hash256& index_root, const Slice& start,
                        const Slice& end, size_t limit,
                        std::vector<PosEntry>* out) const {
-  return index_.Scan(index_root, start, end, limit, out);
+  return index_->Scan(index_root, start, end, limit, out);
 }
 
 Status SpitzDb::AuditWrite(
@@ -425,10 +498,10 @@ Status SpitzDb::AuditWrite(
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy, expected_value] {
     std::string value;
-    PosProof proof;
-    Status s = index_.GetWithProof(root, key_copy, &value, &proof);
+    SiriProof proof;
+    Status s = index_->GetWithProof(root, key_copy, &value, &proof);
     if (s.ok()) {
-      return PosTree::VerifyProof(root, key_copy, value, proof).ok() &&
+      return proof.Verify(root, key_copy, value).ok() &&
                      (!expected_value.has_value() || value == *expected_value)
                  ? Status::OK()
                  : Status::VerificationFailed("audit mismatch on " + key_copy);
@@ -437,7 +510,10 @@ Status SpitzDb::AuditWrite(
       if (expected_value.has_value()) {
         return Status::VerificationFailed("audited key missing: " + key_copy);
       }
-      return PosTree::VerifyProof(root, key_copy, std::nullopt, proof);
+      // The empty index proves every absence trivially; there is no
+      // traversal to check a proof against.
+      if (root.IsZero()) return Status::OK();
+      return proof.Verify(root, key_copy, std::nullopt);
     }
     return s;
   });
@@ -448,13 +524,14 @@ Status SpitzDb::AuditKey(const Slice& key) {
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy] {
     std::string value;
-    PosProof proof;
-    Status s = index_.GetWithProof(root, key_copy, &value, &proof);
+    SiriProof proof;
+    Status s = index_->GetWithProof(root, key_copy, &value, &proof);
     if (s.ok()) {
-      return PosTree::VerifyProof(root, key_copy, value, proof);
+      return proof.Verify(root, key_copy, value);
     }
     if (s.IsNotFound()) {
-      return PosTree::VerifyProof(root, key_copy, std::nullopt, proof);
+      if (root.IsZero()) return Status::OK();
+      return proof.Verify(root, key_copy, std::nullopt);
     }
     return s;
   });
@@ -475,7 +552,7 @@ uint64_t SpitzDb::entry_count() const {
 
 uint64_t SpitzDb::key_count() const {
   uint64_t count = 0;
-  index_.Count(CurrentSnapshot()->root, &count);
+  index_->Count(CurrentSnapshot()->root, &count);
   return count;
 }
 

@@ -14,8 +14,8 @@
 #include "common/status.h"
 #include "crypto/hash.h"
 #include "index/node_cache.h"
-#include "index/pos_tree.h"
 #include "index/pos_tree_iterator.h"
+#include "index/siri.h"
 #include "ledger/journal.h"
 #include "txn/batch_verifier.h"
 #include "txn/timestamp_oracle.h"
@@ -24,7 +24,7 @@
 namespace spitz {
 
 // The state a client needs to retain to verify any later answer: the
-// current index root (a SIRI/POS-tree version) and the ledger digest
+// current index root (a SIRI index version) and the ledger digest
 // covering the block history. Every proof verifies against one of
 // these.
 struct SpitzDigest {
@@ -33,19 +33,31 @@ struct SpitzDigest {
   uint64_t last_commit_ts = 0;
 };
 
-// A verified read's complete evidence.
+// A verified read's complete evidence: a backend-tagged SIRI proof
+// envelope plus the index version it proves against. Serializable, so
+// it can cross a process boundary and be verified from decoded bytes.
 struct ReadProof {
-  PosProof index_proof;  // path through the unified SIRI index
-  Hash256 index_root;    // the version it proves against
+  SiriProof index_proof;  // path through the unified SIRI index
+  Hash256 index_root;     // the version it proves against
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, ReadProof* out);
 };
 
 struct ScanProof {
-  PosRangeProof index_proof;
+  SiriRangeProof index_proof;
   Hash256 index_root;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, ScanProof* out);
 };
 
 struct SpitzOptions {
   SpitzOptions() {}
+  // Which SIRI instance backs the unified index (paper 3.1/6.1). The
+  // POS-tree is the default; MPT and MBT are plug-compatible but do not
+  // support ordered scans, so Scan/ScanWithProof return NotSupported.
+  SiriBackend index_backend = SiriBackend::kPosTree;
   // Ledger entries per sealed block (paper 6.1: "records are collected
   // into blocks and appended to a ledger").
   size_t block_size = 64;
@@ -64,6 +76,14 @@ struct SpitzOptions {
   // most recent writes recoverable.
   std::string data_dir;
   PosTreeOptions index_options;
+  // Bucket count for the kMerkleBucketTree backend (ignored otherwise).
+  uint32_t mbt_bucket_count = 256;
+
+  // Rejects nonsensical configurations: block_size == 0 (degenerate
+  // sealing) and bucket_count == 0 for the MBT backend. Checked by
+  // Open() and by the in-memory constructor (whose write paths then
+  // fail with the validation error).
+  Status Validate() const;
 };
 
 // ---------------------------------------------------------------------------
@@ -122,7 +142,8 @@ class SpitzDb {
 
   // A forward iterator over the current version. Immutability makes it
   // a stable snapshot: concurrent writes never disturb it. Pass a
-  // historical root (IndexRootAt) to iterate an old version.
+  // historical root (IndexRootAt) to iterate an old version. POS-tree
+  // backend only — other backends have no ordered iteration (use Get).
   std::unique_ptr<PosTreeIterator> NewIterator() const {
     return std::make_unique<PosTreeIterator>(chunks_.get(),
                                              CurrentSnapshot()->root);
@@ -180,8 +201,9 @@ class SpitzDb {
                 const Slice& end, size_t limit,
                 std::vector<PosEntry>* out) const;
 
-  // Seals any buffered entries into a final block.
-  void FlushBlock();
+  // Seals any buffered entries into a final block. Returns an IOError
+  // if the sealed block could not be persisted (durable mode).
+  Status FlushBlock();
 
   // --- Auditor (deferred verification, section 5.3) -----------------------
 
@@ -206,6 +228,9 @@ class SpitzDb {
   // --- Introspection ----------------------------------------------------------
 
   uint64_t entry_count() const;
+  SiriBackend index_backend() const { return options_.index_backend; }
+  // Whether the configured backend serves ordered (and verified) scans.
+  bool SupportsScan() const { return index_->SupportsScan(); }
   ChunkStoreStats storage_stats() const { return chunks_->stats(); }
   const ChunkStore* chunk_store() const { return chunks_.get(); }
   uint64_t key_count() const;
@@ -248,10 +273,12 @@ class SpitzDb {
 
   // Applies ops to the index and ledger under mu_.
   Status WriteLocked(const WriteBatch& batch);
-  void SealBlockLocked();
+  // Seals pending entries into a block; surfaces persistence failures.
+  Status SealBlockLocked();
   // Appends the sealed block at `height` to the journal log (durable
-  // mode only).
-  void PersistBlockLocked(uint64_t height);
+  // mode only). Short writes are reported — a block the log does not
+  // hold in full would be silently unrecoverable.
+  Status PersistBlockLocked(uint64_t height);
   // Adds the sealed block's entries to the history index.
   void IndexBlockHistoryLocked(uint64_t height);
 
@@ -259,9 +286,13 @@ class SpitzDb {
   Status Recover();
 
   SpitzOptions options_;
+  // InvalidArgument when the options failed Validate(); returned by
+  // every write entry point so misconfiguration cannot pass silently.
+  Status init_status_;
   std::unique_ptr<ChunkStore> chunks_;
   std::unique_ptr<PosNodeCache> node_cache_;
-  PosTree index_;
+  // The pluggable SIRI index chosen by options_.index_backend.
+  std::unique_ptr<SiriIndex> index_;
   // Durable mode: sealed blocks are appended here (length-prefixed).
   FILE* journal_file_ = nullptr;
   Journal ledger_;

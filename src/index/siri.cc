@@ -1,0 +1,375 @@
+#include "index/siri.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+const char* SiriBackendName(SiriBackend kind) {
+  switch (kind) {
+    case SiriBackend::kPosTree:
+      return "pos-tree";
+    case SiriBackend::kMerklePatriciaTrie:
+      return "mpt";
+    case SiriBackend::kMerkleBucketTree:
+      return "mbt";
+  }
+  return "unknown";
+}
+
+// --- SiriProof wire format --------------------------------------------------
+//
+//   [kind:1]
+//   kPosTree:             varint n, then n x (type:1, lp payload)
+//   kMerklePatriciaTrie:  varint n, then n x lp payload
+//   kMerkleBucketTree:    varint bucket_index, lp directory, lp bucket
+//
+// ("lp" = varint-length-prefixed byte string.)
+
+void SiriProof::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(kind));
+  switch (kind) {
+    case SiriBackend::kPosTree: {
+      PutVarint64(out, pos.node_payloads.size());
+      for (size_t i = 0; i < pos.node_payloads.size(); i++) {
+        out->push_back(static_cast<char>(pos.node_types[i]));
+        PutLengthPrefixedSlice(out, pos.node_payloads[i]);
+      }
+      break;
+    }
+    case SiriBackend::kMerklePatriciaTrie: {
+      PutVarint64(out, mpt.node_payloads.size());
+      for (const std::string& payload : mpt.node_payloads) {
+        PutLengthPrefixedSlice(out, payload);
+      }
+      break;
+    }
+    case SiriBackend::kMerkleBucketTree: {
+      PutVarint64(out, mbt.bucket_index);
+      PutLengthPrefixedSlice(out, mbt.directory_payload);
+      PutLengthPrefixedSlice(out, mbt.bucket_payload);
+      break;
+    }
+  }
+}
+
+Status SiriProof::DecodeFrom(Slice* input, SiriProof* out) {
+  *out = SiriProof();
+  if (input->empty()) return Status::Corruption("empty proof envelope");
+  uint8_t tag = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (tag > static_cast<uint8_t>(SiriBackend::kMerkleBucketTree)) {
+    return Status::Corruption("unknown proof backend tag");
+  }
+  out->kind = static_cast<SiriBackend>(tag);
+  switch (out->kind) {
+    case SiriBackend::kPosTree: {
+      uint64_t n = 0;
+      Status s = GetVarint64(input, &n);
+      if (!s.ok()) return s;
+      for (uint64_t i = 0; i < n; i++) {
+        if (input->empty()) return Status::Corruption("truncated proof");
+        out->pos.node_types.push_back(static_cast<uint8_t>((*input)[0]));
+        input->remove_prefix(1);
+        Slice payload;
+        s = GetLengthPrefixedSlice(input, &payload);
+        if (!s.ok()) return s;
+        out->pos.node_payloads.push_back(payload.ToString());
+      }
+      return Status::OK();
+    }
+    case SiriBackend::kMerklePatriciaTrie: {
+      uint64_t n = 0;
+      Status s = GetVarint64(input, &n);
+      if (!s.ok()) return s;
+      for (uint64_t i = 0; i < n; i++) {
+        Slice payload;
+        s = GetLengthPrefixedSlice(input, &payload);
+        if (!s.ok()) return s;
+        out->mpt.node_payloads.push_back(payload.ToString());
+      }
+      return Status::OK();
+    }
+    case SiriBackend::kMerkleBucketTree: {
+      uint64_t bucket = 0;
+      Status s = GetVarint64(input, &bucket);
+      if (!s.ok()) return s;
+      out->mbt.bucket_index = static_cast<uint32_t>(bucket);
+      Slice directory, payload;
+      s = GetLengthPrefixedSlice(input, &directory);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(input, &payload);
+      if (!s.ok()) return s;
+      out->mbt.directory_payload = directory.ToString();
+      out->mbt.bucket_payload = payload.ToString();
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown proof backend tag");
+}
+
+Status SiriProof::Verify(
+    const Hash256& root, const Slice& key,
+    const std::optional<std::string>& expected_value) const {
+  switch (kind) {
+    case SiriBackend::kPosTree:
+      return PosTree::VerifyProof(root, key, expected_value, pos);
+    case SiriBackend::kMerklePatriciaTrie:
+      return MerklePatriciaTrie::VerifyProof(root, key, expected_value, mpt);
+    case SiriBackend::kMerkleBucketTree: {
+      // The directory is committed to by the root, so the bucket count
+      // may be derived from its size once the binding is re-checked by
+      // the backend verifier.
+      size_t dir = mbt.directory_payload.size();
+      if (dir == 0 || dir % Hash256::kSize != 0) {
+        return Status::VerificationFailed("malformed MBT directory");
+      }
+      MerkleBucketTree::Options options(
+          static_cast<uint32_t>(dir / Hash256::kSize));
+      return MerkleBucketTree::VerifyProof(root, key, expected_value, mbt,
+                                           options);
+    }
+  }
+  return Status::VerificationFailed("unknown proof backend");
+}
+
+size_t SiriProof::ByteSize() const {
+  switch (kind) {
+    case SiriBackend::kPosTree:
+      return 1 + pos.ByteSize();
+    case SiriBackend::kMerklePatriciaTrie: {
+      size_t n = 1;
+      for (const std::string& payload : mpt.node_payloads) {
+        n += payload.size() + 1;
+      }
+      return n;
+    }
+    case SiriBackend::kMerkleBucketTree:
+      return 1 + 4 + mbt.directory_payload.size() + mbt.bucket_payload.size();
+  }
+  return 0;
+}
+
+// --- SiriRangeProof wire format ---------------------------------------------
+//
+//   [kind:1]  (kPosTree only today)
+//   varint n, then n x (id:32, type:1, lp payload)
+
+void SiriRangeProof::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(kind));
+  PutVarint64(out, pos.nodes.size());
+  for (const auto& [id, node] : pos.nodes) {
+    out->append(id.ToBytes());
+    out->push_back(static_cast<char>(node.first));
+    PutLengthPrefixedSlice(out, node.second);
+  }
+}
+
+Status SiriRangeProof::DecodeFrom(Slice* input, SiriRangeProof* out) {
+  *out = SiriRangeProof();
+  if (input->empty()) return Status::Corruption("empty range proof envelope");
+  uint8_t tag = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (tag != static_cast<uint8_t>(SiriBackend::kPosTree)) {
+    return Status::Corruption("range proofs require a scan-capable backend");
+  }
+  out->kind = static_cast<SiriBackend>(tag);
+  uint64_t n = 0;
+  Status s = GetVarint64(input, &n);
+  if (!s.ok()) return s;
+  for (uint64_t i = 0; i < n; i++) {
+    if (input->size() < Hash256::kSize + 1) {
+      return Status::Corruption("truncated range proof node");
+    }
+    Hash256 id = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+    input->remove_prefix(Hash256::kSize);
+    uint8_t type = static_cast<uint8_t>((*input)[0]);
+    input->remove_prefix(1);
+    Slice payload;
+    s = GetLengthPrefixedSlice(input, &payload);
+    if (!s.ok()) return s;
+    out->pos.nodes[id] = {type, payload.ToString()};
+  }
+  return Status::OK();
+}
+
+Status SiriRangeProof::Verify(const Hash256& root, const Slice& start,
+                              const Slice& end, size_t limit,
+                              const std::vector<PosEntry>& expected) const {
+  if (kind != SiriBackend::kPosTree) {
+    return Status::VerificationFailed(
+        "range proof from a backend without verified scans");
+  }
+  return PosTree::VerifyRangeProof(root, start, end, limit, expected, pos);
+}
+
+size_t SiriRangeProof::ByteSize() const { return 1 + pos.ByteSize(); }
+
+// --- SiriIndex defaults -----------------------------------------------------
+
+Status SiriIndex::Build(std::vector<PosEntry> entries, Hash256* root) const {
+  Hash256 r = EmptyRoot();
+  for (const PosEntry& e : entries) {
+    Status s = Put(r, e.key, e.value, &r);
+    if (!s.ok()) return s;
+  }
+  *root = r;
+  return Status::OK();
+}
+
+Status SiriIndex::Scan(const Hash256&, const Slice&, const Slice&, size_t,
+                       std::vector<PosEntry>* out) const {
+  out->clear();
+  return Status::NotSupported(std::string(name()) +
+                              " does not support ordered scans");
+}
+
+Status SiriIndex::ScanWithProof(const Hash256&, const Slice&, const Slice&,
+                                size_t, std::vector<PosEntry>* out,
+                                SiriRangeProof*) const {
+  out->clear();
+  return Status::NotSupported(std::string(name()) +
+                              " does not support verified scans");
+}
+
+// --- Backend adapters -------------------------------------------------------
+
+namespace {
+
+class PosSiriIndex : public SiriIndex {
+ public:
+  PosSiriIndex(ChunkStore* store, PosTreeOptions options)
+      : tree_(store, options) {}
+
+  SiriBackend kind() const override { return SiriBackend::kPosTree; }
+  bool SupportsScan() const override { return true; }
+  bool SupportsBulkBuild() const override { return true; }
+  void SetNodeCache(PosNodeCache* cache) override {
+    tree_.SetNodeCache(cache);
+  }
+
+  Status Get(const Hash256& root, const Slice& key,
+             std::string* value) const override {
+    return tree_.Get(root, key, value);
+  }
+  Status GetWithProof(const Hash256& root, const Slice& key,
+                      std::string* value, SiriProof* proof) const override {
+    *proof = SiriProof();
+    proof->kind = SiriBackend::kPosTree;
+    return tree_.GetWithProof(root, key, value, &proof->pos);
+  }
+  Status Put(const Hash256& root, const Slice& key, const Slice& value,
+             Hash256* new_root) const override {
+    return tree_.Put(root, key, value, new_root);
+  }
+  Status Delete(const Hash256& root, const Slice& key,
+                Hash256* new_root) const override {
+    return tree_.Delete(root, key, new_root);
+  }
+  Status Count(const Hash256& root, uint64_t* count) const override {
+    return tree_.Count(root, count);
+  }
+  Status Build(std::vector<PosEntry> entries, Hash256* root) const override {
+    return tree_.Build(std::move(entries), root);
+  }
+  Status Scan(const Hash256& root, const Slice& start, const Slice& end,
+              size_t limit, std::vector<PosEntry>* out) const override {
+    return tree_.Scan(root, start, end, limit, out);
+  }
+  Status ScanWithProof(const Hash256& root, const Slice& start,
+                       const Slice& end, size_t limit,
+                       std::vector<PosEntry>* out,
+                       SiriRangeProof* proof) const override {
+    *proof = SiriRangeProof();
+    proof->kind = SiriBackend::kPosTree;
+    return tree_.ScanWithProof(root, start, end, limit, out, &proof->pos);
+  }
+
+ private:
+  PosTree tree_;
+};
+
+class MptSiriIndex : public SiriIndex {
+ public:
+  explicit MptSiriIndex(ChunkStore* store) : tree_(store) {}
+
+  SiriBackend kind() const override {
+    return SiriBackend::kMerklePatriciaTrie;
+  }
+
+  Status Get(const Hash256& root, const Slice& key,
+             std::string* value) const override {
+    return tree_.Get(root, key, value);
+  }
+  Status GetWithProof(const Hash256& root, const Slice& key,
+                      std::string* value, SiriProof* proof) const override {
+    *proof = SiriProof();
+    proof->kind = SiriBackend::kMerklePatriciaTrie;
+    return tree_.GetWithProof(root, key, value, &proof->mpt);
+  }
+  Status Put(const Hash256& root, const Slice& key, const Slice& value,
+             Hash256* new_root) const override {
+    return tree_.Put(root, key, value, new_root);
+  }
+  Status Delete(const Hash256& root, const Slice& key,
+                Hash256* new_root) const override {
+    return tree_.Delete(root, key, new_root);
+  }
+  Status Count(const Hash256& root, uint64_t* count) const override {
+    return tree_.Count(root, count);
+  }
+
+ private:
+  MerklePatriciaTrie tree_;
+};
+
+class MbtSiriIndex : public SiriIndex {
+ public:
+  MbtSiriIndex(ChunkStore* store, uint32_t bucket_count)
+      : tree_(store, MerkleBucketTree::Options(bucket_count)) {}
+
+  SiriBackend kind() const override { return SiriBackend::kMerkleBucketTree; }
+
+  Status Get(const Hash256& root, const Slice& key,
+             std::string* value) const override {
+    return tree_.Get(root, key, value);
+  }
+  Status GetWithProof(const Hash256& root, const Slice& key,
+                      std::string* value, SiriProof* proof) const override {
+    *proof = SiriProof();
+    proof->kind = SiriBackend::kMerkleBucketTree;
+    return tree_.GetWithProof(root, key, value, &proof->mbt);
+  }
+  Status Put(const Hash256& root, const Slice& key, const Slice& value,
+             Hash256* new_root) const override {
+    return tree_.Put(root, key, value, new_root);
+  }
+  Status Delete(const Hash256& root, const Slice& key,
+                Hash256* new_root) const override {
+    return tree_.Delete(root, key, new_root);
+  }
+  Status Count(const Hash256& root, uint64_t* count) const override {
+    return tree_.Count(root, count);
+  }
+
+ private:
+  MerkleBucketTree tree_;
+};
+
+}  // namespace
+
+std::unique_ptr<SiriIndex> MakeSiriIndex(SiriBackend kind, ChunkStore* store,
+                                         const SiriIndexOptions& options) {
+  switch (kind) {
+    case SiriBackend::kPosTree:
+      return std::make_unique<PosSiriIndex>(store, options.pos);
+    case SiriBackend::kMerklePatriciaTrie:
+      return std::make_unique<MptSiriIndex>(store);
+    case SiriBackend::kMerkleBucketTree:
+      return std::make_unique<MbtSiriIndex>(
+          store, options.mbt_bucket_count == 0 ? 256u
+                                               : options.mbt_bucket_count);
+  }
+  return std::make_unique<PosSiriIndex>(store, options.pos);
+}
+
+}  // namespace spitz

@@ -1,0 +1,160 @@
+#ifndef SPITZ_INDEX_SIRI_H_
+#define SPITZ_INDEX_SIRI_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "index/mbt.h"
+#include "index/mpt.h"
+#include "index/pos_tree.h"
+
+namespace spitz {
+
+class PosNodeCache;
+
+// ---------------------------------------------------------------------------
+// SIRI — Structurally-Invariant Reusable Index (paper section 3.1).
+//
+// The paper's structural claim is that the POS-tree, the Merkle Patricia
+// Trie and the Merkle Bucket Tree are all instances of one abstraction:
+// an immutable, content-addressed index whose root hash is a pure
+// function of its key-value set, whose versions share unmodified nodes,
+// and whose query traversals double as integrity proofs. SiriIndex is
+// that abstraction made concrete: SpitzDb programs against it and any
+// backend can be plugged in via SpitzOptions::index_backend.
+//
+// Proofs produced through this interface are *wire-format* proofs: the
+// SiriProof envelope is tagged with its backend kind and round-trips
+// through Encode/Decode, so a remote client can verify a proof it
+// received as bytes without sharing any in-process structs with the
+// server. Verification dispatches on the envelope tag; a re-tagged or
+// otherwise tampered envelope fails the hash checks because chunk ids
+// commit to the chunk type byte as well as the payload.
+// ---------------------------------------------------------------------------
+
+enum class SiriBackend : uint8_t {
+  kPosTree = 0,            // Pattern-Oriented-Split tree (default)
+  kMerklePatriciaTrie = 1, // Ethereum-style trie
+  kMerkleBucketTree = 2,   // Hyperledger-Fabric-style bucket tree
+};
+
+const char* SiriBackendName(SiriBackend kind);
+
+// A serializable point-lookup proof. Exactly one of the kind-specific
+// bodies is populated, selected by `kind`. The envelope encodes as
+//   [kind:1][kind-specific body]
+// and Verify() dispatches to the matching backend verifier.
+struct SiriProof {
+  SiriBackend kind = SiriBackend::kPosTree;
+  PosProof pos;                   // kind == kPosTree
+  MerklePatriciaTrie::Proof mpt;  // kind == kMerklePatriciaTrie
+  MerkleBucketTree::Proof mbt;    // kind == kMerkleBucketTree
+
+  // Serializes the envelope (appended to *out).
+  void EncodeTo(std::string* out) const;
+  std::string Encode() const {
+    std::string out;
+    EncodeTo(&out);
+    return out;
+  }
+  // Parses one envelope from the front of *input, advancing it.
+  static Status DecodeFrom(Slice* input, SiriProof* out);
+
+  // Verifies against a trusted root digest. nullopt expected_value
+  // demands a non-membership proof. The MBT bucket count is derived
+  // from the directory payload, which the root commits to.
+  Status Verify(const Hash256& root, const Slice& key,
+                const std::optional<std::string>& expected_value) const;
+
+  size_t ByteSize() const;
+};
+
+// A serializable range-scan proof. Only the POS-tree supports verified
+// scans today; the envelope still carries a kind tag so future backends
+// can join without a wire-format change.
+struct SiriRangeProof {
+  SiriBackend kind = SiriBackend::kPosTree;
+  PosRangeProof pos;  // kind == kPosTree
+
+  void EncodeTo(std::string* out) const;
+  std::string Encode() const {
+    std::string out;
+    EncodeTo(&out);
+    return out;
+  }
+  static Status DecodeFrom(Slice* input, SiriRangeProof* out);
+
+  Status Verify(const Hash256& root, const Slice& start, const Slice& end,
+                size_t limit, const std::vector<PosEntry>& expected) const;
+
+  size_t ByteSize() const;
+};
+
+struct SiriIndexOptions {
+  SiriIndexOptions() {}
+  PosTreeOptions pos;              // kPosTree tuning knobs
+  uint32_t mbt_bucket_count = 256; // kMerkleBucketTree bucket count
+};
+
+// The unified index interface. A version is a root hash; all mutating
+// operations return the root of a new version and never touch existing
+// chunks, so any number of versions can be read concurrently. Backends
+// that cannot serve ordered scans report SupportsScan() == false and
+// return NotSupported from the scan entry points — callers fall back to
+// iterator-free paths.
+class SiriIndex {
+ public:
+  virtual ~SiriIndex() = default;
+
+  virtual SiriBackend kind() const = 0;
+  const char* name() const { return SiriBackendName(kind()); }
+
+  // --- Capability flags ---------------------------------------------------
+  virtual bool SupportsScan() const { return false; }
+  virtual bool SupportsBulkBuild() const { return false; }
+
+  // The empty index is the zero hash for every backend.
+  Hash256 EmptyRoot() const { return Hash256(); }
+
+  // Backends with a decoded-node cache accept one here; others ignore it.
+  virtual void SetNodeCache(PosNodeCache* /*cache*/) {}
+
+  // --- Core operations ----------------------------------------------------
+  virtual Status Get(const Hash256& root, const Slice& key,
+                     std::string* value) const = 0;
+  virtual Status GetWithProof(const Hash256& root, const Slice& key,
+                              std::string* value, SiriProof* proof) const = 0;
+  virtual Status Put(const Hash256& root, const Slice& key, const Slice& value,
+                     Hash256* new_root) const = 0;
+  virtual Status Delete(const Hash256& root, const Slice& key,
+                        Hash256* new_root) const = 0;
+  virtual Status Count(const Hash256& root, uint64_t* count) const = 0;
+
+  // Bulk-builds a tree from entries (last write per key wins). The
+  // default loops Put; backends with a native builder override.
+  virtual Status Build(std::vector<PosEntry> entries, Hash256* root) const;
+
+  // --- Optional capabilities (SupportsScan) -------------------------------
+  virtual Status Scan(const Hash256& root, const Slice& start,
+                      const Slice& end, size_t limit,
+                      std::vector<PosEntry>* out) const;
+  virtual Status ScanWithProof(const Hash256& root, const Slice& start,
+                               const Slice& end, size_t limit,
+                               std::vector<PosEntry>* out,
+                               SiriRangeProof* proof) const;
+};
+
+// Constructs the backend named by `kind` over `store`.
+std::unique_ptr<SiriIndex> MakeSiriIndex(SiriBackend kind, ChunkStore* store,
+                                         const SiriIndexOptions& options = {});
+
+}  // namespace spitz
+
+#endif  // SPITZ_INDEX_SIRI_H_

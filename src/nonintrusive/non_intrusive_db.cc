@@ -7,32 +7,10 @@ namespace spitz {
 namespace {
 
 // --- Wire formats for the payloads crossing the RPC boundary -------------
-
-void EncodePosProof(const PosProof& proof, std::string* out) {
-  PutVarint64(out, proof.node_payloads.size());
-  for (size_t i = 0; i < proof.node_payloads.size(); i++) {
-    out->push_back(static_cast<char>(proof.node_types[i]));
-    PutLengthPrefixedSlice(out, proof.node_payloads[i]);
-  }
-}
-
-Status DecodePosProof(Slice* input, PosProof* proof) {
-  uint64_t n = 0;
-  Status s = GetVarint64(input, &n);
-  if (!s.ok()) return s;
-  proof->node_payloads.clear();
-  proof->node_types.clear();
-  for (uint64_t i = 0; i < n; i++) {
-    if (input->empty()) return Status::Corruption("truncated proof");
-    proof->node_types.push_back(static_cast<uint8_t>((*input)[0]));
-    input->remove_prefix(1);
-    Slice payload;
-    s = GetLengthPrefixedSlice(input, &payload);
-    if (!s.ok()) return s;
-    proof->node_payloads.push_back(payload.ToString());
-  }
-  return Status::OK();
-}
+//
+// Proofs travel as the serialized ReadProof envelope (index root +
+// backend-tagged SiriProof), so the client verifies exactly what came
+// off the wire — whatever SIRI backend the ledger database runs.
 
 Status GetHash(Slice* input, Hash256* h) {
   if (input->size() < Hash256::kSize) {
@@ -129,8 +107,7 @@ Status NonIntrusiveDb::HandleLedger(uint32_t method,
       ReadProof proof;
       s = ledger_db_.GetWithProof(key, &stored, &proof);
       if (!s.ok()) return s;
-      response->append(proof.index_root.ToBytes());
-      EncodePosProof(proof.index_proof, response);
+      proof.EncodeTo(response);
       PutLengthPrefixedSlice(response, stored);
       return Status::OK();
     }
@@ -202,9 +179,7 @@ Status NonIntrusiveDb::GetVerified(const Slice& key, VerifiedValue* out) {
   s = ledger_server_->Call(kLedgerProve, request, &response);
   if (!s.ok()) return s;
   Slice input(response);
-  s = GetHash(&input, &out->proof.index_root);
-  if (!s.ok()) return s;
-  return DecodePosProof(&input, &out->proof.index_proof);
+  return ReadProof::DecodeFrom(&input, &out->proof);
 }
 
 Status NonIntrusiveDb::Scan(const Slice& start, const Slice& end,
@@ -251,9 +226,7 @@ Status NonIntrusiveDb::ScanVerified(const Slice& start, const Slice& end,
     s = ledger_server_->Call(kLedgerProve, request, &response);
     if (!s.ok()) return s;
     Slice input(response);
-    s = GetHash(&input, &vv.proof.index_root);
-    if (!s.ok()) return s;
-    s = DecodePosProof(&input, &vv.proof.index_proof);
+    s = ReadProof::DecodeFrom(&input, &vv.proof);
     if (!s.ok()) return s;
     out->push_back(std::move(vv));
     keys->push_back(row.key);
@@ -284,10 +257,10 @@ Status NonIntrusiveDb::VerifyValue(const SpitzDigest& digest,
   }
   // The ledger database maps key -> hash(value); the proof must show
   // exactly that binding, and the value from the underlying database
-  // must match the hash.
+  // must match the hash. Verification dispatches on the proof's backend
+  // tag, so any SIRI backend can serve the ledger role.
   std::string expected = Hash256::Of(vv.value).ToBytes();
-  return PosTree::VerifyProof(digest.index_root, key, expected,
-                              vv.proof.index_proof);
+  return vv.proof.index_proof.Verify(digest.index_root, key, expected);
 }
 
 }  // namespace spitz

@@ -66,9 +66,8 @@ TEST(ConcurrencyTest, ConcurrentReadsWritesAndSeals) {
 
         ReadProof proof;
         s = db.GetWithProof(key, &value, &proof);
-        if (!s.ok() || !PosTree::VerifyProof(proof.index_root, key, value,
-                                             proof.index_proof)
-                            .ok()) {
+        if (!s.ok() ||
+            !proof.index_proof.Verify(proof.index_root, key, value).ok()) {
           read_errors.fetch_add(1);
         } else {
           verified_reads.fetch_add(1);
@@ -79,9 +78,8 @@ TEST(ConcurrencyTest, ConcurrentReadsWritesAndSeals) {
           ScanProof scan_proof;
           if (!db.ScanWithProof("key0", "key9", 50, &out, &scan_proof)
                    .ok() ||
-              !PosTree::VerifyRangeProof(scan_proof.index_root, "key0",
-                                         "key9", 50, out,
-                                         scan_proof.index_proof)
+              !scan_proof.index_proof
+                   .Verify(scan_proof.index_root, "key0", "key9", 50, out)
                    .ok()) {
             read_errors.fetch_add(1);
           }
@@ -96,8 +94,7 @@ TEST(ConcurrencyTest, ConcurrentReadsWritesAndSeals) {
           // The digest may already be stale by the time the proof is
           // generated; only proof-vs-own-root consistency is asserted.
           if (db.GetWithProof(k2, &v2, &p2).ok() &&
-              !PosTree::VerifyProof(p2.index_root, k2, v2, p2.index_proof)
-                   .ok()) {
+              !p2.index_proof.Verify(p2.index_root, k2, v2).ok()) {
             read_errors.fetch_add(1);
           }
           (void)d;

@@ -1,0 +1,245 @@
+// The whole SpitzDb stack exercised against every SIRI backend via
+// SpitzOptions::index_backend: put/get/delete, block sealing, wire-format
+// proof round trips, the deferred audit pipeline, the non-intrusive RPC
+// boundary, and options validation.
+
+#include <gtest/gtest.h>
+
+#include "core/spitz_db.h"
+#include "nonintrusive/non_intrusive_db.h"
+
+namespace spitz {
+namespace {
+
+constexpr SiriBackend kAllBackends[] = {SiriBackend::kPosTree,
+                                        SiriBackend::kMerklePatriciaTrie,
+                                        SiriBackend::kMerkleBucketTree};
+
+SpitzOptions BackendOptions(SiriBackend kind) {
+  SpitzOptions options;
+  options.index_backend = kind;
+  options.block_size = 16;         // several sealed blocks per test
+  options.mbt_bucket_count = 32;   // exercise multi-entry buckets
+  return options;
+}
+
+class SiriBackendTest : public ::testing::TestWithParam<SiriBackend> {};
+
+TEST_P(SiriBackendTest, PutGetDeleteAcrossSealedBlocks) {
+  SpitzDb db(BackendOptions(GetParam()));
+  EXPECT_EQ(db.index_backend(), GetParam());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db.Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db.FlushBlock().ok());
+  EXPECT_EQ(db.key_count(), 100u);
+
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db.Get("k" + std::to_string(i), &value).ok());
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(db.Get("absent", &value).IsNotFound());
+
+  // Overwrites and deletes behave identically on every backend.
+  ASSERT_TRUE(db.Put("k7", "v7'").ok());
+  ASSERT_TRUE(db.Get("k7", &value).ok());
+  EXPECT_EQ(value, "v7'");
+  ASSERT_TRUE(db.Delete("k13").ok());
+  EXPECT_TRUE(db.Get("k13", &value).IsNotFound());
+  ASSERT_TRUE(db.FlushBlock().ok());
+  EXPECT_EQ(db.key_count(), 99u);
+}
+
+TEST_P(SiriBackendTest, ProofVerifiesAfterWireRoundTrip) {
+  SpitzDb db(BackendOptions(GetParam()));
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db.Put("key" + std::to_string(i), "val" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(db.FlushBlock().ok());
+  SpitzDigest digest = db.Digest();
+
+  std::string value;
+  ReadProof proof;
+  ASSERT_TRUE(db.GetWithProof("key17", &value, &proof).ok());
+  EXPECT_EQ(value, "val17");
+  EXPECT_EQ(proof.index_proof.kind, GetParam());
+  ASSERT_TRUE(SpitzDb::VerifyRead(digest, "key17", value, proof).ok());
+
+  // The serialized envelope — exactly what the RPC layer ships — must
+  // verify after decoding, and reject a swapped value.
+  std::string wire;
+  proof.EncodeTo(&wire);
+  ReadProof decoded;
+  Slice input(wire);
+  ASSERT_TRUE(ReadProof::DecodeFrom(&input, &decoded).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_TRUE(SpitzDb::VerifyRead(digest, "key17", value, decoded).ok());
+  EXPECT_FALSE(
+      SpitzDb::VerifyRead(digest, "key17", std::string("forged"), decoded)
+          .ok());
+  EXPECT_FALSE(SpitzDb::VerifyRead(digest, "key18", value, decoded).ok());
+
+  // Tampering with any of the first 64 wire bytes must be rejected by
+  // decode or by verification.
+  for (size_t pos = 0; pos < wire.size() && pos < 64; pos++) {
+    std::string tampered = wire;
+    tampered[pos] = static_cast<char>(
+        static_cast<uint8_t>(tampered[pos]) ^ 0x01);
+    ReadProof bad;
+    Slice in2(tampered);
+    if (!ReadProof::DecodeFrom(&in2, &bad).ok()) continue;
+    EXPECT_FALSE(SpitzDb::VerifyRead(digest, "key17", value, bad).ok())
+        << "flip at byte " << pos;
+  }
+}
+
+TEST_P(SiriBackendTest, NonMembershipProofVerifies) {
+  SpitzDb db(BackendOptions(GetParam()));
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(db.Put("p" + std::to_string(i), "q").ok());
+  }
+  ASSERT_TRUE(db.FlushBlock().ok());
+  SpitzDigest digest = db.Digest();
+
+  std::string value;
+  ReadProof proof;
+  EXPECT_TRUE(db.GetWithProof("never-written", &value, &proof).IsNotFound());
+  std::string wire;
+  proof.EncodeTo(&wire);
+  ReadProof decoded;
+  Slice input(wire);
+  ASSERT_TRUE(ReadProof::DecodeFrom(&input, &decoded).ok());
+  EXPECT_TRUE(
+      SpitzDb::VerifyRead(digest, "never-written", std::nullopt, decoded)
+          .ok());
+  EXPECT_FALSE(
+      SpitzDb::VerifyRead(digest, "never-written", std::string("x"), decoded)
+          .ok());
+}
+
+TEST_P(SiriBackendTest, AuditPipelineRunsOnEveryBackend) {
+  SpitzOptions options = BackendOptions(GetParam());
+  options.audit_batch_size = 8;  // deferred mode
+  SpitzDb db(options);
+  for (int i = 0; i < 40; i++) {
+    std::string key = "a" + std::to_string(i);
+    ASSERT_TRUE(db.Put(key, "v").ok());
+    ASSERT_TRUE(db.AuditWrite(key, std::string("v")).ok());
+  }
+  ASSERT_TRUE(db.AuditKey("a5").ok());
+  ASSERT_TRUE(db.AuditKey("not-there").ok());
+  ASSERT_TRUE(db.FlushBlock().ok());
+  ASSERT_TRUE(db.AuditLastBlock().ok());
+  EXPECT_TRUE(db.DrainAudits().ok());
+}
+
+TEST_P(SiriBackendTest, ScanCapabilityMatchesBackend) {
+  SpitzDb db(BackendOptions(GetParam()));
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db.Put("s" + std::to_string(i), "v").ok());
+  }
+  std::vector<PosEntry> rows;
+  Status s = db.Scan("s0", "s9", 0, &rows);
+  ScanProof proof;
+  std::vector<PosEntry> rows2;
+  Status sp = db.ScanWithProof("s0", "s9", 0, &rows2, &proof);
+  if (GetParam() == SiriBackend::kPosTree) {
+    EXPECT_TRUE(db.SupportsScan());
+    ASSERT_TRUE(s.ok());
+    EXPECT_FALSE(rows.empty());
+    ASSERT_TRUE(sp.ok());
+    EXPECT_TRUE(
+        SpitzDb::VerifyScan(db.Digest(), "s0", "s9", 0, rows2, proof).ok());
+  } else {
+    // Iterator-free backends refuse scans instead of serving unordered
+    // or unverifiable results.
+    EXPECT_FALSE(db.SupportsScan());
+    EXPECT_TRUE(s.IsNotSupported());
+    EXPECT_TRUE(sp.IsNotSupported());
+  }
+}
+
+// The non-intrusive deployment with each backend serving the ledger
+// role: a proof generated server-side crosses two RPC hops as bytes and
+// must verify client-side against the ledger digest.
+TEST_P(SiriBackendTest, NonIntrusiveRpcRoundTrip) {
+  NonIntrusiveDb::Options options;
+  options.ledger = BackendOptions(GetParam());
+  NonIntrusiveDb db(options);
+  for (int i = 0; i < 25; i++) {
+    ASSERT_TRUE(db.Put("u" + std::to_string(i), "w" + std::to_string(i)).ok());
+  }
+  SpitzDigest digest = db.Digest();
+
+  NonIntrusiveDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("u9", &vv).ok());
+  EXPECT_EQ(vv.value, "w9");
+  EXPECT_EQ(vv.proof.index_proof.kind, GetParam());
+  EXPECT_TRUE(NonIntrusiveDb::VerifyValue(digest, "u9", vv).ok());
+
+  // The ledger proves hash(value); a tampered value fails verification.
+  NonIntrusiveDb::VerifiedValue forged = vv;
+  forged.value = "w9-forged";
+  EXPECT_FALSE(NonIntrusiveDb::VerifyValue(digest, "u9", forged).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SiriBackendTest,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           std::string name = SiriBackendName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Options validation ------------------------------------------------------
+
+TEST(SpitzOptionsTest, RejectsZeroBlockSize) {
+  SpitzOptions options;
+  options.block_size = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  // The in-memory constructor cannot return the error, so the write
+  // paths surface it instead (and nothing divides by zero meanwhile).
+  SpitzDb db(options);
+  EXPECT_TRUE(db.Put("k", "v").IsInvalidArgument());
+  std::vector<PosEntry> entries{{"a", "1"}};
+  EXPECT_TRUE(db.BulkLoad(entries).IsInvalidArgument());
+}
+
+TEST(SpitzOptionsTest, RejectsZeroMbtBucketCount) {
+  SpitzOptions options;
+  options.index_backend = SiriBackend::kMerkleBucketTree;
+  options.mbt_bucket_count = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  SpitzDb db(options);
+  EXPECT_TRUE(db.Put("k", "v").IsInvalidArgument());
+
+  // Zero buckets is only meaningful for the MBT backend.
+  options.index_backend = SiriBackend::kPosTree;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(SpitzOptionsTest, OpenRejectsInvalidOptions) {
+  SpitzOptions options;
+  options.block_size = 0;
+  options.data_dir = ::testing::TempDir() + "/siri_backend_invalid";
+  std::unique_ptr<SpitzDb> db;
+  EXPECT_TRUE(SpitzDb::Open(options, &db).IsInvalidArgument());
+  EXPECT_EQ(db, nullptr);
+}
+
+TEST(SpitzOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(SpitzOptions().Validate().ok());
+  for (SiriBackend kind : kAllBackends) {
+    SpitzOptions options;
+    options.index_backend = kind;
+    EXPECT_TRUE(options.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace spitz

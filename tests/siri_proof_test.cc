@@ -1,0 +1,278 @@
+// Wire-format tests for the SiriProof / SiriRangeProof envelopes: every
+// backend's proof must survive an encode -> decode round trip and fail
+// verification under any single-byte tampering or truncation of the
+// encoded bytes.
+
+#include <gtest/gtest.h>
+
+#include "chunk/chunk_store.h"
+#include "index/siri.h"
+
+namespace spitz {
+namespace {
+
+constexpr SiriBackend kAllBackends[] = {SiriBackend::kPosTree,
+                                        SiriBackend::kMerklePatriciaTrie,
+                                        SiriBackend::kMerkleBucketTree};
+
+// A populated index of the requested backend plus one proof per probe.
+struct Fixture {
+  ChunkStore store;
+  std::unique_ptr<SiriIndex> index;
+  Hash256 root;
+  std::vector<PosEntry> entries;
+
+  explicit Fixture(SiriBackend kind, size_t n = 200) {
+    SiriIndexOptions options;
+    options.mbt_bucket_count = 16;  // small so buckets hold several keys
+    index = MakeSiriIndex(kind, &store, options);
+    root = index->EmptyRoot();
+    for (size_t i = 0; i < n; i++) {
+      char key[32], value[32];
+      snprintf(key, sizeof(key), "key%05zu", i);
+      snprintf(value, sizeof(value), "value%05zu", i);
+      entries.push_back(PosEntry{key, value});
+      EXPECT_TRUE(index->Put(root, key, value, &root).ok());
+    }
+  }
+};
+
+class SiriProofTest : public ::testing::TestWithParam<SiriBackend> {};
+
+TEST_P(SiriProofTest, MembershipProofRoundTrips) {
+  Fixture f(GetParam());
+  for (const char* key : {"key00000", "key00099", "key00199"}) {
+    std::string value;
+    SiriProof proof;
+    ASSERT_TRUE(f.index->GetWithProof(f.root, key, &value, &proof).ok());
+    EXPECT_EQ(proof.kind, GetParam());
+    EXPECT_TRUE(proof.Verify(f.root, key, value).ok());
+
+    std::string wire = proof.Encode();
+    EXPECT_GT(wire.size(), 1u);
+    SiriProof decoded;
+    Slice input(wire);
+    ASSERT_TRUE(SiriProof::DecodeFrom(&input, &decoded).ok());
+    EXPECT_TRUE(input.empty()) << "decoder left trailing bytes";
+    EXPECT_EQ(decoded.kind, proof.kind);
+    EXPECT_TRUE(decoded.Verify(f.root, key, value).ok());
+    // The decoded envelope re-encodes to the identical bytes.
+    EXPECT_EQ(decoded.Encode(), wire);
+  }
+}
+
+TEST_P(SiriProofTest, NonMembershipProofRoundTrips) {
+  Fixture f(GetParam());
+  std::string value;
+  SiriProof proof;
+  Status s = f.index->GetWithProof(f.root, "missing-key", &value, &proof);
+  ASSERT_TRUE(s.IsNotFound()) << s.ToString();
+  ASSERT_TRUE(proof.Verify(f.root, "missing-key", std::nullopt).ok());
+
+  std::string wire = proof.Encode();
+  SiriProof decoded;
+  Slice input(wire);
+  ASSERT_TRUE(SiriProof::DecodeFrom(&input, &decoded).ok());
+  EXPECT_TRUE(decoded.Verify(f.root, "missing-key", std::nullopt).ok());
+  // The same proof cannot show membership.
+  EXPECT_FALSE(decoded.Verify(f.root, "missing-key", std::string("v")).ok());
+}
+
+// Byte-level tamper fuzzing: for every position in the encoded proof,
+// each of several bit flips must make decode or verification fail —
+// never let a modified envelope verify for the original statement.
+TEST_P(SiriProofTest, EverySingleByteTamperIsRejected) {
+  Fixture f(GetParam());
+  const std::string key = "key00042";
+  std::string value;
+  SiriProof proof;
+  ASSERT_TRUE(f.index->GetWithProof(f.root, key, &value, &proof).ok());
+  const std::string wire = proof.Encode();
+
+  for (size_t pos = 0; pos < wire.size(); pos++) {
+    for (uint8_t flip : {0x01, 0x80, 0xff}) {
+      std::string tampered = wire;
+      tampered[pos] = static_cast<char>(
+          static_cast<uint8_t>(tampered[pos]) ^ flip);
+      SiriProof decoded;
+      Slice input(tampered);
+      Status s = SiriProof::DecodeFrom(&input, &decoded);
+      if (!s.ok()) continue;  // rejected at the codec layer: fine
+      // A decodable tampered envelope must fail verification. (A flip
+      // that leaves trailing garbage but decodes a valid prefix is
+      // caught here too, because the proof content then differs.)
+      if (input.empty()) {
+        EXPECT_FALSE(decoded.Verify(f.root, key, value).ok())
+            << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec
+            << pos << " verified";
+      }
+    }
+  }
+}
+
+TEST_P(SiriProofTest, EveryTruncationIsRejected) {
+  Fixture f(GetParam());
+  const std::string key = "key00007";
+  std::string value;
+  SiriProof proof;
+  ASSERT_TRUE(f.index->GetWithProof(f.root, key, &value, &proof).ok());
+  const std::string wire = proof.Encode();
+
+  for (size_t len = 0; len < wire.size(); len++) {
+    std::string truncated = wire.substr(0, len);
+    SiriProof decoded;
+    Slice input(truncated);
+    Status s = SiriProof::DecodeFrom(&input, &decoded);
+    if (!s.ok()) continue;
+    // A truncated prefix that still decodes (e.g. fewer proof nodes
+    // than the original) must not verify.
+    EXPECT_FALSE(decoded.Verify(f.root, key, value).ok())
+        << "truncation to " << len << " bytes verified";
+  }
+}
+
+// Re-tagging an envelope as a different backend must never verify: the
+// chunk ids commit to the chunk type byte, so a proof body presented
+// under the wrong kind fails the hash checks of that kind's verifier.
+TEST_P(SiriProofTest, KindSwapIsRejected) {
+  Fixture f(GetParam());
+  const std::string key = "key00011";
+  std::string value;
+  SiriProof proof;
+  ASSERT_TRUE(f.index->GetWithProof(f.root, key, &value, &proof).ok());
+  std::string wire = proof.Encode();
+
+  for (SiriBackend other : kAllBackends) {
+    if (other == GetParam()) continue;
+    std::string retagged = wire;
+    retagged[0] = static_cast<char>(other);
+    SiriProof decoded;
+    Slice input(retagged);
+    Status s = SiriProof::DecodeFrom(&input, &decoded);
+    if (!s.ok() || !input.empty()) continue;
+    EXPECT_FALSE(decoded.Verify(f.root, key, value).ok())
+        << SiriBackendName(GetParam()) << " proof verified as "
+        << SiriBackendName(other);
+  }
+}
+
+TEST_P(SiriProofTest, EmptyAndUnknownTagEnvelopesRejected) {
+  SiriProof decoded;
+  Slice empty("");
+  EXPECT_FALSE(SiriProof::DecodeFrom(&empty, &decoded).ok());
+
+  std::string bad_tag = "\x07";
+  Slice input(bad_tag);
+  EXPECT_FALSE(SiriProof::DecodeFrom(&input, &decoded).ok());
+
+  // A default-constructed proof never verifies against a real root.
+  Fixture f(GetParam());
+  SiriProof blank;
+  blank.kind = GetParam();
+  EXPECT_FALSE(blank.Verify(f.root, "key00000", std::nullopt).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SiriProofTest,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           std::string name = SiriBackendName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Range proofs (POS-tree only) -------------------------------------------
+
+TEST(SiriRangeProofTest, RoundTripsAndVerifies) {
+  Fixture f(SiriBackend::kPosTree);
+  std::vector<PosEntry> rows;
+  SiriRangeProof proof;
+  ASSERT_TRUE(f.index
+                  ->ScanWithProof(f.root, "key00010", "key00020", 0, &rows,
+                                  &proof)
+                  .ok());
+  EXPECT_EQ(rows.size(), 10u);
+  ASSERT_TRUE(proof.Verify(f.root, "key00010", "key00020", 0, rows).ok());
+
+  std::string wire = proof.Encode();
+  SiriRangeProof decoded;
+  Slice input(wire);
+  ASSERT_TRUE(SiriRangeProof::DecodeFrom(&input, &decoded).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_TRUE(decoded.Verify(f.root, "key00010", "key00020", 0, rows).ok());
+
+  // A dropped row must be detected by the decoded proof.
+  std::vector<PosEntry> short_rows(rows.begin(), rows.end() - 1);
+  EXPECT_FALSE(
+      decoded.Verify(f.root, "key00010", "key00020", 0, short_rows).ok());
+}
+
+TEST(SiriRangeProofTest, TamperedBytesRejected) {
+  Fixture f(SiriBackend::kPosTree);
+  std::vector<PosEntry> rows;
+  SiriRangeProof proof;
+  ASSERT_TRUE(f.index
+                  ->ScanWithProof(f.root, "key00100", "key00110", 0, &rows,
+                                  &proof)
+                  .ok());
+  const std::string wire = proof.Encode();
+  for (size_t pos = 0; pos < wire.size(); pos++) {
+    std::string tampered = wire;
+    tampered[pos] = static_cast<char>(
+        static_cast<uint8_t>(tampered[pos]) ^ 0x01);
+    SiriRangeProof decoded;
+    Slice input(tampered);
+    Status s = SiriRangeProof::DecodeFrom(&input, &decoded);
+    if (!s.ok() || !input.empty()) continue;
+    EXPECT_FALSE(decoded.Verify(f.root, "key00100", "key00110", 0, rows).ok())
+        << "flip at byte " << pos << " verified";
+  }
+}
+
+TEST(SiriRangeProofTest, NonPosTagRejectedAtDecode) {
+  std::string wire;
+  wire.push_back(static_cast<char>(SiriBackend::kMerkleBucketTree));
+  wire.push_back('\0');
+  SiriRangeProof decoded;
+  Slice input(wire);
+  EXPECT_FALSE(SiriRangeProof::DecodeFrom(&input, &decoded).ok());
+}
+
+// The adapters must expose the advertised capability surface.
+TEST(SiriIndexTest, CapabilityFlagsMatchBackends) {
+  ChunkStore store;
+  for (SiriBackend kind : kAllBackends) {
+    auto index = MakeSiriIndex(kind, &store);
+    EXPECT_EQ(index->kind(), kind);
+    bool is_pos = kind == SiriBackend::kPosTree;
+    EXPECT_EQ(index->SupportsScan(), is_pos);
+    EXPECT_EQ(index->SupportsBulkBuild(), is_pos);
+    if (!index->SupportsScan()) {
+      Fixture f(kind, 10);
+      std::vector<PosEntry> rows;
+      EXPECT_TRUE(f.index->Scan(f.root, "a", "z", 0, &rows).IsNotSupported());
+      SiriRangeProof proof;
+      EXPECT_TRUE(f.index->ScanWithProof(f.root, "a", "z", 0, &rows, &proof)
+                      .IsNotSupported());
+    }
+  }
+}
+
+// Build (native for POS, Put-loop default for the others) must agree
+// with incremental insertion on the final root.
+TEST(SiriIndexTest, BuildAgreesWithIncrementalPuts) {
+  for (SiriBackend kind : kAllBackends) {
+    Fixture f(kind, 64);
+    ChunkStore store2;
+    SiriIndexOptions options;
+    options.mbt_bucket_count = 16;
+    auto index2 = MakeSiriIndex(kind, &store2, options);
+    Hash256 built;
+    ASSERT_TRUE(index2->Build(f.entries, &built).ok());
+    EXPECT_EQ(built, f.root) << SiriBackendName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace spitz

@@ -230,9 +230,8 @@ TEST(SpitzDbTest, ConcurrentReadersDuringWrites) {
         Status s = db.GetWithProof(key, &value, &proof);
         if (s.ok()) {
           // Any proof must verify against its own root version.
-          ASSERT_TRUE(PosTree::VerifyProof(proof.index_root, key, value,
-                                           proof.index_proof)
-                          .ok());
+          ASSERT_TRUE(
+              proof.index_proof.Verify(proof.index_root, key, value).ok());
           verified++;
         }
       }
