@@ -125,8 +125,8 @@ void PrintDbResult(const DbResult& r) {
          r.audit_kops, r.scan_supported ? "yes" : "no");
 }
 
-DbResult RunSystemLevel(SiriBackend kind,
-                        const std::vector<PosEntry>& data) {
+DbResult RunSystemLevel(SiriBackend kind, const std::vector<PosEntry>& data,
+                        MetricsSnapshot* metrics) {
   SpitzOptions options;
   options.index_backend = kind;
   SpitzDb db(options);
@@ -176,6 +176,7 @@ DbResult RunSystemLevel(SiriBackend kind,
     if (!db.AuditKey(random_key()).ok()) abort();
   }) / 1000.0;
   if (!db.DrainAudits().ok()) abort();
+  *metrics = db.Metrics();
   return r;
 }
 
@@ -200,9 +201,22 @@ void Run() {
     printf("%-10s  %12s  %12s  %16s  %16s  %12s  %6s\n", "backend",
            "put Kops/s", "get Kops/s", "vget Kops/s", "wire proof B",
            "audit Kops/s", "scan");
+    std::vector<std::pair<const char*, MetricsSnapshot>> per_backend;
     for (SiriBackend kind : kBackends) {
-      PrintDbResult(RunSystemLevel(kind, data));
+      MetricsSnapshot metrics;
+      PrintDbResult(RunSystemLevel(kind, data, &metrics));
+      per_backend.emplace_back(SiriBackendName(kind), std::move(metrics));
     }
+    // Machine-readable tail: each backend's full registry snapshot
+    // (latency percentiles, per-backend proof-size histograms) for
+    // BENCH_*.json tracking.
+    printf("\nMETRICS_JSON_BEGIN\n{\"benchmark\": \"ablation_siri\", "
+           "\"metrics\": {");
+    for (size_t i = 0; i < per_backend.size(); i++) {
+      printf("%s\"%s\": %s", i == 0 ? "" : ", ", per_backend[i].first,
+             per_backend[i].second.ToJsonString().c_str());
+    }
+    printf("}}\nMETRICS_JSON_END\n");
   }
 
   printf(

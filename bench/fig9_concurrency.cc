@@ -183,7 +183,9 @@ int main(int argc, char** argv) {
     drain_points.push_back(p);
   }
 
-  PosNodeCacheStats cache = db.node_cache_stats();
+  MetricsSnapshot metrics = db.Metrics();
+  uint64_t hits = metrics.CounterValue("index.cache.hits");
+  uint64_t misses = metrics.CounterValue("index.cache.misses");
   printf("{\n");
   printf("  \"benchmark\": \"fig9_concurrency\",\n");
   printf("  \"num_records\": %zu,\n", num_records);
@@ -193,8 +195,15 @@ int main(int argc, char** argv) {
   PrintPoints("read_proof_scaling", read_points, &first_section);
   PrintPoints("verifier_drain_scaling", drain_points, &first_section);
   printf(",\n  \"node_cache\": {\"hits\": %" PRIu64 ", \"misses\": %" PRIu64
-         ", \"hit_rate\": %.4f, \"bytes\": %" PRIu64 "}\n",
-         cache.hits, cache.misses, cache.hit_rate(), cache.bytes);
+         ", \"hit_rate\": %.4f, \"bytes\": %" PRIu64 "}",
+         hits, misses,
+         hits + misses == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(hits + misses),
+         metrics.GaugeValue("index.cache.bytes"));
+  // The full registry snapshot rides along so BENCH_*.json diffs can
+  // track latency percentiles and proof sizes without re-deriving them.
+  printf(",\n  \"metrics\": %s\n", metrics.ToJsonString().c_str());
   printf("}\n");
   return 0;
 }

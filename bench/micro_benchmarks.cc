@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "chunk/chunk_store.h"
 #include "chunk/chunker.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/spitz_db.h"
 #include "crypto/sha256.h"
@@ -128,7 +132,7 @@ void BM_SpitzDbVerifiedGet(benchmark::State& state) {
   }
   if (!db.BulkLoad(entries).ok()) abort();
   SpitzDigest digest = db.Digest();
-  PosNodeCacheStats cache_before = db.node_cache_stats();
+  MetricsSnapshot before = db.Metrics();
   std::string value;
   size_t i = 0;
   for (auto _ : state) {
@@ -141,24 +145,51 @@ void BM_SpitzDbVerifiedGet(benchmark::State& state) {
     if (!db.AuditKey(key).ok()) abort();
     i += 104729;
   }
-  DeferredVerifier::Stats audit = db.audit_stats();
+  MetricsSnapshot snap = db.Metrics();
   state.counters["verifier_queue_depth"] =
-      static_cast<double>(audit.queue_depth);
-  state.counters["verifier_workers"] = static_cast<double>(audit.workers);
+      static_cast<double>(snap.GaugeValue("txn.verifier.queue_depth"));
+  state.counters["verifier_workers"] =
+      static_cast<double>(snap.GaugeValue("txn.verifier.workers"));
   if (!db.DrainAudits().ok()) abort();
-  PosNodeCacheStats cache = db.node_cache_stats();
-  uint64_t lookups = (cache.hits - cache_before.hits) +
-                     (cache.misses - cache_before.misses);
+  snap = db.Metrics();
+  uint64_t hits = snap.CounterValue("index.cache.hits") -
+                  before.CounterValue("index.cache.hits");
+  uint64_t lookups = hits + snap.CounterValue("index.cache.misses") -
+                     before.CounterValue("index.cache.misses");
   state.counters["node_cache_hit_rate"] =
       lookups == 0
           ? 0.0
-          : static_cast<double>(cache.hits - cache_before.hits) /
-                static_cast<double>(lookups);
-  state.counters["node_cache_bytes"] = static_cast<double>(cache.bytes);
+          : static_cast<double>(hits) / static_cast<double>(lookups);
+  state.counters["node_cache_bytes"] =
+      static_cast<double>(snap.GaugeValue("index.cache.bytes"));
 }
 BENCHMARK(BM_SpitzDbVerifiedGet)
     ->Args({100000, 32 << 20})
     ->Args({100000, 0});
+
+// Write path with the metrics registry on (arg = 1) vs. off (arg = 0).
+// Comparing the two rates bounds the instrumentation overhead on the
+// hottest path — the registry's design target is < 5%.
+void BM_SpitzDbPut(benchmark::State& state) {
+  SpitzOptions options;
+  options.enable_metrics = state.range(0) != 0;
+  options.block_size = 64;
+  SpitzDb db(options);
+  Random rng(13);
+  std::vector<std::string> values;
+  for (int i = 0; i < 64; i++) values.push_back(rng.Bytes(20));
+  size_t i = 0;
+  for (auto _ : state) {
+    if (!db.Put("key" + std::to_string(i % 100000), values[i % values.size()])
+             .ok()) {
+      abort();
+    }
+    i++;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(options.enable_metrics ? "metrics_on" : "metrics_off");
+}
+BENCHMARK(BM_SpitzDbPut)->Arg(1)->Arg(0);
 
 // Drain rate of the deferred-verification worker pool on a CPU-bound
 // check, reporting the backlog the producer saw (arg = workers).
@@ -250,7 +281,68 @@ void BM_SkipListRangeScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SkipListRangeScan);
 
+// Runs a small but complete workload (writes, sealed blocks, reads,
+// proofs, scans, audits, client-side verification) and prints the
+// resulting MetricsSnapshot JSON between marker lines — the artifact
+// ci/check.sh's metrics smoke leg parses and validates. Also written to
+// $SPITZ_METRICS_OUT when set.
+void EmitMetricsSnapshot() {
+  SpitzOptions options;
+  options.block_size = 16;
+  options.audit_batch_size = 8;
+  options.audit_workers = 2;
+  SpitzDb db(options);
+  Random rng(17);
+  for (int i = 0; i < 256; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    if (!db.Put(key, rng.Bytes(20)).ok()) abort();
+    if (!db.AuditKey(key).ok()) abort();
+  }
+  SpitzDigest digest = db.Digest();
+  std::string value;
+  for (int i = 0; i < 256; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ReadProof proof;
+    if (!db.Get(key, &value).ok()) abort();
+    if (!db.GetWithProof(key, &value, &proof).ok()) abort();
+    if (!SpitzDb::VerifyRead(digest, key, value, proof).ok()) abort();
+  }
+  std::vector<PosEntry> rows;
+  ScanProof scan_proof;
+  if (!db.ScanWithProof("k000010", "k000200", 0, &rows, &scan_proof).ok()) {
+    abort();
+  }
+  if (!SpitzDb::VerifyScan(digest, "k000010", "k000200", 0, rows, scan_proof)
+           .ok()) {
+    abort();
+  }
+  if (!db.DrainAudits().ok()) abort();
+
+  MetricsSnapshot snap = db.Metrics();
+  // Client-side verification latencies live in the process-wide
+  // registry; one merged snapshot tells the whole story.
+  snap.MergeFrom(MetricsRegistry::Global()->Snapshot());
+  std::string json = snap.ToJsonString();
+  printf("METRICS_SNAPSHOT_BEGIN\n%s\nMETRICS_SNAPSHOT_END\n", json.c_str());
+  if (const char* path = getenv("SPITZ_METRICS_OUT")) {
+    FILE* f = fopen(path, "w");
+    if (f == nullptr) abort();
+    fwrite(json.data(), 1, json.size(), f);
+    fputc('\n', f);
+    fclose(f);
+  }
+}
+
 }  // namespace
 }  // namespace spitz
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  spitz::EmitMetricsSnapshot();
+  return 0;
+}

@@ -17,15 +17,27 @@ cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
+echo "==> tier-1: metrics smoke (instrumented paths must populate)"
+# micro_benchmarks emits a MetricsSnapshot after the benches run;
+# metrics_smoke re-parses it with the in-tree JSON parser and fails on
+# any missing or zero metric, so dead instrumentation breaks CI here
+# rather than producing empty dashboards later.
+METRICS_OUT="${PREFIX}/metrics_snapshot.json"
+SPITZ_METRICS_OUT="${METRICS_OUT}" \
+  "${PREFIX}/bench/micro_benchmarks" \
+      --benchmark_filter='BM_SpitzDbPut' \
+      --benchmark_min_time=0.01 > /dev/null
+"${PREFIX}/bench/metrics_smoke" "${METRICS_OUT}"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-      --target concurrency_test txn_test spitz_db_test
+      --target concurrency_test txn_test spitz_db_test metrics_test
 # TSAN_OPTIONS makes any reported race fail the run (exit code).
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-        -R 'Concurrency|DeferredVerifier|SpitzDb'
+        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics'
 
 echo "==> tier-2: ASan+UBSan proof-codec and database suite"
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

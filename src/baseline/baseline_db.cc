@@ -5,8 +5,27 @@
 
 namespace spitz {
 
+Status BaselineDb::Open(Options options, std::unique_ptr<BaselineDb>* db) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  *db = std::make_unique<BaselineDb>(options);
+  return Status::OK();
+}
+
 BaselineDb::BaselineDb(Options options)
-    : options_(options), views_(&chunks_, options.view_options) {}
+    : options_(options),
+      init_status_(options.Validate()),
+      views_(&chunks_, options.view_options) {
+  // Clamp a rejected block size so sealing cannot spin even if the
+  // caller ignores init_status_.
+  if (options_.block_size == 0) options_.block_size = 128;
+  write_ns_ = registry_.histogram("baseline.db.write_latency_ns");
+  read_ns_ = registry_.histogram("baseline.db.read_latency_ns");
+  verified_read_ns_ =
+      registry_.histogram("baseline.db.verified_read_latency_ns");
+  scan_ns_ = registry_.histogram("baseline.db.scan_latency_ns");
+  chunks_.ExportMetrics(&registry_);
+}
 
 std::string BaselineDb::EncodeLocation(uint64_t height, uint64_t index) {
   std::string out;
@@ -35,6 +54,8 @@ std::string HistoryKey(const Slice& key, uint64_t seq) {
 }  // namespace
 
 Status BaselineDb::Put(const Slice& key, const Slice& value) {
+  if (!init_status_.ok()) return init_status_;
+  ScopedTimer timer(write_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t ts = clock_.Allocate();
   // Materialized value view: immediately queryable.
@@ -54,6 +75,8 @@ Status BaselineDb::Put(const Slice& key, const Slice& value) {
 }
 
 Status BaselineDb::Delete(const Slice& key) {
+  if (!init_status_.ok()) return init_status_;
+  ScopedTimer timer(write_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   Status s = views_.Delete(value_view_, key, &value_view_);
   if (!s.ok()) return s;
@@ -71,6 +94,7 @@ Status BaselineDb::Delete(const Slice& key) {
 }
 
 Status BaselineDb::BulkLoad(std::vector<PosEntry> entries) {
+  if (!init_status_.ok()) return init_status_;
   std::lock_guard<std::mutex> lock(mu_);
   if (!value_view_.IsZero() || ledger_.block_count() != 0 ||
       !pending_.empty()) {
@@ -145,6 +169,7 @@ void BaselineDb::FlushBlock() {
 }
 
 Status BaselineDb::Get(const Slice& key, std::string* value) const {
+  ScopedTimer timer(read_ns_);
   Hash256 view;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -154,6 +179,7 @@ Status BaselineDb::Get(const Slice& key, std::string* value) const {
 }
 
 Status BaselineDb::GetVerified(const Slice& key, VerifiedValue* out) const {
+  ScopedTimer timer(verified_read_ns_);
   Hash256 value_view, meta_view;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -179,6 +205,7 @@ Status BaselineDb::GetVerified(const Slice& key, VerifiedValue* out) const {
 
 Status BaselineDb::Scan(const Slice& start, const Slice& end, size_t limit,
                         std::vector<PosEntry>* out) const {
+  ScopedTimer timer(scan_ns_);
   Hash256 view;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -190,6 +217,7 @@ Status BaselineDb::Scan(const Slice& start, const Slice& end, size_t limit,
 Status BaselineDb::ScanVerified(const Slice& start, const Slice& end,
                                 size_t limit,
                                 std::vector<VerifiedValue>* out) const {
+  ScopedTimer timer(verified_read_ns_);
   Hash256 value_view, meta_view;
   {
     std::lock_guard<std::mutex> lock(mu_);

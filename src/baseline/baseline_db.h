@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "chunk/chunk_store.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "index/pos_tree.h"
 #include "ledger/journal.h"
@@ -50,7 +53,22 @@ class BaselineDb {
     // cost of rebuilding a block's Merkle structure scales with this.
     size_t block_size = 128;
     PosTreeOptions view_options;
+
+    // Rejects block_size == 0 (degenerate sealing) and invalid view
+    // tree parameters.
+    Status Validate() const {
+      if (block_size == 0) {
+        return Status::InvalidArgument("block_size must be at least 1");
+      }
+      return view_options.Validate();
+    }
   };
+
+  // Validating factory: fails (leaving *db untouched) when the options
+  // are rejected. The plain constructor remains for tests and callers
+  // with known-good options; a constructed instance with bad options
+  // returns the validation error from every write entry point.
+  static Status Open(Options options, std::unique_ptr<BaselineDb>* db);
 
   explicit BaselineDb(Options options = Options());
 
@@ -111,6 +129,13 @@ class BaselineDb {
                  std::vector<std::pair<uint64_t, uint64_t>>* positions) const;
 
   uint64_t entry_count() const;
+
+  // The baseline's observability surface: write/read/verified-read
+  // latency histograms (baseline.db.*) plus the shared chunk-storage
+  // counters (chunk.*). Safe from any thread.
+  MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
+
+  // DEPRECATED: read chunk.* from Metrics() instead.
   ChunkStoreStats storage_stats() const { return chunks_.stats(); }
 
  private:
@@ -122,6 +147,14 @@ class BaselineDb {
   void SealBlockLocked();
 
   Options options_;
+  // InvalidArgument when the options failed Validate(); returned by
+  // every write entry point.
+  Status init_status_;
+  MetricsRegistry registry_;
+  Histogram* write_ns_ = nullptr;          // baseline.db.write_latency_ns
+  Histogram* read_ns_ = nullptr;           // baseline.db.read_latency_ns
+  Histogram* verified_read_ns_ = nullptr;  // ...verified_read_latency_ns
+  Histogram* scan_ns_ = nullptr;           // baseline.db.scan_latency_ns
   TimestampOracle clock_;
 
   mutable std::mutex mu_;

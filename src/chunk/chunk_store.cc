@@ -5,17 +5,17 @@ namespace spitz {
 bool ChunkStore::InsertInMemory(Chunk chunk, Hash256* id) {
   *id = chunk.id();
   const size_t size = chunk.stored_size();
-  puts_.fetch_add(1, std::memory_order_relaxed);
-  logical_bytes_.fetch_add(size, std::memory_order_relaxed);
+  puts_.Increment();
+  logical_bytes_.Increment(size);
   Shard& shard = shards_[ShardOf(*id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.chunks.find(*id);
   if (it != shard.chunks.end()) {
-    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    dedup_hits_.Increment();
     return false;
   }
-  chunk_count_.fetch_add(1, std::memory_order_relaxed);
-  physical_bytes_.fetch_add(size, std::memory_order_relaxed);
+  chunk_count_.Increment();
+  physical_bytes_.Increment(size);
   shard.chunks.emplace(*id, std::make_shared<const Chunk>(std::move(chunk)));
   return true;
 }
@@ -46,12 +46,21 @@ bool ChunkStore::Contains(const Hash256& id) const {
 
 ChunkStoreStats ChunkStore::stats() const {
   ChunkStoreStats stats;
-  stats.puts = puts_.load(std::memory_order_relaxed);
-  stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
-  stats.chunk_count = chunk_count_.load(std::memory_order_relaxed);
-  stats.physical_bytes = physical_bytes_.load(std::memory_order_relaxed);
-  stats.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+  stats.puts = puts_.value();
+  stats.dedup_hits = dedup_hits_.value();
+  stats.chunk_count = chunk_count_.value();
+  stats.physical_bytes = physical_bytes_.value();
+  stats.logical_bytes = logical_bytes_.value();
   return stats;
+}
+
+void ChunkStore::ExportMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("chunk.store.puts", &puts_);
+  registry->RegisterCounter("chunk.store.dedup_hits", &dedup_hits_);
+  registry->RegisterCounter("chunk.store.physical_bytes", &physical_bytes_);
+  registry->RegisterCounter("chunk.store.logical_bytes", &logical_bytes_);
+  registry->RegisterGaugeFn("chunk.store.chunk_count",
+                            [this] { return chunk_count_.value(); });
 }
 
 }  // namespace spitz

@@ -1,12 +1,12 @@
 #ifndef SPITZ_CHUNK_CHUNK_STORE_H_
 #define SPITZ_CHUNK_CHUNK_STORE_H_
 
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "chunk/chunk.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "crypto/hash.h"
 
@@ -16,6 +16,10 @@ namespace spitz {
 // grows only when a previously unseen chunk is inserted, so the gap
 // between logical_bytes and physical_bytes is exactly the space saved by
 // content-based deduplication (the effect shown in paper Fig. 1).
+//
+// DEPRECATED as a public surface: read these through the owning
+// database's Metrics() snapshot (chunk.store.* metrics) instead. The
+// struct remains for component-level tests and the Fig. 1 bench.
 struct ChunkStoreStats {
   uint64_t puts = 0;           // total Put calls
   uint64_t dedup_hits = 0;     // Puts that found an existing chunk
@@ -51,6 +55,11 @@ class ChunkStore {
 
   ChunkStoreStats stats() const;
 
+  // Registers this store's accounting under `chunk.store.*` (and, for
+  // durable stores, `chunk.file.*`). The store must outlive the
+  // registry's use.
+  virtual void ExportMetrics(MetricsRegistry* registry) const;
+
  protected:
   // Inserts without any persistence side effects; returns true when the
   // chunk was not present before. Used by Put and by recovery replay.
@@ -71,11 +80,13 @@ class ChunkStore {
   }
 
   Shard shards_[kShardCount];
-  std::atomic<uint64_t> puts_{0};
-  std::atomic<uint64_t> dedup_hits_{0};
-  std::atomic<uint64_t> chunk_count_{0};
-  std::atomic<uint64_t> physical_bytes_{0};
-  std::atomic<uint64_t> logical_bytes_{0};
+  // Accounting instruments (relaxed atomics); the same counters back
+  // both stats() and the metrics-registry export.
+  Counter puts_;
+  Counter dedup_hits_;
+  Counter chunk_count_;
+  Counter physical_bytes_;
+  Counter logical_bytes_;
 };
 
 }  // namespace spitz

@@ -55,7 +55,8 @@ Status FileChunkStore::Replay() {
     rest.remove_prefix(static_cast<size_t>(len));
     Hash256 id;
     InsertInMemory(std::move(chunk), &id);
-    recovered_++;
+    recovered_.Increment();
+    replayed_bytes_.Increment(input.size() - rest.size());
     input = rest;
   }
   return Status::OK();
@@ -73,8 +74,16 @@ Hash256 FileChunkStore::Put(Chunk chunk) {
   if (added) {
     std::lock_guard<std::mutex> lock(file_mu_);
     fwrite(record.data(), 1, record.size(), file_);
+    appended_bytes_.Increment(record.size());
   }
   return id;
+}
+
+void FileChunkStore::ExportMetrics(MetricsRegistry* registry) const {
+  ChunkStore::ExportMetrics(registry);
+  registry->RegisterCounter("chunk.file.replayed_chunks", &recovered_);
+  registry->RegisterCounter("chunk.file.replayed_bytes", &replayed_bytes_);
+  registry->RegisterCounter("chunk.file.appended_bytes", &appended_bytes_);
 }
 
 Status FileChunkStore::Sync() {

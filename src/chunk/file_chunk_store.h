@@ -36,7 +36,11 @@ class FileChunkStore : public ChunkStore {
   Status Sync();
 
   // Number of chunks recovered from the log at open time.
-  uint64_t recovered_chunks() const { return recovered_; }
+  uint64_t recovered_chunks() const { return recovered_.value(); }
+
+  // Base export plus the durable-store accounting (`chunk.file.*`):
+  // replayed chunk/byte counts from recovery and appended log bytes.
+  void ExportMetrics(MetricsRegistry* registry) const override;
 
  private:
   FileChunkStore() = default;
@@ -46,7 +50,9 @@ class FileChunkStore : public ChunkStore {
   std::string path_;
   std::mutex file_mu_;
   FILE* file_ = nullptr;
-  uint64_t recovered_ = 0;
+  Counter recovered_;        // chunks replayed from the log at Open()
+  Counter replayed_bytes_;   // log bytes consumed by that replay
+  Counter appended_bytes_;   // log bytes written since Open()
 };
 
 }  // namespace spitz

@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "VerificationFailed";
     case Status::Code::kTimedOut:
       return "TimedOut";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ class Status {
     kNotSupported = 7,
     kVerificationFailed = 8,
     kTimedOut = 9,
+    kUnavailable = 10,
   };
 
   Status() = default;
@@ -61,6 +62,12 @@ class Status {
   static Status TimedOut(std::string msg = "") {
     return Status(Code::kTimedOut, std::move(msg));
   }
+  // The component is shut down (or not yet started); the operation was
+  // refused, not attempted. Distinct from IOError: nothing went wrong
+  // with the work itself.
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -74,6 +81,7 @@ class Status {
     return code_ == Code::kVerificationFailed;
   }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

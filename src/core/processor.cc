@@ -1,12 +1,41 @@
 #include "core/processor.h"
 
+#include "common/clock.h"
+
 namespace spitz {
+
+namespace {
+
+// Metric-name suffix per request type; indexed by the enum value.
+const char* const kTypeNames[] = {"put",  "delete", "get",
+                                  "verified_get", "scan", "verified_scan"};
+
+}  // namespace
 
 ProcessorPool::ProcessorPool(SpitzDb* db, size_t processor_count)
     : db_(db), queue_(4096) {
+  WireMetrics();
   for (size_t i = 0; i < processor_count; i++) {
     processors_.emplace_back([this] { ProcessorLoop(); });
   }
+}
+
+void ProcessorPool::WireMetrics() {
+  static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) == kTypeCount,
+                "one name per Request::Type");
+  for (size_t i = 0; i < kTypeCount; i++) {
+    handle_ns_[i] = registry_.histogram(
+        std::string("core.processor.handle_latency_ns.") + kTypeNames[i]);
+  }
+  queue_wait_ns_ = registry_.histogram("core.processor.queue_wait_ns");
+  rejected_ = registry_.counter("core.processor.rejected");
+  registry_.RegisterCounterFn("core.processor.processed", [this] {
+    return processed_.load(std::memory_order_relaxed);
+  });
+  registry_.RegisterGaugeFn("core.processor.queue_depth",
+                            [this] { return queue_.size(); });
+  registry_.RegisterGaugeFn("core.processor.processors",
+                            [this] { return processors_.size(); });
 }
 
 ProcessorPool::~ProcessorPool() { Shutdown(); }
@@ -23,11 +52,16 @@ void ProcessorPool::Shutdown() {
 std::future<Response> ProcessorPool::Submit(Request request) {
   auto envelope = std::make_unique<Envelope>();
   envelope->request = std::move(request);
+  envelope->enqueue_ns = MonotonicNanos();
   std::future<Response> future = envelope->reply.get_future();
   if (!queue_.Push(std::move(envelope))) {
+    // The queue is closed: the pool is (or is being) shut down. The
+    // contract is that Submit always resolves — here, immediately, with
+    // Unavailable, so callers holding the future never hang.
+    rejected_->Increment();
     std::promise<Response> failed;
     Response r;
-    r.status = Status::IOError("processor pool shut down");
+    r.status = Status::Unavailable("processor pool is shut down");
     failed.set_value(std::move(r));
     return failed.get_future();
   }
@@ -36,6 +70,7 @@ std::future<Response> ProcessorPool::Submit(Request request) {
 
 void ProcessorPool::ProcessorLoop() {
   while (auto envelope = queue_.Pop()) {
+    queue_wait_ns_->Record(MonotonicNanos() - (*envelope)->enqueue_ns);
     Response response = Handle((*envelope)->request);
     processed_.fetch_add(1, std::memory_order_relaxed);
     (*envelope)->reply.set_value(std::move(response));
@@ -43,6 +78,7 @@ void ProcessorPool::ProcessorLoop() {
 }
 
 Response ProcessorPool::Handle(const Request& request) {
+  ScopedTimer timer(handle_ns_[static_cast<size_t>(request.type)]);
   Response r;
   switch (request.type) {
     case Request::Type::kPut: {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "core/spitz_db.h"
 
@@ -62,28 +63,48 @@ class ProcessorPool {
   ProcessorPool& operator=(const ProcessorPool&) = delete;
 
   // Enqueues a request on the global message queue; the future resolves
-  // when a processor node has handled it.
+  // when a processor node has handled it. After Shutdown() the future
+  // resolves immediately with Status::Unavailable — Submit never hangs
+  // and never crashes on a stopped pool.
   std::future<Response> Submit(Request request);
 
   // Convenience synchronous wrappers.
   Response Execute(Request request) { return Submit(std::move(request)).get(); }
 
-  // Drains the queue and stops the processors.
+  // Drains the queue and stops the processors. Idempotent: the second
+  // and later calls are no-ops (only the first caller closes the queue
+  // and joins; concurrent callers may return before the join finishes).
   void Shutdown();
 
   uint64_t processed() const { return processed_.load(); }
   size_t processor_count() const { return processors_.size(); }
 
+  // The pool's observability surface: requests processed/rejected,
+  // queue depth, queue-wait latency, and a handle-latency histogram per
+  // request type (core.processor.*). Safe from any thread.
+  MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
+
  private:
   struct Envelope {
     Request request;
     std::promise<Response> reply;
+    uint64_t enqueue_ns = 0;
   };
 
+  void WireMetrics();
   void ProcessorLoop();
   Response Handle(const Request& request);
 
   SpitzDb* db_;
+  // Declared before the threads so instruments outlive the processors
+  // recording into them during shutdown.
+  MetricsRegistry registry_;
+  // One handle-latency histogram per Request::Type, indexed by the
+  // enum's underlying value.
+  static constexpr size_t kTypeCount = 6;
+  Histogram* handle_ns_[kTypeCount] = {};
+  Histogram* queue_wait_ns_ = nullptr;
+  Counter* rejected_ = nullptr;
   BoundedQueue<std::unique_ptr<Envelope>> queue_;
   std::vector<std::thread> processors_;
   std::atomic<uint64_t> processed_{0};

@@ -43,7 +43,7 @@ Status SpitzOptions::Validate() const {
     return Status::InvalidArgument(
         "mbt_bucket_count must be at least 1 for the MBT backend");
   }
-  return Status::OK();
+  return index_options.Validate();
 }
 
 SpitzDb::SpitzDb(SpitzOptions options)
@@ -65,7 +65,32 @@ SpitzDb::SpitzDb(SpitzOptions options)
   index_ = MakeSiriIndex(options_.index_backend, chunks_.get(),
                          MakeSiriOptions(options_));
   index_->SetNodeCache(node_cache_.get());
+  WireMetrics();
   PublishSnapshotLocked(/*journal_changed=*/true);
+}
+
+void SpitzDb::WireMetrics() {
+  registry_.Clear();
+  metrics_ = DbMetrics{};
+  if (!options_.enable_metrics) return;
+  metrics_.write_ns = registry_.histogram("core.db.write_latency_ns");
+  metrics_.read_ns = registry_.histogram("core.db.read_latency_ns");
+  metrics_.scan_ns = registry_.histogram("core.db.scan_latency_ns");
+  metrics_.seal_ns = registry_.histogram("core.db.seal_latency_ns");
+  metrics_.proof_build_ns =
+      registry_.histogram("core.db.proof_build_latency_ns");
+  metrics_.proof_verify_ns =
+      registry_.histogram("core.db.proof_verify_latency_ns");
+  // Proof sizes are tagged with the backend that produced them, so an
+  // ablation run comparing backends yields distinct series.
+  const std::string backend = SiriBackendName(options_.index_backend);
+  metrics_.proof_bytes =
+      registry_.histogram("index.siri.proof_bytes." + backend);
+  metrics_.range_proof_bytes =
+      registry_.histogram("index.siri.range_proof_bytes." + backend);
+  chunks_->ExportMetrics(&registry_);
+  if (node_cache_) node_cache_->ExportMetrics(&registry_);
+  auditor_->ExportMetrics(&registry_);
 }
 
 Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
@@ -89,6 +114,10 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
                                    instance->chunks_.get(),
                                    MakeSiriOptions(options));
   instance->index_->SetNodeCache(instance->node_cache_.get());
+  // The constructor wired metrics against the throwaway in-memory
+  // components; re-wire against the durable ones (Clear() inside drops
+  // the now-dangling registrations).
+  instance->WireMetrics();
   s = instance->Recover();
   if (!s.ok()) return s;
   instance->PublishSnapshotLocked(/*journal_changed=*/true);
@@ -190,6 +219,7 @@ Status SpitzDb::Delete(const Slice& key) {
 
 Status SpitzDb::Write(const WriteBatch& batch) {
   if (!init_status_.ok()) return init_status_;
+  ScopedTimer timer(metrics_.write_ns);
   std::lock_guard<std::mutex> lock(mu_);
   return WriteLocked(batch);
 }
@@ -231,6 +261,7 @@ Status SpitzDb::WriteLocked(const WriteBatch& batch) {
 
 Status SpitzDb::SealBlockLocked() {
   if (pending_.empty()) return Status::OK();
+  ScopedTimer timer(metrics_.seal_ns);
   // Each block stores the index root as of its last entry — "each block
   // in the ledger stores a historical index instance" (section 6.1).
   uint64_t height = ledger_.Append(std::move(pending_), root_, NowMicros());
@@ -349,29 +380,41 @@ Status SpitzDb::FlushBlock() {
 // therefore never serialize against commits or against each other.
 
 Status SpitzDb::Get(const Slice& key, std::string* value) const {
+  ScopedTimer timer(metrics_.read_ns);
   return index_->Get(CurrentSnapshot()->root, key, value);
 }
 
 Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
                              ReadProof* proof) const {
+  ScopedTimer timer(metrics_.proof_build_ns);
   Hash256 root = CurrentSnapshot()->root;
   Status s = index_->GetWithProof(root, key, value, &proof->index_proof);
   proof->index_root = root;
+  // A proof is produced for presence and (non-degenerate) absence alike;
+  // its wire size is what the client pays either way.
+  if (metrics_.proof_bytes && (s.ok() || s.IsNotFound())) {
+    metrics_.proof_bytes->Record(proof->index_proof.ByteSize());
+  }
   return s;
 }
 
 Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
                      std::vector<PosEntry>* out) const {
+  ScopedTimer timer(metrics_.scan_ns);
   return index_->Scan(CurrentSnapshot()->root, start, end, limit, out);
 }
 
 Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
                               size_t limit, std::vector<PosEntry>* out,
                               ScanProof* proof) const {
+  ScopedTimer timer(metrics_.proof_build_ns);
   Hash256 root = CurrentSnapshot()->root;
   Status s = index_->ScanWithProof(root, start, end, limit, out,
                                    &proof->index_proof);
   proof->index_root = root;
+  if (metrics_.range_proof_bytes && s.ok()) {
+    metrics_.range_proof_bytes->Record(proof->index_proof.ByteSize());
+  }
   return s;
 }
 
@@ -384,9 +427,18 @@ SpitzDigest SpitzDb::Digest() const {
   return d;
 }
 
+// The static verifiers model the *client* side, which has no database
+// instance (and hence no per-instance registry); their latencies land
+// in the process-wide registry under client.db.*.
+
 Status SpitzDb::VerifyRead(const SpitzDigest& digest, const Slice& key,
                            const std::optional<std::string>& expected_value,
                            const ReadProof& proof) {
+  // Looked up per call (not cached) so a Clear() of the global registry
+  // can never leave a dangling pointer; the lookup is noise next to the
+  // hash re-computation below.
+  ScopedTimer timer(
+      MetricsRegistry::Global()->histogram("client.db.verify_read_latency_ns"));
   if (proof.index_root != digest.index_root) {
     return Status::VerificationFailed("proof is for a different version");
   }
@@ -397,6 +449,8 @@ Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
                            const Slice& end, size_t limit,
                            const std::vector<PosEntry>& results,
                            const ScanProof& proof) {
+  ScopedTimer timer(
+      MetricsRegistry::Global()->histogram("client.db.verify_scan_latency_ns"));
   if (proof.index_root != digest.index_root) {
     return Status::VerificationFailed("proof is for a different version");
   }
@@ -500,8 +554,15 @@ Status SpitzDb::AuditWrite(
     std::string value;
     SiriProof proof;
     Status s = index_->GetWithProof(root, key_copy, &value, &proof);
+    // The re-verification is the audit's actual work; its latency feeds
+    // the proof-verify histogram (queueing lag is tracked separately by
+    // the verifier itself).
+    auto timed_verify = [&](const std::optional<std::string>& expect) {
+      ScopedTimer timer(metrics_.proof_verify_ns);
+      return proof.Verify(root, key_copy, expect);
+    };
     if (s.ok()) {
-      return proof.Verify(root, key_copy, value).ok() &&
+      return timed_verify(value).ok() &&
                      (!expected_value.has_value() || value == *expected_value)
                  ? Status::OK()
                  : Status::VerificationFailed("audit mismatch on " + key_copy);
@@ -513,7 +574,7 @@ Status SpitzDb::AuditWrite(
       // The empty index proves every absence trivially; there is no
       // traversal to check a proof against.
       if (root.IsZero()) return Status::OK();
-      return proof.Verify(root, key_copy, std::nullopt);
+      return timed_verify(std::nullopt);
     }
     return s;
   });
@@ -526,12 +587,16 @@ Status SpitzDb::AuditKey(const Slice& key) {
     std::string value;
     SiriProof proof;
     Status s = index_->GetWithProof(root, key_copy, &value, &proof);
+    auto timed_verify = [&](const std::optional<std::string>& expect) {
+      ScopedTimer timer(metrics_.proof_verify_ns);
+      return proof.Verify(root, key_copy, expect);
+    };
     if (s.ok()) {
-      return proof.Verify(root, key_copy, value);
+      return timed_verify(value);
     }
     if (s.IsNotFound()) {
       if (root.IsZero()) return Status::OK();
-      return proof.Verify(root, key_copy, std::nullopt);
+      return timed_verify(std::nullopt);
     }
     return s;
   });

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chunk/chunk_store.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "crypto/hash.h"
 #include "index/node_cache.h"
@@ -78,6 +79,11 @@ struct SpitzOptions {
   PosTreeOptions index_options;
   // Bucket count for the kMerkleBucketTree backend (ignored otherwise).
   uint32_t mbt_bucket_count = 256;
+  // Hot-path instrumentation (latency and proof-size histograms). On by
+  // default — the recording cost is a handful of relaxed atomic adds —
+  // but can be switched off to measure the overhead itself (the
+  // micro_benchmarks Put benchmark compares both settings).
+  bool enable_metrics = true;
 
   // Rejects nonsensical configurations: block_size == 0 (degenerate
   // sealing) and bucket_count == 0 for the MBT backend. Checked by
@@ -231,15 +237,27 @@ class SpitzDb {
   SiriBackend index_backend() const { return options_.index_backend; }
   // Whether the configured backend serves ordered (and verified) scans.
   bool SupportsScan() const { return index_->SupportsScan(); }
-  ChunkStoreStats storage_stats() const { return chunks_->stats(); }
   const ChunkStore* chunk_store() const { return chunks_.get(); }
   uint64_t key_count() const;
 
-  // Decoded-node cache counters (all zero when the cache is disabled).
+  // The unified observability surface: one consistent snapshot of every
+  // counter, gauge and histogram this instance owns — write/read/seal
+  // latencies and per-backend proof sizes (core.db.* / index.siri.*),
+  // chunk storage (chunk.*), node cache (index.cache.*) and the
+  // deferred verifier (txn.verifier.*). Serializable via
+  // MetricsSnapshot::ToJson(). Safe from any thread.
+  MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
+
+  // DEPRECATED: per-component views kept for callers that predate
+  // Metrics(); each is a narrow projection of the same counters the
+  // snapshot reports.
+  ChunkStoreStats storage_stats() const { return chunks_->stats(); }
+  // DEPRECATED: read index.cache.* from Metrics() instead (all zero
+  // when the cache is disabled).
   PosNodeCacheStats node_cache_stats() const {
     return node_cache_ ? node_cache_->stats() : PosNodeCacheStats{};
   }
-  // Deferred-verifier counters (queue depth, worker pool size, ...).
+  // DEPRECATED: read txn.verifier.* from Metrics() instead.
   DeferredVerifier::Stats audit_stats() const { return auditor_->stats(); }
 
   // Durable databases only: fsync the chunk log.
@@ -285,10 +303,35 @@ class SpitzDb {
   // Recovery of a durable database; called by Open().
   Status Recover();
 
+  // Latency/size histograms on the hot paths, resolved once at wiring
+  // time so recording is pointer-deref + relaxed atomics. All null when
+  // options_.enable_metrics is false (ScopedTimer tolerates null).
+  struct DbMetrics {
+    Histogram* write_ns = nullptr;        // core.db.write_latency_ns
+    Histogram* read_ns = nullptr;         // core.db.read_latency_ns
+    Histogram* scan_ns = nullptr;         // core.db.scan_latency_ns
+    Histogram* seal_ns = nullptr;         // core.db.seal_latency_ns
+    Histogram* proof_build_ns = nullptr;  // core.db.proof_build_latency_ns
+    Histogram* proof_verify_ns = nullptr;  // core.db.proof_verify_latency_ns
+    Histogram* proof_bytes = nullptr;  // index.siri.proof_bytes.<backend>
+    Histogram* range_proof_bytes = nullptr;  // ...range_proof_bytes.<backend>
+  };
+
+  // (Re)binds every component's instruments into registry_. Called at
+  // construction and again by Open() after the chunk store, node cache
+  // and index are rebound to the durable store (the registry is cleared
+  // first so no registration dangles into the replaced components).
+  void WireMetrics();
+
   SpitzOptions options_;
   // InvalidArgument when the options failed Validate(); returned by
   // every write entry point so misconfiguration cannot pass silently.
   Status init_status_;
+  // Declared before the components (and before auditor_) so registered
+  // instruments outlive both the components that feed them and the
+  // audit threads that record verify latencies during shutdown.
+  MetricsRegistry registry_;
+  DbMetrics metrics_;
   std::unique_ptr<ChunkStore> chunks_;
   std::unique_ptr<PosNodeCache> node_cache_;
   // The pluggable SIRI index chosen by options_.index_backend.

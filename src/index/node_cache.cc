@@ -15,10 +15,10 @@ std::shared_ptr<const PosNode> PosNodeCache::Lookup(const Hash256& id) {
   std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->map.find(id);
   if (it == shard->map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Increment();
   // Promote to most-recently-used.
   shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
   return it->second->second;
@@ -37,7 +37,7 @@ void PosNodeCache::Insert(const Hash256& id,
     shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
     return;
   }
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  inserts_.Increment();
   shard->lru.emplace_front(id, std::move(node));
   shard->map.emplace(id, shard->lru.begin());
   shard->bytes += charge;
@@ -61,9 +61,9 @@ void PosNodeCache::Clear() {
 
 PosNodeCacheStats PosNodeCache::stats() const {
   PosNodeCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.inserts = inserts_.value();
   s.capacity_bytes = capacity_bytes_;
   for (size_t i = 0; i < shard_count_; i++) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
@@ -72,6 +72,23 @@ PosNodeCacheStats PosNodeCache::stats() const {
     s.evictions += shards_[i].evictions;
   }
   return s;
+}
+
+void PosNodeCache::ExportMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("index.cache.hits", &hits_);
+  registry->RegisterCounter("index.cache.misses", &misses_);
+  registry->RegisterCounter("index.cache.inserts", &inserts_);
+  // Eviction counts and residency are per-shard state under the shard
+  // locks; sampled via stats() at snapshot time only.
+  registry->RegisterCounterFn("index.cache.evictions",
+                              [this] { return stats().evictions; });
+  registry->RegisterGaugeFn("index.cache.entries",
+                            [this] { return stats().entries; });
+  registry->RegisterGaugeFn("index.cache.bytes",
+                            [this] { return stats().bytes; });
+  registry->RegisterGaugeFn("index.cache.capacity_bytes", [this] {
+    return static_cast<uint64_t>(capacity_bytes_);
+  });
 }
 
 }  // namespace spitz

@@ -1,7 +1,6 @@
 #ifndef SPITZ_INDEX_NODE_CACHE_H_
 #define SPITZ_INDEX_NODE_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -9,11 +8,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
 #include "crypto/hash.h"
 #include "index/pos_tree.h"
 
 namespace spitz {
 
+// DEPRECATED as a public surface: read these through the owning
+// database's Metrics() snapshot (index.cache.* metrics) instead. The
+// struct remains for component-level tests.
 struct PosNodeCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -69,6 +72,10 @@ class PosNodeCache {
   PosNodeCacheStats stats() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
 
+  // Registers hit/miss/insert counters and resident-size gauges under
+  // `index.cache.*`. The cache must outlive the registry's use.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -94,9 +101,9 @@ class PosNodeCache {
   const size_t shard_count_;
   const size_t shard_budget_;  // capacity_bytes_ / shard_count_
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> inserts_{0};
+  Counter hits_;
+  Counter misses_;
+  Counter inserts_;
 };
 
 }  // namespace spitz

@@ -81,6 +81,23 @@ struct PosTreeOptions {
   uint32_t leaf_pattern_bits = 5;  // expected 32 entries per leaf
   uint32_t meta_pattern_bits = 5;  // expected fanout 32
   size_t max_node_elements = 256;  // hard cap (deterministic left-to-right)
+
+  // Rejects configurations the split machinery cannot honor: pattern
+  // masks are built as (1 << bits) - 1 (so bits must stay below the
+  // 32-bit shift width), and a node must be allowed to hold at least
+  // two elements for splits to make progress.
+  Status Validate() const {
+    if (leaf_pattern_bits < 1 || leaf_pattern_bits > 30) {
+      return Status::InvalidArgument("leaf_pattern_bits must be in [1, 30]");
+    }
+    if (meta_pattern_bits < 1 || meta_pattern_bits > 30) {
+      return Status::InvalidArgument("meta_pattern_bits must be in [1, 30]");
+    }
+    if (max_node_elements < 2) {
+      return Status::InvalidArgument("max_node_elements must be at least 2");
+    }
+    return Status::OK();
+  }
 };
 
 class PosNodeCache;

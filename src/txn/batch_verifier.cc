@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+
 namespace spitz {
 
 namespace {
@@ -48,22 +50,28 @@ DeferredVerifier::~DeferredVerifier() {
   flush_cv_.notify_all();
 }
 
-void DeferredVerifier::RunCheck(Check& check) {
-  Status s = check();
+void DeferredVerifier::RunCheck(Task& task) {
+  uint64_t start = MonotonicNanos();
+  queue_wait_ns_.Record(start - task.enqueue_ns);
+  Status s = task.check();
+  verify_ns_.Record(MonotonicNanos() - start);
   verified_.fetch_add(1, std::memory_order_release);
   if (!s.ok()) failures_.fetch_add(1, std::memory_order_release);
 }
 
 Status DeferredVerifier::Submit(Check check) {
   if (options_.batch_size == 0) {
-    // Online verification: the caller waits for the outcome.
+    // Online verification: the caller waits for the outcome. There is no
+    // queue, so only the verification latency is recorded.
+    uint64_t start = MonotonicNanos();
     Status s = check();
+    verify_ns_.Record(MonotonicNanos() - start);
     verified_.fetch_add(1, std::memory_order_release);
     if (!s.ok()) failures_.fetch_add(1, std::memory_order_release);
     return s;
   }
   submitted_.fetch_add(1, std::memory_order_acq_rel);
-  if (!queue_.Push(std::move(check))) {
+  if (!queue_.Push(Task{std::move(check), MonotonicNanos()})) {
     // Queue already closed (shutdown race): the check was not enqueued,
     // so no worker will complete it. Roll back the submission watermark
     // so Flush barriers stay exact, and wake any flusher that captured
@@ -77,11 +85,11 @@ Status DeferredVerifier::Submit(Check check) {
 }
 
 void DeferredVerifier::WorkerLoop() {
-  std::vector<Check> batch;
+  std::vector<Task> batch;
   const size_t max_batch = std::max<size_t>(1, options_.batch_size);
   while (queue_.PopBatch(max_batch, &batch)) {
-    for (Check& check : batch) {
-      RunCheck(check);
+    for (Task& task : batch) {
+      RunCheck(task);
     }
     // Publish completions under the flush mutex so a flusher's predicate
     // check cannot interleave between the counter bump and the notify.
@@ -108,6 +116,24 @@ void DeferredVerifier::Flush() {
     return done >= target ||
            done >= submitted_.load(std::memory_order_acquire);
   });
+}
+
+void DeferredVerifier::ExportMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounterFn("txn.verifier.submitted", [this] {
+    return submitted_.load(std::memory_order_acquire);
+  });
+  registry->RegisterCounterFn("txn.verifier.verified", [this] {
+    return verified_.load(std::memory_order_acquire);
+  });
+  registry->RegisterCounterFn("txn.verifier.failures", [this] {
+    return failures_.load(std::memory_order_acquire);
+  });
+  registry->RegisterGaugeFn("txn.verifier.queue_depth",
+                            [this] { return queue_.size(); });
+  registry->RegisterGaugeFn("txn.verifier.workers",
+                            [this] { return workers_.size(); });
+  registry->RegisterHistogram("txn.verifier.queue_wait_ns", &queue_wait_ns_);
+  registry->RegisterHistogram("txn.verifier.verify_latency_ns", &verify_ns_);
 }
 
 DeferredVerifier::Stats DeferredVerifier::stats() const {

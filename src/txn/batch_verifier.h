@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
 
@@ -63,6 +64,8 @@ class DeferredVerifier {
     size_t queue_capacity = 0;
   };
 
+  // DEPRECATED as a public surface: read these through the owning
+  // database's Metrics() snapshot (txn.verifier.* metrics) instead.
   struct Stats {
     uint64_t submitted = 0;
     uint64_t verified = 0;
@@ -105,13 +108,26 @@ class DeferredVerifier {
   size_t queue_depth() const { return queue_.size(); }
   Stats stats() const;
 
+  // Registers the verification pipeline's counters, queue-wait and
+  // verify-latency histograms under `txn.verifier.*`. The verifier must
+  // outlive the registry's use.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
  private:
+  // A queued check stamped with its enqueue time, so the worker can
+  // attribute latency to queueing vs. verification separately (the
+  // deferred scheme's lag is the queue wait).
+  struct Task {
+    Check check;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
   // Runs one check and records its outcome in the counters.
-  void RunCheck(Check& check);
+  void RunCheck(Task& task);
 
   const Options options_;
-  BoundedQueue<Check> queue_;
+  BoundedQueue<Task> queue_;
   // submitted_ is bumped before the enqueue, completed_ after the
   // execution; Flush waits for completed_ to catch up to the submitted_
   // watermark it observed.
@@ -119,6 +135,8 @@ class DeferredVerifier {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> verified_{0};
   std::atomic<uint64_t> failures_{0};
+  Histogram queue_wait_ns_;
+  Histogram verify_ns_;
   mutable std::mutex flush_mu_;
   std::condition_variable flush_cv_;
   std::vector<std::thread> workers_;

@@ -20,6 +20,18 @@ size_t ShardedStore::ShardOf(const Slice& key) const {
   return static_cast<size_t>(h % shards_.size());
 }
 
+MetricsSnapshot ShardedStore::Metrics() const {
+  // Shard counters live in MvccStore's own atomics; aggregation at
+  // snapshot time means the write path carries no extra registry hook.
+  MvccStore::Stats total = TotalStats();
+  MetricsSnapshot snap;
+  snap.counters["txn.mvcc.commits"] = total.commits;
+  snap.counters["txn.mvcc.aborts"] = total.aborts;
+  snap.counters["txn.mvcc.reads"] = total.reads;
+  snap.gauges["txn.mvcc.shards"] = shards_.size();
+  return snap;
+}
+
 MvccStore::Stats ShardedStore::TotalStats() const {
   MvccStore::Stats total;
   for (const auto& shard : shards_) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "txn/hlc.h"
@@ -35,7 +36,11 @@ class ShardedStore {
   MvccStore* shard(size_t i) { return shards_[i].get(); }
   size_t ShardOf(const Slice& key) const;
 
-  // Aggregated statistics across shards.
+  // The transaction layer's observability surface: commit/abort/read
+  // totals aggregated across shards plus the shard count (txn.mvcc.*).
+  MetricsSnapshot Metrics() const;
+
+  // DEPRECATED: read txn.mvcc.* from Metrics() instead.
   MvccStore::Stats TotalStats() const;
 
  private:

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <map>
 #include <vector>
@@ -9,6 +10,46 @@
 
 namespace spitz {
 namespace {
+
+TEST(BaselineDbTest, OpenValidatesOptions) {
+  BaselineDb::Options bad;
+  bad.block_size = 0;
+  std::unique_ptr<BaselineDb> db;
+  EXPECT_TRUE(BaselineDb::Open(bad, &db).IsInvalidArgument());
+  EXPECT_EQ(db, nullptr);
+
+  bad.block_size = 16;
+  bad.view_options.max_node_elements = 1;  // splits could not make progress
+  EXPECT_TRUE(BaselineDb::Open(bad, &db).IsInvalidArgument());
+  EXPECT_EQ(db, nullptr);
+
+  EXPECT_TRUE(BaselineDb::Open(BaselineDb::Options(), &db).ok());
+  ASSERT_NE(db, nullptr);
+  EXPECT_TRUE(db->Put("k", "v").ok());
+
+  // The plain constructor tolerates bad options but refuses writes.
+  BaselineDb rejected(bad);
+  EXPECT_TRUE(rejected.Put("k", "v").IsInvalidArgument());
+}
+
+TEST(BaselineDbTest, MetricsCoverOperations) {
+  BaselineDb::Options options;
+  options.block_size = 2;
+  BaselineDb db(options);
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  ASSERT_TRUE(db.Put("b", "2").ok());  // seals a block
+  std::string value;
+  ASSERT_TRUE(db.Get("a", &value).ok());
+  BaselineDb::VerifiedValue vv;
+  ASSERT_TRUE(db.GetVerified("a", &vv).ok());
+
+  MetricsSnapshot snap = db.Metrics();
+  EXPECT_EQ(snap.FindHistogram("baseline.db.write_latency_ns")->count, 2u);
+  EXPECT_EQ(snap.FindHistogram("baseline.db.read_latency_ns")->count, 1u);
+  EXPECT_EQ(snap.FindHistogram("baseline.db.verified_read_latency_ns")->count,
+            1u);
+  EXPECT_GT(snap.CounterValue("chunk.store.puts"), 0u);
+}
 
 TEST(BaselineDbTest, PutGetRoundTrip) {
   BaselineDb db;

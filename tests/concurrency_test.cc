@@ -169,10 +169,11 @@ TEST(ConcurrencyTest, ConcurrentAuditsDrainExactly) {
   for (auto& t : writers) t.join();
   EXPECT_EQ(submit_failures.load(), 0u);
   EXPECT_TRUE(db.DrainAudits().ok());
-  DeferredVerifier::Stats stats = db.audit_stats();
-  EXPECT_EQ(stats.queue_depth, 0u);
-  EXPECT_EQ(stats.failures, 0u);
-  EXPECT_GE(stats.verified, static_cast<uint64_t>(3 * kOps));
+  MetricsSnapshot snap = db.Metrics();
+  EXPECT_EQ(snap.GaugeValue("txn.verifier.queue_depth"), 0u);
+  EXPECT_EQ(snap.CounterValue("txn.verifier.failures"), 0u);
+  EXPECT_GE(snap.CounterValue("txn.verifier.verified"),
+            static_cast<uint64_t>(3 * kOps));
 }
 
 // --- DeferredVerifier: many producers, exact barriers ---------------------
@@ -361,26 +362,32 @@ TEST(ConcurrencyTest, SpitzDbNodeCacheServesRepeatTraversals) {
   for (int i = 0; i < 2000; i++) {
     ASSERT_TRUE(db.Put("cache" + std::to_string(i), "value").ok());
   }
-  PosNodeCacheStats cold = db.node_cache_stats();
+  MetricsSnapshot cold = db.Metrics();
   std::string value;
   for (int pass = 0; pass < 3; pass++) {
     for (int i = 0; i < 2000; i++) {
       ASSERT_TRUE(db.Get("cache" + std::to_string(i), &value).ok());
     }
   }
-  PosNodeCacheStats warm = db.node_cache_stats();
+  MetricsSnapshot warm = db.Metrics();
   // Steady-state reads of a resident working set are nearly all hits.
-  uint64_t hits = warm.hits - cold.hits;
-  uint64_t misses = warm.misses - cold.misses;
+  uint64_t hits = warm.CounterValue("index.cache.hits") -
+                  cold.CounterValue("index.cache.hits");
+  uint64_t misses = warm.CounterValue("index.cache.misses") -
+                    cold.CounterValue("index.cache.misses");
   EXPECT_GT(hits, misses * 10);
 
-  // Disabled cache keeps working and reports zeros.
+  // Disabled cache keeps working and reports zeros (the index.cache.*
+  // metrics are simply not registered).
   SpitzOptions no_cache;
   no_cache.node_cache_bytes = 0;
   SpitzDb db2(no_cache);
   ASSERT_TRUE(db2.Put("k", "v").ok());
   ASSERT_TRUE(db2.Get("k", &value).ok());
-  EXPECT_EQ(db2.node_cache_stats().hits + db2.node_cache_stats().misses, 0u);
+  MetricsSnapshot snap2 = db2.Metrics();
+  EXPECT_EQ(snap2.CounterValue("index.cache.hits") +
+                snap2.CounterValue("index.cache.misses"),
+            0u);
 }
 
 TEST(ConcurrencyTest, CachedAndUncachedTreesAgreeOnRootsAndProofs) {

@@ -1,0 +1,325 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.h"
+#include "core/spitz_db.h"
+
+namespace spitz {
+namespace {
+
+// --- Instruments ------------------------------------------------------------
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.value(), 12u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), HistogramSnapshot::kBuckets - 1);
+}
+
+TEST(HistogramTest, SnapshotAggregates) {
+  Histogram h;
+  h.Record(0);
+  h.Record(100);
+  h.Record(200);
+  h.Record(1000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1300u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(100)], 1u);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndClamped) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  double p50 = snap.p50(), p95 = snap.p95(), p99 = snap.p99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-scale buckets promise at most one power-of-two of error.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1024.0);
+  // No percentile exceeds the observed maximum.
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_EQ(HistogramSnapshot().Percentile(0.99), 0.0);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedAndToleratesNull) {
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { ScopedTimer timer(nullptr); }  // must not crash
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST(MetricsConcurrencyTest, CountersAndHistogramsUnderConcurrentWriters) {
+  // Exercised under TSan by ci/check.sh: relaxed atomics must be exact
+  // in totals and race-free.
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("test.ops");
+  Histogram* histogram = registry.histogram("test.latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        counter->Increment();
+        histogram->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  // Snapshots race the writers by design; they must be safe (the totals
+  // they observe are merely monotone, checked after the join).
+  for (int i = 0; i < 10; i++) registry.Snapshot();
+  for (auto& t : threads) t.join();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.ops"), uint64_t{kThreads} * kPerThread);
+  const HistogramSnapshot* h = snap.FindHistogram("test.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->max, uint64_t{kThreads} * kPerThread - 1);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x");
+  EXPECT_EQ(a, registry.counter("x"));
+  EXPECT_NE(a, registry.counter("y"));
+  Histogram* h = registry.histogram("h");
+  EXPECT_EQ(h, registry.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, ExternalAndCallbackRegistrations) {
+  MetricsRegistry registry;
+  Counter external;
+  external.Increment(7);
+  registry.RegisterCounter("ext.counter", &external);
+  Histogram external_h;
+  external_h.Record(5);
+  registry.RegisterHistogram("ext.histogram", &external_h);
+  uint64_t sampled = 0;
+  registry.RegisterCounterFn("fn.counter", [&] { return sampled; });
+  registry.RegisterGaugeFn("fn.gauge", [&] { return sampled * 2; });
+
+  sampled = 21;  // callbacks sample at snapshot time, not registration
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("ext.counter"), 7u);
+  EXPECT_EQ(snap.CounterValue("fn.counter"), 21u);
+  EXPECT_EQ(snap.GaugeValue("fn.gauge"), 42u);
+  ASSERT_NE(snap.FindHistogram("ext.histogram"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("ext.histogram")->count, 1u);
+}
+
+TEST(MetricsRegistryTest, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("a")->Increment();
+  registry.RegisterCounterFn("b", [] { return uint64_t{1}; });
+  registry.Clear();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, MergeCombinesHistogramsBucketwise) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  MetricsSnapshot left, right;
+  left.histograms["h"] = a.Snapshot();
+  left.counters["c"] = 1;
+  right.histograms["h"] = b.Snapshot();
+  right.counters["d"] = 2;
+  left.MergeFrom(right);
+  EXPECT_EQ(left.CounterValue("c"), 1u);
+  EXPECT_EQ(left.CounterValue("d"), 2u);
+  const HistogramSnapshot* h = left.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 1010u);
+  EXPECT_EQ(h->max, 1000u);
+}
+
+// --- JSON round trip --------------------------------------------------------
+
+TEST(MetricsSnapshotTest, JsonRoundTripIsExact) {
+  MetricsRegistry registry;
+  registry.counter("chunk.store.puts")->Increment(123456789);
+  registry.gauge("index.cache.entries")->Set(42);
+  Histogram* h = registry.histogram("core.db.write_latency_ns");
+  h->Record(0);
+  h->Record(999);
+  h->Record(1 << 20);
+  MetricsSnapshot original = registry.Snapshot();
+
+  std::string text = original.ToJsonString();
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(text, &parsed).ok());
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(parsed, &decoded).ok());
+
+  EXPECT_EQ(decoded.counters, original.counters);
+  EXPECT_EQ(decoded.gauges, original.gauges);
+  ASSERT_EQ(decoded.histograms.size(), original.histograms.size());
+  const HistogramSnapshot* dh =
+      decoded.FindHistogram("core.db.write_latency_ns");
+  ASSERT_NE(dh, nullptr);
+  const HistogramSnapshot* oh =
+      original.FindHistogram("core.db.write_latency_ns");
+  EXPECT_EQ(dh->count, oh->count);
+  EXPECT_EQ(dh->sum, oh->sum);
+  EXPECT_EQ(dh->max, oh->max);
+  EXPECT_EQ(dh->buckets, oh->buckets);
+}
+
+TEST(MetricsSnapshotTest, FromJsonRejectsMalformedInput) {
+  JsonValue parsed;
+  MetricsSnapshot out;
+  ASSERT_TRUE(JsonValue::Parse("[1,2,3]", &parsed).ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson(parsed, &out).ok());
+  // A bucket index outside the histogram's range must be rejected.
+  ASSERT_TRUE(JsonValue::Parse(R"({"histograms":{"h":{"count":1,"sum":1,)"
+                               R"("max":1,"buckets":[[99,1]]}}})",
+                               &parsed)
+                  .ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson(parsed, &out).ok());
+}
+
+// --- End to end through SpitzDb ---------------------------------------------
+
+TEST(MetricsEndToEndTest, ProofAndLatencyHistogramsPerBackend) {
+  for (SiriBackend backend : {SiriBackend::kPosTree, SiriBackend::kMerklePatriciaTrie,
+                              SiriBackend::kMerkleBucketTree}) {
+    SCOPED_TRACE(SiriBackendName(backend));
+    SpitzOptions options;
+    options.index_backend = backend;
+    options.block_size = 8;
+    options.audit_batch_size = 4;
+    options.audit_workers = 2;
+    SpitzDb db(options);
+    for (int i = 0; i < 32; i++) {
+      std::string key = "key" + std::to_string(i);
+      ASSERT_TRUE(db.Put(key, "value").ok());
+      ASSERT_TRUE(db.AuditKey(key).ok());
+    }
+    std::string value;
+    ReadProof proof;
+    for (int i = 0; i < 32; i++) {
+      ASSERT_TRUE(db.Get("key" + std::to_string(i), &value).ok());
+      ASSERT_TRUE(
+          db.GetWithProof("key" + std::to_string(i), &value, &proof).ok());
+    }
+    ASSERT_TRUE(db.DrainAudits().ok());
+
+    MetricsSnapshot snap = db.Metrics();
+    const std::string backend_name = SiriBackendName(backend);
+    for (const std::string& name :
+         {std::string("core.db.write_latency_ns"),
+          std::string("core.db.read_latency_ns"),
+          std::string("core.db.seal_latency_ns"),
+          std::string("core.db.proof_build_latency_ns"),
+          std::string("core.db.proof_verify_latency_ns"),
+          "index.siri.proof_bytes." + backend_name}) {
+      const HistogramSnapshot* h = snap.FindHistogram(name);
+      ASSERT_NE(h, nullptr) << name;
+      EXPECT_GT(h->count, 0u) << name;
+      EXPECT_GT(h->sum, 0u) << name;
+    }
+    // The verifier pipeline's accounting rides along in the same snapshot.
+    EXPECT_EQ(snap.CounterValue("txn.verifier.verified"), 32u);
+    EXPECT_EQ(snap.CounterValue("txn.verifier.failures"), 0u);
+    EXPECT_GT(snap.CounterValue("chunk.store.puts"), 0u);
+    const HistogramSnapshot* wait =
+        snap.FindHistogram("txn.verifier.queue_wait_ns");
+    ASSERT_NE(wait, nullptr);
+    EXPECT_EQ(wait->count, 32u);
+  }
+}
+
+TEST(MetricsEndToEndTest, RangeProofBytesRecordedForScans) {
+  SpitzOptions options;
+  options.block_size = 8;
+  SpitzDb db(options);
+  for (int i = 0; i < 64; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(db.Put(key, "v").ok());
+  }
+  std::vector<PosEntry> rows;
+  ScanProof proof;
+  ASSERT_TRUE(db.ScanWithProof("k000010", "k000030", 0, &rows, &proof).ok());
+  MetricsSnapshot snap = db.Metrics();
+  const HistogramSnapshot* bytes =
+      snap.FindHistogram("index.siri.range_proof_bytes.pos-tree");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->count, 1u);
+  EXPECT_GE(bytes->max, proof.index_proof.ByteSize());
+  EXPECT_NE(snap.FindHistogram("core.db.scan_latency_ns"), nullptr);
+}
+
+TEST(MetricsEndToEndTest, DisabledMetricsLeaveHistogramsEmpty) {
+  SpitzOptions options;
+  options.enable_metrics = false;
+  SpitzDb db(options);
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(db.Get("k", &value).ok());
+  MetricsSnapshot snap = db.Metrics();
+  // No latency/proof histograms are wired; component counters are also
+  // unregistered (the components still count internally, but the
+  // snapshot is empty).
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(snap.FindHistogram("core.db.write_latency_ns"), nullptr);
+}
+
+TEST(MetricsEndToEndTest, ClientSideVerifyLatencyLandsInGlobalRegistry) {
+  SpitzDb db;
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  std::string value;
+  ReadProof proof;
+  ASSERT_TRUE(db.GetWithProof("k", &value, &proof).ok());
+  MetricsSnapshot baseline = MetricsRegistry::Global()->Snapshot();
+  const HistogramSnapshot* prior =
+      baseline.FindHistogram("client.db.verify_read_latency_ns");
+  uint64_t before = prior == nullptr ? 0 : prior->count;
+  ASSERT_TRUE(SpitzDb::VerifyRead(db.Digest(), "k", value, proof).ok());
+  MetricsSnapshot global = MetricsRegistry::Global()->Snapshot();
+  const HistogramSnapshot* h =
+      global.FindHistogram("client.db.verify_read_latency_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, before + 1);
+}
+
+}  // namespace
+}  // namespace spitz

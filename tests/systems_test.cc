@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -53,6 +54,38 @@ TEST(ImmutableKvsTest, OldRootsStayReadable) {
   std::string value;
   ASSERT_TRUE(kvs.Get("k", &value).ok());
   EXPECT_EQ(value, "new");
+}
+
+TEST(ImmutableKvsTest, OpenValidatesOptions) {
+  PosTreeOptions bad;
+  bad.leaf_pattern_bits = 40;  // mask would shift past the 32-bit width
+  std::unique_ptr<ImmutableKvs> kvs;
+  EXPECT_TRUE(ImmutableKvs::Open(bad, &kvs).IsInvalidArgument());
+  EXPECT_EQ(kvs, nullptr);
+
+  EXPECT_TRUE(ImmutableKvs::Open(PosTreeOptions(), &kvs).ok());
+  ASSERT_NE(kvs, nullptr);
+  EXPECT_TRUE(kvs->Put("a", "1").ok());
+
+  // The plain constructor tolerates bad options but refuses writes.
+  ImmutableKvs rejected(bad);
+  EXPECT_TRUE(rejected.Put("a", "1").IsInvalidArgument());
+}
+
+TEST(ImmutableKvsTest, MetricsCoverOperations) {
+  ImmutableKvs kvs;
+  ASSERT_TRUE(kvs.Put("a", "1").ok());
+  std::string value;
+  ASSERT_TRUE(kvs.Get("a", &value).ok());
+  MetricsSnapshot snap = kvs.Metrics();
+  const HistogramSnapshot* writes =
+      snap.FindHistogram("kvs.db.write_latency_ns");
+  ASSERT_NE(writes, nullptr);
+  EXPECT_EQ(writes->count, 1u);
+  const HistogramSnapshot* reads = snap.FindHistogram("kvs.db.read_latency_ns");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_EQ(reads->count, 1u);
+  EXPECT_GT(snap.CounterValue("chunk.store.puts"), 0u);
 }
 
 // --- RpcServer ------------------------------------------------------------------
@@ -227,6 +260,25 @@ TEST(ProcessorPoolTest, HandlesAllRequestTypes) {
   ASSERT_TRUE(pool.Execute(del).status.ok());
   EXPECT_TRUE(pool.Execute(get).status.IsNotFound());
   EXPECT_EQ(pool.processed(), 5u);
+
+  // Every handled request type shows up in the pool's metrics, with
+  // queue-wait attributed separately from handling.
+  MetricsSnapshot snap = pool.Metrics();
+  EXPECT_EQ(snap.CounterValue("core.processor.processed"), 5u);
+  EXPECT_EQ(snap.GaugeValue("core.processor.processors"), 4u);
+  for (const char* name :
+       {"core.processor.handle_latency_ns.put",
+        "core.processor.handle_latency_ns.get",
+        "core.processor.handle_latency_ns.verified_get",
+        "core.processor.handle_latency_ns.delete"}) {
+    const HistogramSnapshot* h = snap.FindHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+  }
+  const HistogramSnapshot* wait =
+      snap.FindHistogram("core.processor.queue_wait_ns");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 5u);
 }
 
 TEST(ProcessorPoolTest, VerifiedScanThroughPool) {
@@ -275,11 +327,25 @@ TEST(ProcessorPoolTest, ShutdownRejectsNewWork) {
   SpitzDb db;
   ProcessorPool pool(&db, 2);
   pool.Shutdown();
+  // Submit after Shutdown must resolve the future immediately with
+  // Unavailable — it never hangs and never crashes.
   Request get;
   get.type = Request::Type::kGet;
   get.key = "x";
-  Response r = pool.Execute(get);
-  EXPECT_TRUE(r.status.IsIOError());
+  std::future<Response> future = pool.Submit(get);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get().status.IsUnavailable());
+  // The rejection is visible in the pool's metrics.
+  EXPECT_GE(pool.Metrics().CounterValue("core.processor.rejected"), 1u);
+}
+
+TEST(ProcessorPoolTest, DoubleShutdownIsNoOp) {
+  SpitzDb db;
+  ProcessorPool pool(&db, 2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a harmless no-op
+  EXPECT_TRUE(pool.Execute(Request{}).status.IsUnavailable());
 }
 
 // --- ClientVerifier ------------------------------------------------------------------
