@@ -1,0 +1,229 @@
+// Deterministic crash-recovery smoke check (ci/check.sh leg).
+//
+// Drives the same fault-injection machinery as tests/recovery_test.cc
+// through a fixed scripted workload — no wall-clock dependence, no
+// randomness — and validates the durability layer end to end:
+//
+//   1. crash after every I/O op (write-fail, short-write, sync-fail in
+//      turn), drop unsynced data, reopen: the database must recover
+//      exactly the keys covered by the last successful SyncStorage and
+//      accept a further write-sync-reopen cycle with no loss;
+//   2. torn tails appended to both logs must be truncated on reopen and
+//      accounted in the chunk.file.truncated_bytes /
+//      core.db.journal.truncated_bytes metrics.
+//
+// Exits 0 and prints a JSON summary (crash points exercised, truncated
+// bytes observed) on success; exits 1 on the first lost-record or
+// divergence assertion.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/fault_env.h"
+#include "core/spitz_db.h"
+
+namespace {
+
+using spitz::CrashMode;
+using spitz::Env;
+using spitz::FaultInjectionEnv;
+using spitz::FaultKind;
+using spitz::SpitzDb;
+using spitz::SpitzOptions;
+using spitz::Status;
+
+constexpr int kBlocks = 3;
+constexpr int kKeysPerBlock = 4;
+
+int failures = 0;
+
+#define CHECK_SMOKE(cond, what)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      fprintf(stderr, "recovery_smoke: FAILED: %s (%s)\n", what,     \
+              #cond);                                                \
+      failures++;                                                    \
+    }                                                                \
+  } while (0)
+
+SpitzOptions MakeOptions(const std::string& dir, Env* env) {
+  SpitzOptions options;
+  options.block_size = kKeysPerBlock;
+  options.data_dir = dir;
+  options.env = env;
+  return options;
+}
+
+std::string Key(int i) { return "key" + std::to_string(i); }
+
+// Fixed workload: kBlocks blocks of kKeysPerBlock keys, SyncStorage
+// after each. Returns keys covered by the last successful sync.
+int RunWorkload(SpitzDb* db) {
+  int synced = 0;
+  for (int b = 0; b < kBlocks; b++) {
+    bool wrote = true;
+    for (int i = 0; i < kKeysPerBlock; i++) {
+      int k = b * kKeysPerBlock + i;
+      wrote = db->Put(Key(k), "value" + std::to_string(k)).ok() && wrote;
+    }
+    if (db->SyncStorage().ok() && wrote) synced = (b + 1) * kKeysPerBlock;
+  }
+  return synced;
+}
+
+// One crash point: fault `kind` at op `op`, kDropUnsynced crash,
+// recover, verify exact state, then write-sync-reopen one more block.
+void RunCrashPoint(const std::string& dir, uint64_t op, FaultKind kind,
+                   const char* kind_name) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  char what[128];
+  snprintf(what, sizeof(what), "%s at op %llu", kind_name,
+           static_cast<unsigned long long>(op));
+
+  FaultInjectionEnv env(Env::Default());
+  env.FailAt(op, kind, /*partial_bytes=*/2);
+  int synced = 0;
+  {
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(MakeOptions(dir, &env), &db);
+    CHECK_SMOKE(s.ok(), what);
+    if (!s.ok()) return;
+    synced = RunWorkload(db.get());
+    env.Crash();
+  }
+  CHECK_SMOKE(env.SimulateCrash(CrashMode::kDropUnsynced).ok(), what);
+  env.Revive();
+  {
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(MakeOptions(dir, &env), &db);
+    CHECK_SMOKE(s.ok(), what);
+    if (!s.ok()) return;
+    CHECK_SMOKE(db->key_count() == static_cast<uint64_t>(synced), what);
+    std::string value;
+    for (int k = 0; k < synced; k++) {
+      CHECK_SMOKE(db->Get(Key(k), &value).ok() &&
+                      value == "value" + std::to_string(k),
+                  what);
+    }
+    for (int k = synced; k < kBlocks * kKeysPerBlock; k++) {
+      CHECK_SMOKE(db->Get(Key(k), &value).IsNotFound(), what);
+    }
+    for (int i = 0; i < kKeysPerBlock; i++) {
+      CHECK_SMOKE(db->Put("extra" + std::to_string(i), "x").ok(), what);
+    }
+    CHECK_SMOKE(db->SyncStorage().ok(), what);
+  }
+  {
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(MakeOptions(dir, &env), &db);
+    CHECK_SMOKE(s.ok(), what);
+    if (!s.ok()) return;
+    CHECK_SMOKE(
+        db->key_count() == static_cast<uint64_t>(synced) + kKeysPerBlock,
+        what);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string root =
+      std::filesystem::temp_directory_path() / "spitz_recovery_smoke";
+  const std::string dir = root + "/db";
+
+  // Dry run: count crash points.
+  uint64_t total_ops = 0;
+  {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    FaultInjectionEnv env(Env::Default());
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(MakeOptions(dir, &env), &db);
+    CHECK_SMOKE(s.ok(), "dry run open");
+    if (s.ok()) {
+      CHECK_SMOKE(RunWorkload(db.get()) == kBlocks * kKeysPerBlock,
+                  "dry run workload");
+    }
+    total_ops = env.ops_seen();
+  }
+  CHECK_SMOKE(total_ops > 0, "dry run op count");
+
+  const struct {
+    FaultKind kind;
+    const char* name;
+  } kKinds[] = {
+      {FaultKind::kFailWrite, "fail-write"},
+      {FaultKind::kShortWrite, "short-write"},
+      {FaultKind::kFailSync, "fail-sync"},
+  };
+  uint64_t crash_points = 0;
+  for (const auto& fault : kKinds) {
+    for (uint64_t op = 0; op < total_ops && failures == 0; op++) {
+      RunCrashPoint(dir, op, fault.kind, fault.name);
+      crash_points++;
+    }
+  }
+
+  // Torn tails in both logs must be truncated and accounted.
+  uint64_t chunk_truncated = 0, journal_truncated = 0;
+  {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+      std::unique_ptr<SpitzDb> db;
+      Status s = SpitzDb::Open(MakeOptions(dir, nullptr), &db);
+      CHECK_SMOKE(s.ok(), "torn-tail seed open");
+      if (s.ok()) {
+        for (int k = 0; k < kKeysPerBlock; k++) {
+          db->Put(Key(k), "v");
+        }
+        CHECK_SMOKE(db->SyncStorage().ok(), "torn-tail seed sync");
+      }
+    }
+    {
+      std::ofstream out(dir + "/chunks.log",
+                        std::ios::binary | std::ios::app);
+      out.put(static_cast<char>(0));
+      out.put(static_cast<char>(200));
+      out << "xyz";
+    }
+    {
+      std::ofstream out(dir + "/journal.log",
+                        std::ios::binary | std::ios::app);
+      out.put(static_cast<char>(120));
+      out << "torn";
+    }
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(MakeOptions(dir, nullptr), &db);
+    CHECK_SMOKE(s.ok(), "torn-tail reopen");
+    if (s.ok()) {
+      auto snapshot = db->Metrics();
+      chunk_truncated = snapshot.CounterValue("chunk.file.truncated_bytes");
+      journal_truncated =
+          snapshot.CounterValue("core.db.journal.truncated_bytes");
+      CHECK_SMOKE(chunk_truncated == 5, "chunk torn tail accounting");
+      CHECK_SMOKE(journal_truncated == 5, "journal torn tail accounting");
+      CHECK_SMOKE(db->key_count() == kKeysPerBlock, "torn-tail key count");
+    }
+  }
+
+  std::filesystem::remove_all(root);
+  if (failures > 0) {
+    fprintf(stderr, "recovery_smoke: %d check(s) failed\n", failures);
+    return 1;
+  }
+  printf(
+      "{\"bench\": \"recovery_smoke\", \"crash_points\": %llu, "
+      "\"io_ops_per_run\": %llu, \"fault_kinds\": 3, "
+      "\"chunk_truncated_bytes\": %llu, \"journal_truncated_bytes\": %llu, "
+      "\"status\": \"ok\"}\n",
+      static_cast<unsigned long long>(crash_points),
+      static_cast<unsigned long long>(total_ops),
+      static_cast<unsigned long long>(chunk_truncated),
+      static_cast<unsigned long long>(journal_truncated));
+  return 0;
+}

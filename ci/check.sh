@@ -29,24 +29,33 @@ SPITZ_METRICS_OUT="${METRICS_OUT}" \
       --benchmark_min_time=0.01 > /dev/null
 "${PREFIX}/bench/metrics_smoke" "${METRICS_OUT}"
 
+echo "==> tier-1: crash-recovery smoke (fault-injection harness)"
+# Deterministic (fixed fault schedule, no wall-clock dependence): kills
+# the database after every single I/O op in turn — write-fail,
+# short-write and sync-fail — and fails on any lost-record or
+# memory/disk divergence after recovery. Keeps the torn-tail
+# append-after-garbage class of bugs from coming back.
+"${PREFIX}/bench/recovery_smoke"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-      --target concurrency_test txn_test spitz_db_test metrics_test
+      --target concurrency_test txn_test spitz_db_test metrics_test \
+               recovery_test
 # TSAN_OPTIONS makes any reported race fail the run (exit code).
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics'
+        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery'
 
 echo "==> tier-2: ASan+UBSan proof-codec and database suite"
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
-      --target siri_proof_test siri_backend_test spitz_db_test
+      --target siri_proof_test siri_backend_test spitz_db_test recovery_test
 ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
 UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-        -R 'Siri|SpitzDb|SpitzOptions'
+        -R 'Siri|SpitzDb|SpitzOptions|Recovery'
 
 echo "==> all checks passed"

@@ -1,80 +1,125 @@
 #include "chunk/file_chunk_store.h"
 
-#include <unistd.h>
-
 #include <vector>
 
 #include "common/codec.h"
+#include "common/crc32c.h"
 
 namespace spitz {
 
-Status FileChunkStore::Open(const std::string& path,
+namespace {
+
+// [1B type][varint len][payload][4B masked crc32c(type + payload)]
+void EncodeChunkRecord(const Chunk& chunk, std::string* out) {
+  char type = static_cast<char>(chunk.type());
+  out->push_back(type);
+  PutVarint64(out, chunk.payload().size());
+  out->append(chunk.payload());
+  uint32_t crc = crc32c::Extend(0, &type, 1);
+  crc = crc32c::Extend(crc, chunk.payload().data(), chunk.payload().size());
+  PutFixed32(out, crc32c::Mask(crc));
+}
+
+}  // namespace
+
+Status FileChunkStore::Open(Env* env, const std::string& path,
                             std::unique_ptr<FileChunkStore>* store) {
   auto s = std::unique_ptr<FileChunkStore>(new FileChunkStore());
+  s->env_ = env;
   s->path_ = path;
-  // Open for reading first to replay existing content.
-  Status replay_status = s->Replay();
+  uint64_t valid_offset = 0;
+  Status replay_status = s->Replay(&valid_offset);
   if (!replay_status.ok()) return replay_status;
-  s->file_ = fopen(path.c_str(), "ab");
-  if (s->file_ == nullptr) {
-    return Status::IOError("cannot open chunk log: " + path);
+  // Cut any torn tail back to the last intact record *before* reopening
+  // for append: a record appended after crash garbage would be
+  // unreachable by every future replay (it sits past the parse error),
+  // i.e. silently lost despite living in the file.
+  uint64_t size = 0;
+  Status size_status = env->FileSize(path, &size);
+  if (size_status.ok() && size > valid_offset) {
+    Status t = env->Truncate(path, valid_offset);
+    if (!t.ok()) return t;
+    s->truncated_bytes_.Increment(size - valid_offset);
+  }
+  Status open_status = env->NewWritableLog(path, &s->log_);
+  if (!open_status.ok()) {
+    return Status::IOError("cannot open chunk log: " + path + ": " +
+                           open_status.message());
   }
   *store = std::move(s);
   return Status::OK();
 }
 
-FileChunkStore::~FileChunkStore() {
-  if (file_ != nullptr) {
-    fflush(file_);
-    fclose(file_);
-  }
+Status FileChunkStore::Open(const std::string& path,
+                            std::unique_ptr<FileChunkStore>* store) {
+  return Open(Env::Default(), path, store);
 }
 
-Status FileChunkStore::Replay() {
-  FILE* in = fopen(path_.c_str(), "rb");
-  if (in == nullptr) return Status::OK();  // fresh store
+FileChunkStore::~FileChunkStore() {
+  if (log_ != nullptr) log_->Close();
+}
+
+Status FileChunkStore::Replay(uint64_t* valid_offset) {
+  *valid_offset = 0;
   std::string contents;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), in)) > 0) {
-    contents.append(buf, n);
-  }
-  fclose(in);
+  Status read_status = env_->ReadFileToString(path_, &contents);
+  if (read_status.IsNotFound()) return Status::OK();  // fresh store
+  if (!read_status.ok()) return read_status;
 
   Slice input(contents);
+  uint64_t consumed = 0;
   while (!input.empty()) {
-    if (input.size() < 2) break;  // torn tail
-    ChunkType type = static_cast<ChunkType>(input[0]);
     Slice rest = input;
+    char type_byte = rest[0];
     rest.remove_prefix(1);
     uint64_t len = 0;
-    if (!GetVarint64(&rest, &len).ok() || rest.size() < len) {
-      break;  // torn tail: stop at the last complete record
+    if (!GetVarint64(&rest, &len).ok() ||
+        rest.size() < len + sizeof(uint32_t)) {
+      break;  // torn tail: the file ends inside this record
     }
-    Chunk chunk(type, std::string(rest.data(), static_cast<size_t>(len)));
+    const char* payload = rest.data();
     rest.remove_prefix(static_cast<size_t>(len));
+    uint32_t stored = DecodeFixed32(rest.data());
+    rest.remove_prefix(sizeof(uint32_t));
+    uint32_t crc = crc32c::Extend(0, &type_byte, 1);
+    crc = crc32c::Extend(crc, payload, static_cast<size_t>(len));
+    if (crc32c::Unmask(stored) != crc) {
+      // The record is complete, so this is not a torn write but real
+      // corruption; replaying it would register the payload under a
+      // content hash the bytes no longer match.
+      return Status::Corruption("chunk log record CRC mismatch at offset " +
+                                std::to_string(consumed) + " in " + path_);
+    }
+    Chunk chunk(static_cast<ChunkType>(type_byte),
+                std::string(payload, static_cast<size_t>(len)));
     Hash256 id;
     InsertInMemory(std::move(chunk), &id);
     recovered_.Increment();
     replayed_bytes_.Increment(input.size() - rest.size());
+    consumed += input.size() - rest.size();
     input = rest;
   }
+  *valid_offset = consumed;
   return Status::OK();
 }
 
 Hash256 FileChunkStore::Put(Chunk chunk) {
   // Serialize the record before the chunk is moved into the map.
   std::string record;
-  record.push_back(static_cast<char>(chunk.type()));
-  PutVarint64(&record, chunk.payload().size());
-  record.append(chunk.payload());
+  EncodeChunkRecord(chunk, &record);
 
   Hash256 id;
   bool added = InsertInMemory(std::move(chunk), &id);
   if (added) {
     std::lock_guard<std::mutex> lock(file_mu_);
-    fwrite(record.data(), 1, record.size(), file_);
-    appended_bytes_.Increment(record.size());
+    // After a failed append the log tail is suspect (a short write may
+    // have left a partial record); appending more would strand those
+    // records past the failure point, so the store stays read/memory-
+    // only and the sticky error surfaces via Sync()/status().
+    if (append_status_.ok()) {
+      append_status_ = log_->Append(record);
+      if (append_status_.ok()) appended_bytes_.Increment(record.size());
+    }
   }
   return id;
 }
@@ -84,13 +129,18 @@ void FileChunkStore::ExportMetrics(MetricsRegistry* registry) const {
   registry->RegisterCounter("chunk.file.replayed_chunks", &recovered_);
   registry->RegisterCounter("chunk.file.replayed_bytes", &replayed_bytes_);
   registry->RegisterCounter("chunk.file.appended_bytes", &appended_bytes_);
+  registry->RegisterCounter("chunk.file.truncated_bytes", &truncated_bytes_);
 }
 
 Status FileChunkStore::Sync() {
   std::lock_guard<std::mutex> lock(file_mu_);
-  if (fflush(file_) != 0) return Status::IOError("fflush failed");
-  if (fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
-  return Status::OK();
+  if (!append_status_.ok()) return append_status_;
+  return log_->Sync();
+}
+
+Status FileChunkStore::status() const {
+  std::lock_guard<std::mutex> lock(file_mu_);
+  return append_status_;
 }
 
 }  // namespace spitz

@@ -1,12 +1,12 @@
 #ifndef SPITZ_CHUNK_FILE_CHUNK_STORE_H_
 #define SPITZ_CHUNK_FILE_CHUNK_STORE_H_
 
-#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "chunk/chunk_store.h"
+#include "common/env.h"
 
 namespace spitz {
 
@@ -15,12 +15,31 @@ namespace spitz {
 // Because chunks are immutable and content-addressed, the log never
 // needs compaction for correctness and recovery is a straight replay.
 //
-// Record format:  [1B type] [varint payload length] [payload bytes]
-// A record whose payload fails its hash check (torn tail after a crash)
-// ends the replay; everything before it is intact.
+// Record format:
+//   [1B type] [varint payload length] [payload bytes] [4B masked CRC32C]
+// The checksum covers the type byte and the payload. Replay verifies it
+// on every record: a record that is *incomplete* (the file ends inside
+// it) is a torn tail from a crash — replay stops there and Open()
+// truncates the log back to the end of the last valid record, so later
+// appends are never stranded behind crash garbage. A *complete* record
+// whose checksum does not match is corruption and fails Open() with
+// Status::Corruption instead of being silently replayed.
+//
+// Durability contract: Put() appends (buffered); only Sync() makes the
+// appended records crash-safe. A failed or short append poisons the
+// store with a sticky I/O error — later Puts stop appending (the log
+// tail past the failure is garbage) and Sync()/status() report the
+// error, so memory and disk are never silently divergent: on reopen,
+// recovery truncates the partial record and replays exactly the intact
+// prefix.
 class FileChunkStore : public ChunkStore {
  public:
-  // Opens (creating if necessary) the log at `path` and replays it.
+  // Opens (creating if necessary) the log at `path` through `env`,
+  // replays it, and truncates any torn tail. `env` must outlive the
+  // store.
+  static Status Open(Env* env, const std::string& path,
+                     std::unique_ptr<FileChunkStore>* store);
+  // Same, on the default POSIX environment.
   static Status Open(const std::string& path,
                      std::unique_ptr<FileChunkStore>* store);
 
@@ -30,29 +49,46 @@ class FileChunkStore : public ChunkStore {
   FileChunkStore& operator=(const FileChunkStore&) = delete;
 
   // Stores the chunk; a previously unseen chunk is appended to the log.
+  // Append failures are sticky and surface through Sync()/status().
   Hash256 Put(Chunk chunk) override;
 
-  // Flushes buffered appends to the operating system and fsyncs.
+  // Flushes buffered appends and fsyncs; on success every record
+  // appended so far survives a crash. Returns the sticky append error
+  // if any Put since Open failed to reach the log.
   Status Sync();
+
+  // The sticky I/O state: OK until an append fails, that failure
+  // afterwards.
+  Status status() const;
 
   // Number of chunks recovered from the log at open time.
   uint64_t recovered_chunks() const { return recovered_.value(); }
 
+  // Crash-garbage bytes cut from the log tail by Open().
+  uint64_t truncated_bytes() const { return truncated_bytes_.value(); }
+
   // Base export plus the durable-store accounting (`chunk.file.*`):
-  // replayed chunk/byte counts from recovery and appended log bytes.
+  // replayed chunk/byte counts from recovery, appended log bytes, and
+  // torn-tail bytes truncated at open.
   void ExportMetrics(MetricsRegistry* registry) const override;
 
  private:
   FileChunkStore() = default;
 
-  Status Replay();
+  // Replays the log, populating the in-memory map. On return
+  // *valid_offset is the end of the last intact record (the truncation
+  // point for any torn tail).
+  Status Replay(uint64_t* valid_offset);
 
+  Env* env_ = nullptr;
   std::string path_;
-  std::mutex file_mu_;
-  FILE* file_ = nullptr;
+  mutable std::mutex file_mu_;
+  std::unique_ptr<WritableLog> log_;
+  Status append_status_;     // sticky: first append failure, kept forever
   Counter recovered_;        // chunks replayed from the log at Open()
   Counter replayed_bytes_;   // log bytes consumed by that replay
   Counter appended_bytes_;   // log bytes written since Open()
+  Counter truncated_bytes_;  // torn-tail bytes discarded by Open()
 };
 
 }  // namespace spitz

@@ -1,0 +1,64 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace spitz {
+namespace crc32c {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // tables[k][b]: crc contribution of byte b at distance k from the end,
+  // enabling 4-bytes-at-a-time slicing in the hot loop.
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; b++) {
+      uint32_t crc = b;
+      for (int k = 0; k < 8; k++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (uint32_t b = 0; b < 256; b++) {
+      t[1][b] = (t[0][b] >> 8) ^ t[0][t[0][b] & 0xff];
+      t[2][b] = (t[1][b] >> 8) ^ t[0][t[1][b] & 0xff];
+      t[3][b] = (t[2][b] >> 8) ^ t[0][t[2][b] & 0xff];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const char* data, size_t n) {
+  const Tables& tab = tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  // Slice-by-4 over the aligned middle.
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tab.t[3][c & 0xff] ^ tab.t[2][(c >> 8) & 0xff] ^
+        tab.t[1][(c >> 16) & 0xff] ^ tab.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = (c >> 8) ^ tab.t[0][(c ^ *p) & 0xff];
+    p++;
+    n--;
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace spitz

@@ -1,0 +1,84 @@
+#ifndef SPITZ_COMMON_ENV_H_
+#define SPITZ_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// The file-system seam of the durability layer (DESIGN.md section 9).
+//
+// Every byte the database persists — chunk-log records and journal
+// blocks — flows through an Env, so crash behaviour can be tested by
+// substituting FaultInjectionEnv (fault_env.h) for the POSIX default.
+// The surface is deliberately tiny: the two logs are append-only, so
+// the only operations recovery and steady state need are append, sync,
+// whole-file read, and truncate (to cut a torn tail back to the last
+// valid record before reopening for append).
+// ---------------------------------------------------------------------------
+
+// A sequential append-only handle to one log file. Appends are buffered
+// in user space; Sync() flushes the buffer and fsyncs, which is the
+// *only* durability point — data merely appended can be lost in a
+// crash, exactly like data sitting in the OS page cache.
+//
+// All methods return sticky errors: once an Append fails (e.g. a short
+// write left a partial record on disk), every later Append and Sync
+// reports the failure too, because the log tail past the failure point
+// is garbage and appending after it would make the records unreachable
+// by recovery.
+class WritableLog {
+ public:
+  virtual ~WritableLog() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  // Flushes buffered appends and fsyncs. On success everything appended
+  // so far survives a crash.
+  virtual Status Sync() = 0;
+  // Flushes buffered appends (no fsync) and closes the handle.
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // The process-wide POSIX environment. Never deleted.
+  static Env* Default();
+
+  // Opens `path` for appending, creating it if necessary.
+  virtual Status NewWritableLog(const std::string& path,
+                                std::unique_ptr<WritableLog>* log) = 0;
+
+  // Reads the whole file into *out. NotFound if the file does not
+  // exist (recovery treats that as a fresh, empty log).
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  // Truncates the file to `size` bytes. Used by recovery to discard a
+  // torn tail so that subsequent appends land after the last valid
+  // record rather than after crash garbage.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Creates the directory; succeeds if it already exists. Any other
+  // failure (permissions, a file in the way, missing parent) is an
+  // IOError carrying the errno text.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_COMMON_ENV_H_

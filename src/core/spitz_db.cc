@@ -1,25 +1,27 @@
 #include "core/spitz_db.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include "chunk/file_chunk_store.h"
 #include "common/clock.h"
 #include "common/codec.h"
+#include "common/crc32c.h"
 
 namespace spitz {
 
 namespace {
 
 std::unique_ptr<ChunkStore> MakeChunkStore(const SpitzOptions& options,
-                                           Status* status) {
+                                           Env* env, Status* status) {
   *status = Status::OK();
   if (options.data_dir.empty()) {
     return std::make_unique<ChunkStore>();
   }
-  mkdir(options.data_dir.c_str(), 0755);
+  // A data directory that cannot be created must fail Open() here, with
+  // the real errno, rather than surfacing later as a confusing
+  // cannot-open-chunk-log error.
+  *status = env->CreateDir(options.data_dir);
+  if (!status->ok()) return std::make_unique<ChunkStore>();
   std::unique_ptr<FileChunkStore> file_store;
-  *status = FileChunkStore::Open(options.data_dir + "/chunks.log",
+  *status = FileChunkStore::Open(env, options.data_dir + "/chunks.log",
                                  &file_store);
   if (!status->ok()) return std::make_unique<ChunkStore>();
   return file_store;
@@ -88,6 +90,8 @@ void SpitzDb::WireMetrics() {
       registry_.histogram("index.siri.proof_bytes." + backend);
   metrics_.range_proof_bytes =
       registry_.histogram("index.siri.range_proof_bytes." + backend);
+  registry_.RegisterCounter("core.db.journal.truncated_bytes",
+                            &journal_truncated_bytes_);
   chunks_->ExportMetrics(&registry_);
   if (node_cache_) node_cache_->ExportMetrics(&registry_);
   auditor_->ExportMetrics(&registry_);
@@ -101,7 +105,8 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
   if (!s.ok()) return s;
   auto instance = std::unique_ptr<SpitzDb>(new SpitzDb());
   instance->options_ = options;
-  instance->chunks_ = MakeChunkStore(options, &s);
+  instance->env_ = options.env != nullptr ? options.env : Env::Default();
+  instance->chunks_ = MakeChunkStore(options, instance->env_, &s);
   if (!s.ok()) return s;
   // Rebind the index to the durable store (the default-constructed one
   // pointed at the throwaway in-memory store), re-creating the node
@@ -127,22 +132,43 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
 
 Status SpitzDb::Recover() {
   const std::string journal_path = options_.data_dir + "/journal.log";
-  FILE* in = fopen(journal_path.c_str(), "rb");
-  if (in != nullptr) {
-    std::string contents;
-    char buf[1 << 16];
-    size_t n;
-    while ((n = fread(buf, 1, sizeof(buf), in)) > 0) contents.append(buf, n);
-    fclose(in);
+  std::string contents;
+  Status read_status = env_->ReadFileToString(journal_path, &contents);
+  if (!read_status.ok() && !read_status.IsNotFound()) return read_status;
+  if (read_status.ok()) {
     Slice input(contents);
+    uint64_t consumed = 0;  // end offset of the last intact record
     while (!input.empty()) {
+      Slice rest = input;
       Slice record;
-      if (!GetLengthPrefixedSlice(&input, &record).ok()) {
-        break;  // torn tail after a crash: stop at last complete block
+      if (!GetLengthPrefixedSlice(&rest, &record).ok() ||
+          rest.size() < sizeof(uint32_t)) {
+        break;  // torn tail after a crash: stop at last complete record
+      }
+      uint32_t stored = DecodeFixed32(rest.data());
+      rest.remove_prefix(sizeof(uint32_t));
+      if (crc32c::Unmask(stored) !=
+          crc32c::Value(record.data(), record.size())) {
+        // Complete record, wrong bytes: corruption, not a torn write.
+        // Restoring it would rebuild the ledger over a block whose
+        // hashes no longer match its content.
+        return Status::Corruption("journal record CRC mismatch at offset " +
+                                  std::to_string(consumed) + " in " +
+                                  journal_path);
       }
       Status s = ledger_.Restore(record);
       if (!s.ok()) return s;
       IndexBlockHistoryLocked(ledger_.block_count() - 1);
+      consumed += input.size() - rest.size();
+      input = rest;
+    }
+    // Discard the torn tail before reopening for append; otherwise
+    // every block persisted from now on would sit behind unparseable
+    // garbage, unreachable by all future recoveries.
+    if (consumed < contents.size()) {
+      Status t = env_->Truncate(journal_path, consumed);
+      if (!t.ok()) return t;
+      journal_truncated_bytes_.Increment(contents.size() - consumed);
     }
     // The current version is the index root recorded in the last block.
     if (ledger_.block_count() > 0) {
@@ -166,30 +192,36 @@ Status SpitzDb::Recover() {
       last_commit_ts_ = max_ts;
     }
   }
-  journal_file_ = fopen(journal_path.c_str(), "ab");
-  if (journal_file_ == nullptr) {
-    return Status::IOError("cannot open journal log: " + journal_path);
+  Status open_status = env_->NewWritableLog(journal_path, &journal_log_);
+  if (!open_status.ok()) {
+    return Status::IOError("cannot open journal log: " + journal_path + ": " +
+                           open_status.message());
   }
   return Status::OK();
 }
 
 SpitzDb::~SpitzDb() {
   auditor_->Flush();
-  if (journal_file_ != nullptr) {
-    fflush(journal_file_);
-    fclose(journal_file_);
-  }
+  if (journal_log_ != nullptr) journal_log_->Close();
 }
 
 Status SpitzDb::SyncStorage() {
-  if (journal_file_ != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fflush(journal_file_) != 0 || fsync(fileno(journal_file_)) != 0) {
-      return Status::IOError("journal sync failed");
-    }
-  }
+  // Chunks strictly before the journal: a journal block is only
+  // meaningful if the index nodes its root references are durable, and
+  // recovery refuses roots that do not resolve in the chunk store. With
+  // this order, a crash between the two syncs merely loses the newest
+  // blocks (whose chunks are already safe) — never the reverse, which
+  // would turn a crash into unrecoverable corruption.
   if (auto* file_store = dynamic_cast<FileChunkStore*>(chunks_.get())) {
-    return file_store->Sync();
+    Status s = file_store->Sync();
+    if (!s.ok()) return s;
+  }
+  if (journal_log_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = journal_log_->Sync();
+    if (!s.ok()) {
+      return Status::IOError("journal sync failed: " + s.message());
+    }
   }
   return Status::OK();
 }
@@ -283,15 +315,15 @@ void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
 }
 
 Status SpitzDb::PersistBlockLocked(uint64_t height) {
-  if (journal_file_ == nullptr) return Status::OK();
+  if (journal_log_ == nullptr) return Status::OK();
+  const std::string& block = ledger_.SerializedBlock(height);
   std::string record;
-  PutLengthPrefixedSlice(&record, ledger_.SerializedBlock(height));
-  size_t written = fwrite(record.data(), 1, record.size(), journal_file_);
-  if (written != record.size()) {
-    return Status::IOError("short journal write for block " +
-                           std::to_string(height) + ": " +
-                           std::to_string(written) + "/" +
-                           std::to_string(record.size()) + " bytes");
+  PutLengthPrefixedSlice(&record, block);
+  PutFixed32(&record, crc32c::Mask(crc32c::Value(block.data(), block.size())));
+  Status s = journal_log_->Append(record);
+  if (!s.ok()) {
+    return Status::IOError("journal append failed for block " +
+                           std::to_string(height) + ": " + s.message());
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chunk/chunk_store.h"
+#include "common/env.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "crypto/hash.h"
@@ -73,9 +74,14 @@ struct SpitzOptions {
   size_t node_cache_bytes = PosNodeCache::kDefaultCapacityBytes;
   // When non-empty, the database is durable: chunks and sealed ledger
   // blocks are persisted under this directory and recovered by Open().
-  // Durability is at block boundaries — call FlushBlock() to make the
-  // most recent writes recoverable.
+  // Durability is at block boundaries — call FlushBlock() to seal the
+  // most recent writes and SyncStorage() to make them crash-safe.
   std::string data_dir;
+  // File-system seam for the durable mode (DESIGN.md section 9):
+  // nullptr means the default POSIX environment. Tests substitute a
+  // FaultInjectionEnv to script write/sync failures and crashes. Must
+  // outlive the database.
+  Env* env = nullptr;
   PosTreeOptions index_options;
   // Bucket count for the kMerkleBucketTree backend (ignored otherwise).
   uint32_t mbt_bucket_count = 256;
@@ -260,7 +266,11 @@ class SpitzDb {
   // DEPRECATED: read txn.verifier.* from Metrics() instead.
   DeferredVerifier::Stats audit_stats() const { return auditor_->stats(); }
 
-  // Durable databases only: fsync the chunk log.
+  // Durable databases only: fsyncs the chunk log, then the journal —
+  // in that order, so that at every durable journal prefix the chunk
+  // store already holds the index nodes its blocks reference. This is
+  // the durability point: records merely written (Put/FlushBlock) can
+  // be lost in a crash until SyncStorage returns OK.
   Status SyncStorage();
 
  private:
@@ -336,8 +346,13 @@ class SpitzDb {
   std::unique_ptr<PosNodeCache> node_cache_;
   // The pluggable SIRI index chosen by options_.index_backend.
   std::unique_ptr<SiriIndex> index_;
-  // Durable mode: sealed blocks are appended here (length-prefixed).
-  FILE* journal_file_ = nullptr;
+  // Durable mode: the resolved I/O environment and the journal log of
+  // sealed blocks (length-prefixed, CRC32C-trailed records).
+  Env* env_ = nullptr;
+  std::unique_ptr<WritableLog> journal_log_;
+  // Crash-garbage bytes cut from the journal tail during recovery
+  // (core.db.journal.truncated_bytes).
+  Counter journal_truncated_bytes_;
   Journal ledger_;
   TimestampOracle clock_;
   std::unique_ptr<DeferredVerifier> auditor_;
