@@ -8,6 +8,18 @@
 //       design pays an extra round trip to the ledger per proof;
 //   (b) writes: Spitz ~ 3x Non-intrusive — each write must commit in
 //       both systems.
+//
+// The composed design is measured over BOTH transports that implement
+// the RpcChannel seam, and the results land in one JSON document so
+// BENCH_*.json tracking can diff runs:
+//
+//   * in_process — the bounded-queue simulation whose per-message cost
+//     is a synthetic spin (RpcServer::Options::latency_micros);
+//   * tcp — the same handlers served over real loopback TCP sockets
+//     (framing, CRC, kernel round trips), so the overhead is measured,
+//     not modelled.
+
+#include <cinttypes>
 
 #include "bench/bench_util.h"
 #include "core/spitz_db.h"
@@ -21,54 +33,80 @@ constexpr size_t kReadOps = 20000;
 constexpr size_t kVerifiedReadOps = 3000;
 constexpr size_t kWriteOps = 4000;
 
-struct Measurement {
-  double spitz = 0, spitz_verify = 0, nonintrusive = 0,
-         nonintrusive_verify = 0;
+using Transport = NonIntrusiveDb::Transport;
+
+constexpr Transport kTransports[] = {Transport::kInProcess, Transport::kTcp};
+
+const char* TransportName(Transport t) {
+  return t == Transport::kInProcess ? "in_process" : "tcp";
+}
+
+std::unique_ptr<NonIntrusiveDb> MakeComposed(Transport transport) {
+  NonIntrusiveDb::Options options;
+  options.transport = transport;
+  std::unique_ptr<NonIntrusiveDb> composed;
+  if (!NonIntrusiveDb::Open(std::move(options), &composed).ok()) {
+    fprintf(stderr, "fig8: failed to start %s transport\n",
+            TransportName(transport));
+    exit(1);
+  }
+  return composed;
+}
+
+struct ComposedPoint {
+  double plain = 0, verify = 0;  // Kops/s
 };
 
-Measurement RunReads(size_t records) {
+struct Row {
+  size_t records = 0;
+  double spitz = 0, spitz_verify = 0;              // Kops/s
+  ComposedPoint composed[2];                       // indexed like kTransports
+};
+
+Row RunReads(size_t records) {
   std::vector<PosEntry> data = MakeRecords(records);
   Random rng(7);
   auto random_key = [&](size_t) -> const std::string& {
     return data[rng.Uniform(data.size())].key;
   };
 
-  Measurement m;
+  Row row;
+  row.records = records;
   {
     SpitzDb spitz;
     if (!spitz.BulkLoad(data).ok()) abort();
     std::string value;
-    m.spitz = MeasureOpsPerSec(kReadOps, [&](size_t i) {
+    row.spitz = MeasureOpsPerSec(kReadOps, [&](size_t i) {
       spitz.Get(random_key(i), &value);
     }) / 1000.0;
     SpitzDigest digest = spitz.Digest();
-    m.spitz_verify = MeasureOpsPerSec(kVerifiedReadOps, [&](size_t i) {
+    row.spitz_verify = MeasureOpsPerSec(kVerifiedReadOps, [&](size_t i) {
       ReadProof proof;
       const std::string& key = random_key(i);
       if (!spitz.GetWithProof(key, &value, &proof).ok()) abort();
       if (!SpitzDb::VerifyRead(digest, key, value, proof).ok()) abort();
     }) / 1000.0;
   }
-  {
-    NonIntrusiveDb composed;
-    if (!composed.BulkLoad(data).ok()) abort();
+  for (size_t t = 0; t < 2; t++) {
+    std::unique_ptr<NonIntrusiveDb> composed = MakeComposed(kTransports[t]);
+    if (!composed->BulkLoad(data).ok()) abort();
     std::string value;
-    m.nonintrusive = MeasureOpsPerSec(kReadOps / 2, [&](size_t i) {
-      composed.Get(random_key(i), &value);
+    row.composed[t].plain = MeasureOpsPerSec(kReadOps / 2, [&](size_t i) {
+      composed->Get(random_key(i), &value);
     }) / 1000.0;
-    SpitzDigest digest = composed.Digest();
-    m.nonintrusive_verify =
+    SpitzDigest digest = composed->Digest();
+    row.composed[t].verify =
         MeasureOpsPerSec(kVerifiedReadOps, [&](size_t i) {
           NonIntrusiveDb::VerifiedValue vv;
           const std::string& key = random_key(i);
-          if (!composed.GetVerified(key, &vv).ok()) abort();
+          if (!composed->GetVerified(key, &vv).ok()) abort();
           if (!NonIntrusiveDb::VerifyValue(digest, key, vv).ok()) abort();
         }) / 1000.0;
   }
-  return m;
+  return row;
 }
 
-Measurement RunWrites(size_t records) {
+Row RunWrites(size_t records) {
   std::vector<PosEntry> data = MakeRecords(records);
   Random rng(13);
   auto target = [&](size_t) -> const std::string& {
@@ -76,11 +114,12 @@ Measurement RunWrites(size_t records) {
   };
   Random value_rng(17);
 
-  Measurement m;
+  Row row;
+  row.records = records;
   {
     SpitzDb spitz;
     if (!spitz.BulkLoad(data).ok()) abort();
-    m.spitz = MeasureOpsPerSec(kWriteOps, [&](size_t i) {
+    row.spitz = MeasureOpsPerSec(kWriteOps, [&](size_t i) {
       if (!spitz.Put(target(i), value_rng.Bytes(20)).ok()) abort();
     }) / 1000.0;
   }
@@ -96,62 +135,94 @@ Measurement RunWrites(size_t records) {
       }
     }
     if (!spitz.DrainAudits().ok()) abort();
-    m.spitz_verify = static_cast<double>(kWriteOps) * 1e9 /
-                     (MonotonicNanos() - start) / 1000.0;
+    row.spitz_verify = static_cast<double>(kWriteOps) * 1e9 /
+                       (MonotonicNanos() - start) / 1000.0;
   }
-  {
-    NonIntrusiveDb composed;
-    if (!composed.BulkLoad(data).ok()) abort();
-    // Writes commit in both systems whether or not the client later
-    // verifies, so "Non-intrusive" and "Non-intrusive-verify" writes
-    // differ only in the client's verification of the write's proof.
-    m.nonintrusive = MeasureOpsPerSec(kWriteOps, [&](size_t i) {
-      if (!composed.Put(target(i), value_rng.Bytes(20)).ok()) abort();
-    }) / 1000.0;
+  for (size_t t = 0; t < 2; t++) {
+    {
+      std::unique_ptr<NonIntrusiveDb> composed = MakeComposed(kTransports[t]);
+      if (!composed->BulkLoad(data).ok()) abort();
+      // Writes commit in both systems whether or not the client later
+      // verifies, so "Non-intrusive" and "Non-intrusive-verify" writes
+      // differ only in the client's verification of the write's proof.
+      row.composed[t].plain = MeasureOpsPerSec(kWriteOps, [&](size_t i) {
+        if (!composed->Put(target(i), value_rng.Bytes(20)).ok()) abort();
+      }) / 1000.0;
+    }
+    {
+      std::unique_ptr<NonIntrusiveDb> composed = MakeComposed(kTransports[t]);
+      if (!composed->BulkLoad(data).ok()) abort();
+      SpitzDigest digest;
+      row.composed[t].verify =
+          MeasureOpsPerSec(kWriteOps / 2, [&](size_t i) {
+            const std::string& key = target(i);
+            if (!composed->Put(key, value_rng.Bytes(20)).ok()) abort();
+            // Client verification of the write: fetch the proof from
+            // the ledger database and check the binding.
+            NonIntrusiveDb::VerifiedValue vv;
+            if (!composed->GetVerified(key, &vv).ok()) abort();
+            digest = composed->Digest();
+            if (!NonIntrusiveDb::VerifyValue(digest, key, vv).ok()) abort();
+          }) / 1000.0;
+    }
   }
-  {
-    NonIntrusiveDb composed;
-    if (!composed.BulkLoad(data).ok()) abort();
-    SpitzDigest digest;
-    m.nonintrusive_verify = MeasureOpsPerSec(kWriteOps / 2, [&](size_t i) {
-      const std::string& key = target(i);
-      if (!composed.Put(key, value_rng.Bytes(20)).ok()) abort();
-      // Client verification of the write: fetch the proof from the
-      // ledger database and check the binding.
-      NonIntrusiveDb::VerifiedValue vv;
-      if (!composed.GetVerified(key, &vv).ok()) abort();
-      digest = composed.Digest();
-      if (!NonIntrusiveDb::VerifyValue(digest, key, vv).ok()) abort();
-    }) / 1000.0;
+  return row;
+}
+
+void PrintRows(const char* key, const std::vector<Row>& rows,
+               bool* first_section) {
+  if (!*first_section) printf(",\n");
+  *first_section = false;
+  printf("  \"%s\": [\n", key);
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    printf("    {\"records\": %zu, \"spitz_kops\": %.2f, "
+           "\"spitz_verify_kops\": %.2f, \"nonintrusive\": [\n",
+           r.records, r.spitz, r.spitz_verify);
+    for (size_t t = 0; t < 2; t++) {
+      printf("      {\"transport\": \"%s\", \"plain_kops\": %.2f, "
+             "\"verify_kops\": %.2f}%s\n",
+             TransportName(kTransports[t]), r.composed[t].plain,
+             r.composed[t].verify, t + 1 < 2 ? "," : "");
+    }
+    printf("    ]}%s\n", i + 1 < rows.size() ? "," : "");
   }
-  return m;
+  printf("  ]");
+}
+
+// One measured loopback round trip per Digest() call — reported so the
+// synthetic in-process latency can be sanity-checked against the real
+// kernel cost on this machine.
+double MeasureTcpRttMicros() {
+  std::unique_ptr<NonIntrusiveDb> composed = MakeComposed(Transport::kTcp);
+  constexpr size_t kProbes = 2000;
+  uint64_t start = MonotonicNanos();
+  for (size_t i = 0; i < kProbes; i++) composed->Digest();
+  return static_cast<double>(MonotonicNanos() - start) / kProbes / 1000.0;
 }
 
 void Run() {
-  const std::vector<std::string> systems = {"Spitz", "Spitz-verify",
-                                            "Non-intrusive",
-                                            "Non-intrusive-verify"};
-  PrintHeader("Figure 8(a): non-intrusive vs Spitz, reads (Kops/s)",
-              systems);
-  for (size_t records : RecordScales()) {
-    Measurement m = RunReads(records);
-    PrintRow(records,
-             {m.spitz, m.spitz_verify, m.nonintrusive, m.nonintrusive_verify});
-  }
-  PrintFooter(
-      "shape: Spitz-verify several-fold above Non-intrusive-verify "
-      "(paper: ~6x) — the composed design pays RPC hops to two systems");
+  std::vector<Row> reads, writes;
+  for (size_t records : RecordScales()) reads.push_back(RunReads(records));
+  for (size_t records : RecordScales()) writes.push_back(RunWrites(records));
 
-  PrintHeader("Figure 8(b): non-intrusive vs Spitz, writes (Kops/s)",
-              systems);
-  for (size_t records : RecordScales()) {
-    Measurement m = RunWrites(records);
-    PrintRow(records,
-             {m.spitz, m.spitz_verify, m.nonintrusive, m.nonintrusive_verify});
-  }
-  PrintFooter(
-      "shape: Spitz several-fold above Non-intrusive (paper: ~3x) — "
-      "every write commits in both the underlying and ledger databases");
+  printf("{\n");
+  printf("  \"benchmark\": \"fig8_nonintrusive\",\n");
+  printf("  \"transport_config\": {\"in_process_latency_micros\": %" PRIu64
+         ", \"tcp_digest_rtt_micros\": %.2f},\n",
+         RpcServer::Options().latency_micros, MeasureTcpRttMicros());
+  bool first_section = true;
+  PrintRows("reads", reads, &first_section);
+  PrintRows("writes", writes, &first_section);
+  printf(",\n  \"shape\": [\n");
+  printf("    \"reads: Spitz-verify several-fold above "
+         "Non-intrusive-verify (paper: ~6x) — the composed design pays "
+         "RPC hops to two systems\",\n");
+  printf("    \"writes: Spitz several-fold above Non-intrusive (paper: "
+         "~3x) — every write commits in both the underlying and ledger "
+         "databases\"\n");
+  printf("  ]\n");
+  printf("}\n");
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite in Release, the concurrency tests under
-# ThreadSanitizer, and the proof-codec + database tests under
+# CI entry point: tier-1 suite in Release (plus metrics, recovery and
+# network smoke runs), the concurrency + network tests under
+# ThreadSanitizer, and the proof-codec + database + network tests under
 # ASan+UBSan (untrusted wire bytes are decoded there, so memory errors
 # and UB are the failure modes that matter). All legs must be green for
 # a change to land.
@@ -37,25 +38,32 @@ echo "==> tier-1: crash-recovery smoke (fault-injection harness)"
 # append-after-garbage class of bugs from coming back.
 "${PREFIX}/bench/recovery_smoke"
 
+echo "==> tier-1: network smoke (SpitzServer over loopback TCP)"
+# A SpitzServer on an ephemeral loopback port, 8 concurrent clients
+# through put/get/proof-verify; asserts zero net.protocol_errors and a
+# digest covering every committed write.
+"${PREFIX}/bench/net_smoke"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
       --target concurrency_test txn_test spitz_db_test metrics_test \
-               recovery_test
+               recovery_test net_test
 # TSAN_OPTIONS makes any reported race fail the run (exit code).
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery'
+        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery|Net'
 
 echo "==> tier-2: ASan+UBSan proof-codec and database suite"
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
-      --target siri_proof_test siri_backend_test spitz_db_test recovery_test
+      --target siri_proof_test siri_backend_test spitz_db_test recovery_test \
+               net_test
 ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
 UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-        -R 'Siri|SpitzDb|SpitzOptions|Recovery'
+        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net'
 
 echo "==> all checks passed"

@@ -1,0 +1,49 @@
+// A standalone Spitz server: the database plus the TCP service layer
+// (src/net) in one process. Pair it with net_client in a second
+// terminal:
+//
+//   terminal 1:  ./build/examples/net_server 7707
+//   terminal 2:  ./build/examples/net_client 7707
+//
+// With no argument the kernel picks an ephemeral port (printed on
+// startup). The server runs until stdin closes (Ctrl-D) and then shuts
+// down gracefully, draining in-flight requests.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/spitz_db.h"
+#include "net/spitz_server.h"
+
+using namespace spitz;
+
+int main(int argc, char** argv) {
+  SpitzServer::Options options;
+  if (argc > 1) {
+    options.net.loop.port = static_cast<uint16_t>(atoi(argv[1]));
+  }
+
+  SpitzDb db;
+  std::unique_ptr<SpitzServer> server;
+  Status s = SpitzServer::Start(&db, options, &server);
+  if (!s.ok()) {
+    fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("spitz server listening on 127.0.0.1:%u\n", server->port());
+  printf("press Ctrl-D to shut down\n");
+
+  // Block until stdin closes.
+  while (getchar() != EOF) {
+  }
+
+  server->Shutdown();
+  MetricsSnapshot m = server->Metrics();
+  printf("served %llu frames (%llu accepts, %llu protocol errors)\n",
+         static_cast<unsigned long long>(server->frames_served()),
+         static_cast<unsigned long long>(
+             m.CounterValue("net.server.accepts")),
+         static_cast<unsigned long long>(
+             m.CounterValue("net.protocol_errors")));
+  return 0;
+}

@@ -135,9 +135,6 @@ class BaselineDb {
   // counters (chunk.*). Safe from any thread.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
 
-  // DEPRECATED: read chunk.* from Metrics() instead.
-  ChunkStoreStats storage_stats() const { return chunks_.stats(); }
-
  private:
   // Encoded location of a journal entry in the materialized meta view.
   static std::string EncodeLocation(uint64_t height, uint64_t index);

@@ -254,18 +254,6 @@ class SpitzDb {
   // MetricsSnapshot::ToJson(). Safe from any thread.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
 
-  // DEPRECATED: per-component views kept for callers that predate
-  // Metrics(); each is a narrow projection of the same counters the
-  // snapshot reports.
-  ChunkStoreStats storage_stats() const { return chunks_->stats(); }
-  // DEPRECATED: read index.cache.* from Metrics() instead (all zero
-  // when the cache is disabled).
-  PosNodeCacheStats node_cache_stats() const {
-    return node_cache_ ? node_cache_->stats() : PosNodeCacheStats{};
-  }
-  // DEPRECATED: read txn.verifier.* from Metrics() instead.
-  DeferredVerifier::Stats audit_stats() const { return auditor_->stats(); }
-
   // Durable databases only: fsyncs the chunk log, then the journal —
   // in that order, so that at every durable journal prefix the chunk
   // store already holds the index nodes its blocks reference. This is

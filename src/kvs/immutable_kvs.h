@@ -99,9 +99,6 @@ class ImmutableKvs {
   // Safe from any thread.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
 
-  // DEPRECATED: read chunk.* from Metrics() instead.
-  ChunkStoreStats storage_stats() const { return chunks_.stats(); }
-
  private:
   // InvalidArgument when the options failed Validate(); returned by
   // every write entry point.

@@ -1,0 +1,105 @@
+#include "net/frame.h"
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+
+namespace spitz {
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  size_t body_len = kFrameHeaderBytes + frame.payload.size();
+  out->reserve(out->size() + 4 + body_len);
+  PutFixed32(out, static_cast<uint32_t>(body_len));
+  size_t crc_pos = out->size();
+  PutFixed32(out, 0);  // crc patched below
+  PutFixed32(out, frame.method);
+  PutFixed64(out, frame.request_id);
+  PutFixed32(out, frame.status);
+  out->append(frame.payload);
+  // The crc covers everything after itself: method, request id, status
+  // and payload — body_len - 4 bytes.
+  uint32_t masked =
+      crc32c::Mask(crc32c::Value(out->data() + crc_pos + 4, body_len - 4));
+  char* p = out->data() + crc_pos;
+  p[0] = static_cast<char>(masked & 0xff);
+  p[1] = static_cast<char>((masked >> 8) & 0xff);
+  p[2] = static_cast<char>((masked >> 16) & 0xff);
+  p[3] = static_cast<char>((masked >> 24) & 0xff);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = "decoder poisoned by earlier error";
+    return Result::kError;
+  }
+  size_t available = buffer_.size() - pos_;
+  if (available < 4) return Result::kNeedMore;
+  uint32_t body_len = DecodeFixed32(buffer_.data() + pos_);
+  if (body_len < kFrameHeaderBytes) {
+    poisoned_ = true;
+    if (error != nullptr) *error = "frame length below header size";
+    return Result::kError;
+  }
+  if (body_len > max_body_) {
+    poisoned_ = true;
+    if (error != nullptr) *error = "frame exceeds max frame size";
+    return Result::kError;
+  }
+  if (available < 4 + static_cast<size_t>(body_len)) return Result::kNeedMore;
+
+  const char* body = buffer_.data() + pos_ + 4;
+  uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(body));
+  uint32_t actual_crc = crc32c::Value(body + 4, body_len - 4);
+  if (stored_crc != actual_crc) {
+    poisoned_ = true;
+    if (error != nullptr) *error = "frame crc mismatch";
+    return Result::kError;
+  }
+  out->method = DecodeFixed32(body + 4);
+  out->request_id = DecodeFixed64(body + 8);
+  out->status = DecodeFixed32(body + 16);
+  out->payload.assign(body + kFrameHeaderBytes,
+                      body_len - kFrameHeaderBytes);
+  pos_ += 4 + body_len;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer does not grow without bound.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Result::kFrame;
+}
+
+uint32_t WireStatusCode(const Status& status) {
+  return static_cast<uint32_t>(status.code());
+}
+
+Status StatusFromWire(uint32_t code, const Slice& message) {
+  std::string msg = message.ToString();
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kAborted:
+      return Status::Aborted(std::move(msg));
+    case Status::Code::kBusy:
+      return Status::Busy(std::move(msg));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case Status::Code::kVerificationFailed:
+      return Status::VerificationFailed(std::move(msg));
+    case Status::Code::kTimedOut:
+      return Status::TimedOut(std::move(msg));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+  }
+  return Status::Corruption("unknown wire status code");
+}
+
+}  // namespace spitz

@@ -1,0 +1,91 @@
+#ifndef SPITZ_NET_FRAME_H_
+#define SPITZ_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// The binary wire protocol of the network service layer (DESIGN.md
+// section 10). Every message crossing a Spitz TCP connection — request
+// or response — is one frame:
+//
+//   offset  size  field
+//   0       4     body_len   fixed32, bytes following this field
+//   4       4     crc        masked CRC32C over bytes [8, 4 + body_len)
+//   8       4     method     method id (echoed back in the response)
+//   12      8     request_id pairs a response with its request (pipelining)
+//   20      4     status     Status::Code as u32; 0 (kOk) in requests
+//   24      ...   payload    body_len - 20 bytes, method-specific
+//
+// This is the same framing discipline the durability layer proved out
+// for on-disk logs (length prefix + masked CRC32C), applied to the
+// socket: a peer can never make the server read past a frame, and a
+// flipped bit anywhere in the header-after-crc or payload is detected
+// before any byte is interpreted.
+//
+// Payload convention: responses with status kOk or kNotFound carry the
+// method-specific payload (NotFound still carries proof-of-absence
+// bytes for proof-bearing methods); every other status carries the
+// error message as plain bytes.
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  uint32_t method = 0;
+  uint64_t request_id = 0;
+  uint32_t status = 0;  // Status::Code on the wire; 0 in requests
+  std::string payload;
+};
+
+// Frame body bytes before the payload: crc + method + request_id + status.
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+// Body bytes covered by the crc: method + request_id + status.
+inline constexpr size_t kFrameCrcCoverageOffset = 8;
+
+// Appends the encoded frame (length prefix included) to *out.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+// Incremental frame parser for one connection's byte stream. Feed()
+// whatever arrived; Next() yields complete frames until it reports
+// kNeedMore (wait for more bytes) or kError (the stream is garbage —
+// bad CRC, undersized or oversized length prefix — and the connection
+// must be closed; no resynchronization is attempted).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes) : max_body_(max_frame_bytes) {}
+
+  FrameDecoder(const FrameDecoder&) = delete;
+  FrameDecoder& operator=(const FrameDecoder&) = delete;
+
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+
+  enum class Result { kFrame, kNeedMore, kError };
+
+  // On kFrame fills *out; on kError fills *error (when non-null) with
+  // the reason. After kError the decoder is poisoned: every later call
+  // reports kError again.
+  Result Next(Frame* out, std::string* error = nullptr);
+
+  // Bytes buffered but not yet consumed (diagnostics/tests).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_body_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// Status <-> wire code mapping. Every Status::Code value round-trips;
+// unknown wire codes decode as Corruption (a peer speaking a newer
+// protocol revision is indistinguishable from garbage).
+uint32_t WireStatusCode(const Status& status);
+Status StatusFromWire(uint32_t code, const Slice& message);
+
+}  // namespace spitz
+
+#endif  // SPITZ_NET_FRAME_H_

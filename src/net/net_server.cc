@@ -1,0 +1,88 @@
+#include "net/net_server.h"
+
+namespace spitz {
+
+Status NetServer::Start(Handler handler, Options options,
+                        std::unique_ptr<NetServer>* out) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("null handler");
+  }
+  if (options.dispatcher_count == 0) {
+    return Status::InvalidArgument("dispatcher_count must be positive");
+  }
+  auto server = std::unique_ptr<NetServer>(new NetServer());
+  server->handler_ = std::move(handler);
+  server->queue_ =
+      std::make_unique<BoundedQueue<Work>>(options.queue_depth);
+  server->loop_.WireMetrics(&server->registry_);
+  server->overloaded_ = server->registry_.counter("net.server.overloaded");
+  server->dispatch_ns_ =
+      server->registry_.histogram("net.server.dispatch_latency_ns");
+  server->registry_.RegisterCounterFn("net.server.frames_served", [s =
+                                          server.get()] {
+    return s->frames_served_.load(std::memory_order_relaxed);
+  });
+
+  NetServer* raw = server.get();
+  Status s = server->loop_.Start(
+      options.loop, [raw](uint64_t conn_id, Frame frame) {
+        uint32_t method = frame.method;
+        uint64_t request_id = frame.request_id;
+        if (!raw->queue_->TryPush(Work{conn_id, std::move(frame)})) {
+          // Queue full: answer Busy rather than blocking the loop.
+          raw->overloaded_->Increment();
+          Frame reply;
+          reply.method = method;
+          reply.request_id = request_id;
+          reply.status = WireStatusCode(Status::Busy());
+          reply.payload = "server overloaded";
+          raw->loop_.SendFrame(conn_id, reply);
+        }
+      });
+  if (!s.ok()) return s;
+  for (size_t i = 0; i < options.dispatcher_count; i++) {
+    server->dispatchers_.emplace_back([raw] { raw->DispatcherLoop(); });
+  }
+  *out = std::move(server);
+  return Status::OK();
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+void NetServer::Shutdown() {
+  // Idempotent like ProcessorPool::Shutdown: only the first caller
+  // drains and joins; concurrent callers may return before that ends.
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  // The loop drains first: it stops accepting and reading, then waits
+  // for every delivered request's response — produced by the still-live
+  // dispatchers below — to be flushed.
+  loop_.Shutdown();
+  queue_->Close();
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void NetServer::DispatcherLoop() {
+  while (auto work = queue_->Pop()) {
+    ScopedTimer timer(dispatch_ns_);
+    Frame reply;
+    reply.method = work->frame.method;
+    reply.request_id = work->frame.request_id;
+    std::string response;
+    Status s = handler_(work->frame.method, work->frame.payload, &response);
+    reply.status = WireStatusCode(s);
+    // kOk and kNotFound carry the method payload (proof-of-absence
+    // bytes ride on NotFound); every other status carries the message.
+    if (s.ok() || s.IsNotFound()) {
+      reply.payload = std::move(response);
+    } else {
+      reply.payload = s.message();
+    }
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    loop_.SendFrame(work->conn_id, reply);
+  }
+}
+
+}  // namespace spitz

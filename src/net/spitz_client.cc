@@ -1,0 +1,122 @@
+#include "net/spitz_client.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+Status SpitzClient::Connect(const Options& options,
+                            std::unique_ptr<SpitzClient>* out) {
+  auto client = std::unique_ptr<SpitzClient>(new SpitzClient());
+  Status s = NetClient::Connect(options.net, &client->net_);
+  if (!s.ok()) return s;
+  *out = std::move(client);
+  return Status::OK();
+}
+
+Status SpitzClient::Put(const Slice& key, const Slice& value) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  PutLengthPrefixedSlice(&request, value);
+  return net_->Call(wire::kPut, request, &response);
+}
+
+Status SpitzClient::Delete(const Slice& key) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  return net_->Call(wire::kDelete, request, &response);
+}
+
+Status SpitzClient::Get(const Slice& key, std::string* value) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  Status s = net_->Call(wire::kGet, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  Slice v;
+  s = GetLengthPrefixedSlice(&input, &v);
+  if (!s.ok()) return s;
+  *value = v.ToString();
+  return Status::OK();
+}
+
+Status SpitzClient::GetProof(const Slice& key, ProofResult* out) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  Status call_status = net_->Call(wire::kGetProof, request, &response);
+  if (!call_status.ok() && !call_status.IsNotFound()) return call_status;
+  Slice input(response);
+  Slice value;
+  Status s = GetLengthPrefixedSlice(&input, &value);
+  if (!s.ok()) return s;
+  out->value = call_status.ok()
+                   ? std::optional<std::string>(value.ToString())
+                   : std::nullopt;
+  s = ReadProof::DecodeFrom(&input, &out->proof);
+  if (!s.ok()) return s;
+  s = wire::DecodeDigest(&input, &out->digest);
+  if (!s.ok()) return s;
+  return call_status;
+}
+
+Status SpitzClient::VerifiedGet(const Slice& key, std::string* value) {
+  ProofResult result;
+  Status s = GetProof(key, &result);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  Status v = SpitzDb::VerifyRead(result.digest, key, result.value,
+                                 result.proof);
+  if (!v.ok()) return v;
+  if (result.value.has_value()) *value = *result.value;
+  return s;
+}
+
+Status SpitzClient::Scan(const Slice& start, const Slice& end, size_t limit,
+                         std::vector<PosEntry>* rows) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  Status s = net_->Call(wire::kScan, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::DecodeRows(&input, rows);
+}
+
+Status SpitzClient::VerifiedScan(const Slice& start, const Slice& end,
+                                 size_t limit, std::vector<PosEntry>* rows) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  Status s = net_->Call(wire::kScanProof, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  std::vector<PosEntry> decoded;
+  s = wire::DecodeRows(&input, &decoded);
+  if (!s.ok()) return s;
+  ScanProof proof;
+  s = ScanProof::DecodeFrom(&input, &proof);
+  if (!s.ok()) return s;
+  SpitzDigest digest;
+  s = wire::DecodeDigest(&input, &digest);
+  if (!s.ok()) return s;
+  s = SpitzDb::VerifyScan(digest, start, end, limit, decoded, proof);
+  if (!s.ok()) return s;
+  *rows = std::move(decoded);
+  return Status::OK();
+}
+
+Status SpitzClient::Digest(SpitzDigest* out) {
+  std::string response;
+  Status s = net_->Call(wire::kDigest, std::string(), &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::DecodeDigest(&input, out);
+}
+
+Status SpitzClient::Audit(const Slice& key) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  return net_->Call(wire::kAudit, request, &response);
+}
+
+}  // namespace spitz

@@ -1,0 +1,85 @@
+#ifndef SPITZ_NET_SPITZ_CLIENT_H_
+#define SPITZ_NET_SPITZ_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spitz_db.h"
+#include "net/net_client.h"
+#include "net/spitz_wire.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// SpitzClient — the typed client library over one pipelined NetClient
+// connection. Thread-safe: any number of threads may issue calls
+// concurrently; responses are routed by request id.
+//
+// The verification story is entirely client-side: GetProof/VerifiedGet
+// decode the proof bytes and digest off the wire and run the same
+// static verifiers (SpitzDb::VerifyRead/VerifyScan) a local embedder
+// would — a lying server fails verification exactly like a tampered
+// local database.
+// ---------------------------------------------------------------------------
+class SpitzClient {
+ public:
+  struct Options {
+    Options() {}
+    NetClient::Options net;
+  };
+
+  static Status Connect(const Options& options,
+                        std::unique_ptr<SpitzClient>* out);
+
+  SpitzClient(const SpitzClient&) = delete;
+  SpitzClient& operator=(const SpitzClient&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status Get(const Slice& key, std::string* value);
+
+  // The raw evidence of one read: the value (absent on NotFound), the
+  // proof bytes, and the digest they verify against.
+  struct ProofResult {
+    std::optional<std::string> value;
+    ReadProof proof;
+    SpitzDigest digest;
+  };
+  // Fetches without verifying (the caller inspects the evidence).
+  // Returns OK or NotFound; both carry a complete ProofResult.
+  Status GetProof(const Slice& key, ProofResult* out);
+
+  // Fetches and verifies locally. OK/NotFound only after the proof
+  // checked out against the digest; VerificationFailed otherwise.
+  Status VerifiedGet(const Slice& key, std::string* value);
+
+  Status Scan(const Slice& start, const Slice& end, size_t limit,
+              std::vector<PosEntry>* rows);
+  // Range scan whose result set is verified against the digest before
+  // it is returned.
+  Status VerifiedScan(const Slice& start, const Slice& end, size_t limit,
+                      std::vector<PosEntry>* rows);
+
+  Status Digest(SpitzDigest* out);
+
+  // Server-side audit of `key`'s current binding (deferred-verification
+  // queue, drained before the reply). Empty key audits the last sealed
+  // block.
+  Status Audit(const Slice& key);
+  Status AuditLastBlock() { return Audit(Slice()); }
+
+  // The underlying transport, e.g. for per-call deadlines via
+  // channel()->Call(...).
+  NetClient* channel() { return net_.get(); }
+
+ private:
+  SpitzClient() = default;
+
+  std::unique_ptr<NetClient> net_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_NET_SPITZ_CLIENT_H_

@@ -1,0 +1,159 @@
+#include "net/spitz_server.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+Status SpitzServer::Start(SpitzDb* db, Options options,
+                          std::unique_ptr<SpitzServer>* out) {
+  if (db == nullptr) return Status::InvalidArgument("null db");
+  if (options.processor_count == 0) {
+    return Status::InvalidArgument("processor_count must be positive");
+  }
+  if (options.net.dispatcher_count == 0) {
+    options.net.dispatcher_count = options.processor_count;
+  }
+  auto server = std::unique_ptr<SpitzServer>(new SpitzServer());
+  server->db_ = db;
+  server->pool_ =
+      std::make_unique<ProcessorPool>(db, options.processor_count);
+  SpitzServer* raw = server.get();
+  Status s = NetServer::Start(
+      [raw](uint32_t method, const std::string& request,
+            std::string* response) {
+        return raw->Handle(method, request, response);
+      },
+      options.net, &server->net_);
+  if (!s.ok()) {
+    server->pool_->Shutdown();
+    return s;
+  }
+  // Per-method latency over the whole server path: decode + pool
+  // round trip + encode. Lives in the NetServer's registry so one
+  // snapshot carries transport and service metrics together.
+  for (uint32_t m = 1; m <= wire::kMethodCount; m++) {
+    raw->method_ns_[m] = server->net_->registry()->histogram(
+        std::string("net.server.method_latency_ns.") + wire::MethodName(m));
+  }
+  raw->method_ns_[0] = server->net_->registry()->histogram(
+      "net.server.method_latency_ns.unknown");
+  *out = std::move(server);
+  return Status::OK();
+}
+
+SpitzServer::~SpitzServer() { Shutdown(); }
+
+void SpitzServer::Shutdown() {
+  // Network first: in-flight requests drain through the pool while it
+  // is still alive, and their responses flush before the loop exits.
+  if (net_ != nullptr) net_->Shutdown();
+  if (pool_ != nullptr) pool_->Shutdown();
+}
+
+MetricsSnapshot SpitzServer::Metrics() const {
+  MetricsSnapshot snap = net_->Metrics();
+  snap.MergeFrom(pool_->Metrics());
+  return snap;
+}
+
+Status SpitzServer::Handle(uint32_t method, const std::string& request,
+                           std::string* response) {
+  ScopedTimer timer(
+      method_ns_[method >= 1 && method <= wire::kMethodCount ? method : 0]);
+  Slice input(request);
+  switch (method) {
+    case wire::kPut: {
+      Slice key, value;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(&input, &value);
+      if (!s.ok()) return s;
+      Request req;
+      req.type = Request::Type::kPut;
+      req.key = key.ToString();
+      req.value = value.ToString();
+      return pool_->Execute(std::move(req)).status;
+    }
+    case wire::kDelete: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      Request req;
+      req.type = Request::Type::kDelete;
+      req.key = key.ToString();
+      return pool_->Execute(std::move(req)).status;
+    }
+    case wire::kGet: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      Request req;
+      req.type = Request::Type::kGet;
+      req.key = key.ToString();
+      Response r = pool_->Execute(std::move(req));
+      if (r.status.ok()) PutLengthPrefixedSlice(response, r.value);
+      return r.status;
+    }
+    case wire::kGetProof: {
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      Request req;
+      req.type = Request::Type::kVerifiedGet;
+      req.key = key.ToString();
+      Response r = pool_->Execute(std::move(req));
+      if (!r.status.ok() && !r.status.IsNotFound()) return r.status;
+      // NotFound still carries a proof of absence; the value slot is
+      // simply empty, so the layout is one shape for both outcomes.
+      PutLengthPrefixedSlice(response,
+                             r.status.ok() ? Slice(r.value) : Slice());
+      r.read_proof.EncodeTo(response);
+      wire::EncodeDigest(r.digest, response);
+      return r.status;
+    }
+    case wire::kScan:
+    case wire::kScanProof: {
+      Slice start, end;
+      uint64_t limit = 0;
+      Status s = GetLengthPrefixedSlice(&input, &start);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(&input, &end);
+      if (!s.ok()) return s;
+      s = GetVarint64(&input, &limit);
+      if (!s.ok()) return s;
+      Request req;
+      req.type = method == wire::kScan ? Request::Type::kScan
+                                       : Request::Type::kVerifiedScan;
+      req.key = start.ToString();
+      req.end_key = end.ToString();
+      req.limit = static_cast<size_t>(limit);
+      Response r = pool_->Execute(std::move(req));
+      if (!r.status.ok()) return r.status;
+      wire::EncodeRows(r.rows, response);
+      if (method == wire::kScanProof) {
+        r.scan_proof.EncodeTo(response);
+        wire::EncodeDigest(r.digest, response);
+      }
+      return Status::OK();
+    }
+    case wire::kDigest: {
+      wire::EncodeDigest(db_->Digest(), response);
+      return Status::OK();
+    }
+    case wire::kAudit: {
+      // Synchronous audit verdict: queue the requested audit (a key's
+      // current binding, or the last sealed block when the key is
+      // empty), then drain so the reply carries the result.
+      Slice key;
+      Status s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      s = key.empty() ? db_->AuditLastBlock() : db_->AuditKey(key);
+      if (!s.ok()) return s;
+      return db_->DrainAudits();
+    }
+    default:
+      return Status::NotSupported("unknown method id");
+  }
+}
+
+}  // namespace spitz

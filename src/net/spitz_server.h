@@ -1,0 +1,75 @@
+#ifndef SPITZ_NET_SPITZ_SERVER_H_
+#define SPITZ_NET_SPITZ_SERVER_H_
+
+#include <memory>
+
+#include "core/processor.h"
+#include "core/spitz_db.h"
+#include "net/net_server.h"
+#include "net/spitz_wire.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// SpitzServer — the served form of the database (paper section 4: the
+// service layer between clients and processor nodes). A NetServer
+// accepts framed requests over TCP; each frame is decoded into a
+// Request and dispatched onto the existing ProcessorPool — the same
+// control layer the in-process benchmarks exercise — so a networked
+// deployment runs exactly the request-handler/transaction-manager/
+// auditor pipeline of Figure 5, plus a kernel round trip.
+//
+// Every proof travels as the serialized ReadProof/ScanProof wire bytes
+// together with the digest it proves against, so clients verify
+// locally (SpitzClient::VerifiedGet) without trusting the server.
+//
+// Metrics: the NetServer's transport counters (net.frames.{rx,tx},
+// net.server.accepts, net.protocol_errors, ...) plus a per-method
+// latency histogram (net.server.method_latency_ns.<method>) and the
+// ProcessorPool's core.processor.* — all in one Metrics() snapshot.
+// ---------------------------------------------------------------------------
+class SpitzServer {
+ public:
+  struct Options {
+    Options() {}
+    NetServer::Options net;
+    // Processor nodes the pool runs; the dispatcher count defaults to
+    // the same value so the network layer can keep them all busy.
+    size_t processor_count = 4;
+  };
+
+  // `db` must outlive the server.
+  static Status Start(SpitzDb* db, Options options,
+                      std::unique_ptr<SpitzServer>* out);
+
+  ~SpitzServer();
+
+  SpitzServer(const SpitzServer&) = delete;
+  SpitzServer& operator=(const SpitzServer&) = delete;
+
+  uint16_t port() const { return net_->port(); }
+
+  // Graceful: drains in-flight network requests (responses flush), then
+  // stops the processor pool. Idempotent.
+  void Shutdown();
+
+  uint64_t frames_served() const { return net_->frames_served(); }
+
+  // net.* and core.processor.* in one snapshot.
+  MetricsSnapshot Metrics() const;
+
+ private:
+  SpitzServer() = default;
+
+  Status Handle(uint32_t method, const std::string& request,
+                std::string* response);
+
+  SpitzDb* db_ = nullptr;
+  std::unique_ptr<ProcessorPool> pool_;
+  std::unique_ptr<NetServer> net_;
+  Histogram* method_ns_[wire::kMethodCount + 1] = {};  // +1: unknown
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_NET_SPITZ_SERVER_H_

@@ -1,0 +1,93 @@
+#include "net/spitz_wire.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+namespace wire {
+
+const char* MethodName(uint32_t method) {
+  switch (method) {
+    case kPut:
+      return "put";
+    case kDelete:
+      return "delete";
+    case kGet:
+      return "get";
+    case kGetProof:
+      return "get_proof";
+    case kScan:
+      return "scan";
+    case kScanProof:
+      return "scan_proof";
+    case kDigest:
+      return "digest";
+    case kAudit:
+      return "audit";
+    default:
+      return "unknown";
+  }
+}
+
+void EncodeDigest(const SpitzDigest& digest, std::string* out) {
+  out->append(digest.index_root.ToBytes());
+  PutVarint64(out, digest.journal.block_count);
+  PutVarint64(out, digest.journal.entry_count);
+  out->append(digest.journal.tip_hash.ToBytes());
+  out->append(digest.journal.merkle_root.ToBytes());
+  PutVarint64(out, digest.last_commit_ts);
+}
+
+namespace {
+Status GetHash(Slice* input, Hash256* h) {
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated hash");
+  }
+  *h = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return Status::OK();
+}
+}  // namespace
+
+Status DecodeDigest(Slice* input, SpitzDigest* out) {
+  Status s = GetHash(input, &out->index_root);
+  if (!s.ok()) return s;
+  s = GetVarint64(input, &out->journal.block_count);
+  if (!s.ok()) return s;
+  s = GetVarint64(input, &out->journal.entry_count);
+  if (!s.ok()) return s;
+  s = GetHash(input, &out->journal.tip_hash);
+  if (!s.ok()) return s;
+  s = GetHash(input, &out->journal.merkle_root);
+  if (!s.ok()) return s;
+  return GetVarint64(input, &out->last_commit_ts);
+}
+
+void EncodeRows(const std::vector<PosEntry>& rows, std::string* out) {
+  PutVarint64(out, rows.size());
+  for (const PosEntry& row : rows) {
+    PutLengthPrefixedSlice(out, row.key);
+    PutLengthPrefixedSlice(out, row.value);
+  }
+}
+
+Status DecodeRows(Slice* input, std::vector<PosEntry>* out) {
+  uint64_t n = 0;
+  Status s = GetVarint64(input, &n);
+  if (!s.ok()) return s;
+  out->clear();
+  // The count is untrusted wire data: cap the up-front reservation so a
+  // lying header cannot force a huge allocation before decode fails.
+  out->reserve(static_cast<size_t>(n < 1024 ? n : 1024));
+  for (uint64_t i = 0; i < n; i++) {
+    Slice key, value;
+    s = GetLengthPrefixedSlice(input, &key);
+    if (!s.ok()) return s;
+    s = GetLengthPrefixedSlice(input, &value);
+    if (!s.ok()) return s;
+    out->push_back(PosEntry{key.ToString(), value.ToString()});
+  }
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace spitz

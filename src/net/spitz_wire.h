@@ -1,0 +1,46 @@
+#ifndef SPITZ_NET_SPITZ_WIRE_H_
+#define SPITZ_NET_SPITZ_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/spitz_db.h"
+
+namespace spitz {
+namespace wire {
+
+// Method ids of the Spitz service (DESIGN.md section 10). Stable wire
+// constants — append, never renumber.
+enum Method : uint32_t {
+  kPut = 1,        // req: lp(key) lp(value)            resp: -
+  kDelete = 2,     // req: lp(key)                      resp: -
+  kGet = 3,        // req: lp(key)                      resp: lp(value)
+  kGetProof = 4,   // req: lp(key)                      resp: lp(value) proof digest
+  kScan = 5,       // req: lp(start) lp(end) var(limit) resp: rows
+  kScanProof = 6,  // req: like kScan                   resp: rows proof digest
+  kDigest = 7,     // req: -                            resp: digest
+  kAudit = 8,      // req: lp(key)                      resp: -
+};
+
+// Metric-name suffix for a method id ("put", "get", ...); "unknown"
+// for ids outside the table.
+const char* MethodName(uint32_t method);
+constexpr size_t kMethodCount = 8;
+
+// --- Shared payload fragments -------------------------------------------
+
+// SpitzDigest <-> bytes: index root, journal digest, last commit ts.
+void EncodeDigest(const SpitzDigest& digest, std::string* out);
+Status DecodeDigest(Slice* input, SpitzDigest* out);
+
+// Row vectors for scan responses: varint count, then lp(key) lp(value)
+// per row.
+void EncodeRows(const std::vector<PosEntry>& rows, std::string* out);
+Status DecodeRows(Slice* input, std::vector<PosEntry>* out);
+
+}  // namespace wire
+}  // namespace spitz
+
+#endif  // SPITZ_NET_SPITZ_WIRE_H_

@@ -1,6 +1,8 @@
 #include "nonintrusive/non_intrusive_db.h"
 
 #include "common/codec.h"
+#include "net/spitz_wire.h"
+#include "nonintrusive/tcp_channel.h"
 
 namespace spitz {
 
@@ -25,16 +27,37 @@ Status GetHash(Slice* input, Hash256* h) {
 
 NonIntrusiveDb::NonIntrusiveDb(Options options)
     : ledger_db_(options.ledger) {
-  kvs_server_ = std::make_unique<RpcServer>(
-      [this](uint32_t m, const std::string& req, std::string* resp) {
+  kvs_server_ = MakeChannel(
+      options, [this](uint32_t m, const std::string& req, std::string* resp) {
         return HandleKvs(m, req, resp);
-      },
-      options.rpc);
-  ledger_server_ = std::make_unique<RpcServer>(
-      [this](uint32_t m, const std::string& req, std::string* resp) {
+      });
+  ledger_server_ = MakeChannel(
+      options, [this](uint32_t m, const std::string& req, std::string* resp) {
         return HandleLedger(m, req, resp);
-      },
-      options.rpc);
+      });
+}
+
+std::unique_ptr<RpcChannel> NonIntrusiveDb::MakeChannel(
+    const Options& options, RpcChannel::Handler handler) {
+  if (options.transport == Transport::kInProcess) {
+    return std::make_unique<RpcServer>(std::move(handler), options.rpc);
+  }
+  std::unique_ptr<TcpChannel> channel;
+  Status s = TcpChannel::Start(std::move(handler), TcpChannel::Options(),
+                               &channel);
+  if (!s.ok()) {
+    if (init_status_.ok()) init_status_ = s;
+    return nullptr;
+  }
+  return channel;
+}
+
+Status NonIntrusiveDb::Open(Options options,
+                            std::unique_ptr<NonIntrusiveDb>* db) {
+  auto composed = std::make_unique<NonIntrusiveDb>(std::move(options));
+  if (!composed->init_status_.ok()) return composed->init_status_;
+  *db = std::move(composed);
+  return Status::OK();
 }
 
 // --- Server-side handlers ---------------------------------------------------
@@ -112,13 +135,7 @@ Status NonIntrusiveDb::HandleLedger(uint32_t method,
       return Status::OK();
     }
     case kLedgerDigest: {
-      SpitzDigest d = ledger_db_.Digest();
-      response->append(d.index_root.ToBytes());
-      PutVarint64(response, d.journal.block_count);
-      PutVarint64(response, d.journal.entry_count);
-      response->append(d.journal.tip_hash.ToBytes());
-      response->append(d.journal.merkle_root.ToBytes());
-      PutVarint64(response, d.last_commit_ts);
+      wire::EncodeDigest(ledger_db_.Digest(), response);
       return Status::OK();
     }
     default:
@@ -129,6 +146,7 @@ Status NonIntrusiveDb::HandleLedger(uint32_t method,
 // --- Client-side operations ---------------------------------------------------
 
 Status NonIntrusiveDb::BulkLoad(const std::vector<PosEntry>& entries) {
+  if (!init_status_.ok()) return init_status_;
   std::vector<PosEntry> ledger_entries;
   ledger_entries.reserve(entries.size());
   for (const PosEntry& e : entries) {
@@ -141,6 +159,7 @@ Status NonIntrusiveDb::BulkLoad(const std::vector<PosEntry>& entries) {
 }
 
 Status NonIntrusiveDb::Put(const Slice& key, const Slice& value) {
+  if (!init_status_.ok()) return init_status_;
   // Commit to the underlying database...
   std::string request;
   PutLengthPrefixedSlice(&request, key);
@@ -156,6 +175,7 @@ Status NonIntrusiveDb::Put(const Slice& key, const Slice& value) {
 }
 
 Status NonIntrusiveDb::Get(const Slice& key, std::string* value) {
+  if (!init_status_.ok()) return init_status_;
   std::string request;
   PutLengthPrefixedSlice(&request, key);
   std::string response;
@@ -184,6 +204,7 @@ Status NonIntrusiveDb::GetVerified(const Slice& key, VerifiedValue* out) {
 
 Status NonIntrusiveDb::Scan(const Slice& start, const Slice& end,
                             size_t limit, std::vector<PosEntry>* out) {
+  if (!init_status_.ok()) return init_status_;
   std::string request;
   PutLengthPrefixedSlice(&request, start);
   PutLengthPrefixedSlice(&request, end);
@@ -235,17 +256,13 @@ Status NonIntrusiveDb::ScanVerified(const Slice& start, const Slice& end,
 }
 
 SpitzDigest NonIntrusiveDb::Digest() {
+  SpitzDigest d;
+  if (!init_status_.ok()) return d;
   std::string response;
   Status s = ledger_server_->Call(kLedgerDigest, std::string(), &response);
-  SpitzDigest d;
   if (!s.ok()) return d;
   Slice input(response);
-  if (!GetHash(&input, &d.index_root).ok()) return d;
-  GetVarint64(&input, &d.journal.block_count);
-  GetVarint64(&input, &d.journal.entry_count);
-  GetHash(&input, &d.journal.tip_hash);
-  GetHash(&input, &d.journal.merkle_root);
-  GetVarint64(&input, &d.last_commit_ts);
+  if (!wire::DecodeDigest(&input, &d).ok()) return SpitzDigest{};
   return d;
 }
 

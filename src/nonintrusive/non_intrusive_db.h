@@ -29,13 +29,27 @@ namespace spitz {
 // ---------------------------------------------------------------------------
 class NonIntrusiveDb {
  public:
+  // Which transport carries the two RPC boundaries (underlying + ledger
+  // service). kInProcess is the bounded-queue simulation with its
+  // synthetic per-message latency; kTcp serves the same handlers over
+  // real loopback TCP sockets (tcp_channel.h), so the composed design's
+  // overhead is grounded in measured kernel round trips.
+  enum class Transport { kInProcess, kTcp };
+
   struct Options {
     Options() {}
-    RpcServer::Options rpc;
+    Transport transport = Transport::kInProcess;
+    RpcServer::Options rpc;  // kInProcess only
     SpitzOptions ledger;
   };
 
   explicit NonIntrusiveDb(Options options = Options());
+
+  // Surfaces transport construction failures (e.g. TCP bind errors),
+  // which the constructor can only record; with the in-process
+  // transport construction never fails.
+  static Status Open(Options options,
+                     std::unique_ptr<NonIntrusiveDb>* db);
 
   NonIntrusiveDb(const NonIntrusiveDb&) = delete;
   NonIntrusiveDb& operator=(const NonIntrusiveDb&) = delete;
@@ -94,10 +108,17 @@ class NonIntrusiveDb {
   Status HandleLedger(uint32_t method, const std::string& request,
                       std::string* response);
 
+  // Builds the configured transport for `handler`; sets init_status_ on
+  // failure (and leaves the channel null).
+  std::unique_ptr<RpcChannel> MakeChannel(const Options& options,
+                                          RpcChannel::Handler handler);
+
   ImmutableKvs kvs_;
   SpitzDb ledger_db_;
-  std::unique_ptr<RpcServer> kvs_server_;
-  std::unique_ptr<RpcServer> ledger_server_;
+  // Non-OK when a transport failed to come up; returned by every call.
+  Status init_status_;
+  std::unique_ptr<RpcChannel> kvs_server_;
+  std::unique_ptr<RpcChannel> ledger_server_;
 };
 
 }  // namespace spitz

@@ -13,6 +13,28 @@
 
 namespace spitz {
 
+// The transport seam of the non-intrusive design: a synchronous
+// (method, request) -> (status, response) channel between the composed
+// database's client side and one of its two services. Two transports
+// implement it — the in-process bounded-queue RpcServer below, and the
+// real loopback-TCP channel in tcp_channel.h — so the Figure 8 overhead
+// can be measured against both a simulated and a genuine kernel round
+// trip.
+class RpcChannel {
+ public:
+  // Handler: (method, request payload) -> (status, response payload).
+  using Handler =
+      std::function<Status(uint32_t method, const std::string& request,
+                           std::string* response)>;
+
+  virtual ~RpcChannel() = default;
+
+  virtual Status Call(uint32_t method, const std::string& request,
+                      std::string* response) = 0;
+
+  virtual uint64_t calls_served() const = 0;
+};
+
 // An in-process RPC transport modelling the network boundary between
 // the underlying database and the ledger database in the non-intrusive
 // design (paper Figures 3 and 8). Each call really crosses a thread
@@ -23,12 +45,9 @@ namespace spitz {
 // This is what makes the Figure 8 comparison honest: the composed
 // design's overhead comes from genuinely executed serialization,
 // queueing, and hand-off work, not from an arbitrary penalty constant.
-class RpcServer {
+class RpcServer : public RpcChannel {
  public:
-  // Handler: (method, request payload) -> (status, response payload).
-  using Handler =
-      std::function<Status(uint32_t method, const std::string& request,
-                           std::string* response)>;
+  using Handler = RpcChannel::Handler;
 
   struct Options {
     Options() {}
@@ -39,7 +58,7 @@ class RpcServer {
   };
 
   RpcServer(Handler handler, Options options = Options());
-  ~RpcServer();
+  ~RpcServer() override;
 
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
@@ -47,9 +66,9 @@ class RpcServer {
   // Synchronous call: serializes the request through the queue, waits
   // for the server thread's response.
   Status Call(uint32_t method, const std::string& request,
-              std::string* response);
+              std::string* response) override;
 
-  uint64_t calls_served() const { return calls_served_; }
+  uint64_t calls_served() const override { return calls_served_; }
 
  private:
   struct Envelope {

@@ -1,0 +1,48 @@
+#ifndef SPITZ_NONINTRUSIVE_TCP_CHANNEL_H_
+#define SPITZ_NONINTRUSIVE_TCP_CHANNEL_H_
+
+#include <memory>
+
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "nonintrusive/rpc.h"
+
+namespace spitz {
+
+// The real-network counterpart of RpcServer: the same Handler served
+// over an actual loopback TCP socket — a NetServer on an ephemeral
+// 127.0.0.1 port and a pipelined NetClient connected to it. Every Call
+// pays genuine serialization, framing, CRC, and two kernel socket
+// round trips, so the Figure 8 "composed design" overhead can be
+// grounded in measured transport cost instead of a synthetic spin.
+class TcpChannel : public RpcChannel {
+ public:
+  struct Options {
+    Options() {}
+    NetServer::Options server;
+    // Client-side per-call deadline (forwarded to NetClient).
+    uint64_t deadline_ms = 10'000;
+  };
+
+  static Status Start(Handler handler, Options options,
+                      std::unique_ptr<TcpChannel>* out);
+
+  ~TcpChannel() override;
+
+  Status Call(uint32_t method, const std::string& request,
+              std::string* response) override;
+
+  uint64_t calls_served() const override { return server_->frames_served(); }
+
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  TcpChannel() = default;
+
+  std::unique_ptr<NetServer> server_;
+  std::unique_ptr<NetClient> client_;
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_NONINTRUSIVE_TCP_CHANNEL_H_

@@ -23,16 +23,6 @@ size_t ShardedStore::ShardOf(const Slice& key) const {
 MetricsSnapshot ShardedStore::Metrics() const {
   // Shard counters live in MvccStore's own atomics; aggregation at
   // snapshot time means the write path carries no extra registry hook.
-  MvccStore::Stats total = TotalStats();
-  MetricsSnapshot snap;
-  snap.counters["txn.mvcc.commits"] = total.commits;
-  snap.counters["txn.mvcc.aborts"] = total.aborts;
-  snap.counters["txn.mvcc.reads"] = total.reads;
-  snap.gauges["txn.mvcc.shards"] = shards_.size();
-  return snap;
-}
-
-MvccStore::Stats ShardedStore::TotalStats() const {
   MvccStore::Stats total;
   for (const auto& shard : shards_) {
     MvccStore::Stats s = shard->stats();
@@ -40,7 +30,12 @@ MvccStore::Stats ShardedStore::TotalStats() const {
     total.aborts += s.aborts;
     total.reads += s.reads;
   }
-  return total;
+  MetricsSnapshot snap;
+  snap.counters["txn.mvcc.commits"] = total.commits;
+  snap.counters["txn.mvcc.aborts"] = total.aborts;
+  snap.counters["txn.mvcc.reads"] = total.reads;
+  snap.gauges["txn.mvcc.shards"] = shards_.size();
+  return snap;
 }
 
 Status DistributedTxn::Get(const Slice& key, std::string* value) {

@@ -40,9 +40,6 @@ class ShardedStore {
   // totals aggregated across shards plus the shard count (txn.mvcc.*).
   MetricsSnapshot Metrics() const;
 
-  // DEPRECATED: read txn.mvcc.* from Metrics() instead.
-  MvccStore::Stats TotalStats() const;
-
  private:
   std::vector<std::unique_ptr<MvccStore>> shards_;
 };
