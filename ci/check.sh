@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite in Release (plus metrics, recovery and
-# network smoke runs), the concurrency + network tests under
+# CI entry point: tier-1 suite in Release (plus metrics, recovery,
+# network and write-path smoke runs), the concurrency + network tests under
 # ThreadSanitizer, and the proof-codec + database + network tests under
 # ASan+UBSan (untrusted wire bytes are decoded there, so memory errors
 # and UB are the failure modes that matter). All legs must be green for
@@ -44,6 +44,13 @@ echo "==> tier-1: network smoke (SpitzServer over loopback TCP)"
 # digest covering every committed write.
 "${PREFIX}/bench/net_smoke"
 
+echo "==> tier-1: write-path smoke (group commit amortizes fsyncs)"
+# Short sweep of the group-commit pipeline (in-process and over TCP):
+# asserts every write succeeded and, with 8 sync writers, that the
+# journal fsync count stays strictly below the put count — i.e. the
+# leader actually shared durability barriers across the group.
+"${PREFIX}/bench/write_path" --smoke --out "${PREFIX}/BENCH_write_path_smoke.json"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
@@ -60,10 +67,10 @@ cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target siri_proof_test siri_backend_test spitz_db_test recovery_test \
-               net_test
+               net_test concurrency_test
 ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
 UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net'
+        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net|Concurrency'
 
 echo "==> all checks passed"

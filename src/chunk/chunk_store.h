@@ -53,6 +53,13 @@ class ChunkStore {
 
   bool Contains(const Hash256& id) const;
 
+  // Makes every chunk stored so far crash-safe. The in-memory base
+  // store has nothing to persist, so this is a no-op; FileChunkStore
+  // overrides it with a flush + fsync of the chunk log. Callers (e.g.
+  // SpitzDb::SyncStorage and the group-commit leader) call this through
+  // the interface instead of probing for the durable subclass.
+  virtual Status Sync() { return Status::OK(); }
+
   ChunkStoreStats stats() const;
 
   // Registers this store's accounting under `chunk.store.*` (and, for

@@ -133,9 +133,21 @@ void FileChunkStore::ExportMetrics(MetricsRegistry* registry) const {
 }
 
 Status FileChunkStore::Sync() {
-  std::lock_guard<std::mutex> lock(file_mu_);
-  if (!append_status_.ok()) return append_status_;
-  return log_->Sync();
+  {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    if (!append_status_.ok()) return append_status_;
+    // A failed flush means buffered records never reached the kernel —
+    // the same divergence as a failed append, and just as sticky.
+    Status s = log_->Flush();
+    if (!s.ok()) {
+      append_status_ = s;
+      return s;
+    }
+  }
+  // The disk barrier runs outside file_mu_: it covers every record
+  // flushed above, while later Puts keep appending without waiting on
+  // the disk (their records simply ride the next Sync).
+  return log_->SyncFlushed();
 }
 
 Status FileChunkStore::status() const {

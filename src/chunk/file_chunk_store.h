@@ -54,8 +54,11 @@ class FileChunkStore : public ChunkStore {
 
   // Flushes buffered appends and fsyncs; on success every record
   // appended so far survives a crash. Returns the sticky append error
-  // if any Put since Open failed to reach the log.
-  Status Sync();
+  // if any Put since Open failed to reach the log. The fsync itself
+  // runs outside file_mu_ (only the buffer flush holds it), so
+  // concurrent Puts append behind the barrier instead of waiting on
+  // the disk.
+  Status Sync() override;
 
   // The sticky I/O state: OK until an append fails, that failure
   // afterwards.

@@ -37,9 +37,44 @@ class WritableLog {
   virtual ~WritableLog() = default;
 
   virtual Status Append(const Slice& data) = 0;
+  // Appends `n` records as one gathered I/O (a single writev once the
+  // user-space buffer cannot hold them). Record boundaries are still
+  // meaningful to the caller's format, not to the log — on failure a
+  // *prefix* of the records (possibly plus a partial record) may have
+  // reached the file, exactly like a short Append. This is the group
+  // commit primitive: the journal coalesces every record of a commit
+  // group into one call instead of one syscall per block.
+  virtual Status AppendV(const Slice* records, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      Status s = Append(records[i]);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  // Pushes buffered appends to the kernel (write(2), no fsync). Not a
+  // durability point; pairs with SyncFlushed() so the disk barrier can
+  // run outside whatever lock serializes Append/Flush.
+  virtual Status Flush() = 0;
+  // When on, Append/AppendV only ever grow the user-space buffer —
+  // bytes reach the kernel exclusively through an explicit
+  // Flush()/Sync()/Close(), never as a side effect of a full buffer.
+  // The journal runs in this mode so group commit can order chunk
+  // durability strictly before journal visibility: no journal byte can
+  // be picked up by an in-flight fsync before the commit pipeline has
+  // decided to expose it. Callers own backpressure via BufferedBytes().
+  virtual void SetManualFlush(bool on) { (void)on; }
+  // Bytes appended but not yet handed to the kernel (always 0 for
+  // implementations without a user-space buffer).
+  virtual uint64_t BufferedBytes() const { return 0; }
   // Flushes buffered appends and fsyncs. On success everything appended
   // so far survives a crash.
   virtual Status Sync() = 0;
+  // Fsyncs bytes already pushed to the kernel by Flush() (or by
+  // buffer-overflow appends). Unlike Sync(), this never touches the
+  // user-space buffer, so it is safe to call concurrently with
+  // Append/Flush from another thread — the fsync then covers at least
+  // every byte flushed before the call. Must not race with Close().
+  virtual Status SyncFlushed() = 0;
   // Flushes buffered appends (no fsync) and closes the handle.
   virtual Status Close() = 0;
 };

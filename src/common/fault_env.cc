@@ -18,7 +18,31 @@ class FaultWritableLog : public WritableLog {
     return env_->LogAppend(path_, data, base_.get());
   }
 
+  Status AppendV(const Slice* records, size_t n) override {
+    return env_->LogAppendV(path_, records, n, base_.get());
+  }
+
+  // Flush pushes buffered bytes to the kernel but is not a durability
+  // point (no op index, passes through on a dead env — like Close, a
+  // crashed process's dirty pages may still reach the disk; whether
+  // they survive is SimulateCrash's decision).
+  Status Flush() override { return env_->LogFlush(path_, base_.get()); }
+
   Status Sync() override { return env_->LogSync(path_, base_.get()); }
+
+  // The fsync-only path is a durability point like Sync (one op index),
+  // but it hardens only the explicitly flushed prefix: appends racing
+  // past the last Flush stay volatile, exactly like bytes sitting in a
+  // user-space buffer during a real fsync. The env's own mutex
+  // serializes it against concurrent appends, mirroring how the kernel
+  // serializes fsync against write(2).
+  Status SyncFlushed() override {
+    return env_->LogSyncFlushed(path_, base_.get());
+  }
+
+  void SetManualFlush(bool on) override { base_->SetManualFlush(on); }
+
+  uint64_t BufferedBytes() const override { return base_->BufferedBytes(); }
 
   // Close flushes buffered appends into the kernel but is not a
   // durability point, so it passes through even on a dead env: a real
@@ -85,11 +109,11 @@ Status FaultInjectionEnv::SimulateCrash(CrashMode mode) {
         Status s = base_->Truncate(path, target);
         if (!s.ok()) return s;
       }
-      st.current_size = st.synced_size = target;
+      st.current_size = st.flushed_size = st.synced_size = target;
     } else {
       // Everything the kernel received survived the crash; it is now
       // the durable baseline recovery will see.
-      st.current_size = st.synced_size = on_disk;
+      st.current_size = st.flushed_size = st.synced_size = on_disk;
     }
   }
   return Status::OK();
@@ -107,13 +131,10 @@ FaultKind FaultInjectionEnv::NextOp(size_t* partial_bytes) {
   return FaultKind::kNone;
 }
 
-Status FaultInjectionEnv::LogAppend(const std::string& path, const Slice& data,
-                                    WritableLog* base) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (dead_) return Status::IOError("injected fault: environment is dead");
+Status FaultInjectionEnv::AppendOneLocked(FileState& st, const Slice& data,
+                                          WritableLog* base) {
   size_t partial = 0;
   FaultKind kind = NextOp(&partial);
-  FileState& st = files_[path];
   switch (kind) {
     case FaultKind::kNone: {
       Status s = base->Append(data);
@@ -138,6 +159,31 @@ Status FaultInjectionEnv::LogAppend(const std::string& path, const Slice& data,
   }
 }
 
+Status FaultInjectionEnv::LogAppend(const std::string& path, const Slice& data,
+                                    WritableLog* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::IOError("injected fault: environment is dead");
+  return AppendOneLocked(files_[path], data, base);
+}
+
+Status FaultInjectionEnv::LogAppendV(const std::string& path,
+                                     const Slice* records, size_t n,
+                                     WritableLog* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::IOError("injected fault: environment is dead");
+  FileState& st = files_[path];
+  for (size_t i = 0; i < n; i++) {
+    Status s = AppendOneLocked(st, records[i], base);
+    // A fault mid-group stops the gather right there: the faulted
+    // record (and every record after it) never reaches the file, so a
+    // crash leaves a clean prefix of the group — which is also what a
+    // real short writev leaves, up to the torn record recovery
+    // truncates.
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status FaultInjectionEnv::LogSync(const std::string& path, WritableLog* base) {
   std::lock_guard<std::mutex> lock(mu_);
   if (dead_) return Status::IOError("injected fault: environment is dead");
@@ -150,7 +196,40 @@ Status FaultInjectionEnv::LogSync(const std::string& path, WritableLog* base) {
   Status s = base->Sync();
   if (s.ok()) {
     FileState& st = files_[path];
-    st.synced_size = st.current_size;
+    st.synced_size = st.flushed_size = st.current_size;
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::LogFlush(const std::string& path,
+                                   WritableLog* base) {
+  Status s = base->Flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recorded even on a dead env: a crashed process's already-issued
+  // write(2)s are in the kernel regardless, and the flush point only
+  // matters if a later *successful* sync hardens it (impossible while
+  // dead).
+  FileState& st = files_[path];
+  st.flushed_size = st.current_size;
+  return s;
+}
+
+Status FaultInjectionEnv::LogSyncFlushed(const std::string& path,
+                                         WritableLog* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::IOError("injected fault: environment is dead");
+  size_t partial = 0;
+  FaultKind kind = NextOp(&partial);
+  if (kind != FaultKind::kNone) {
+    return Status::IOError("injected sync failure");
+  }
+  Status s = base->SyncFlushed();
+  if (s.ok()) {
+    FileState& st = files_[path];
+    // Only the flushed prefix hardens; bytes appended after the last
+    // flush ride in the (simulated) user-space buffer through this
+    // barrier and die with a kDropUnsynced crash.
+    st.synced_size = std::max(st.synced_size, st.flushed_size);
   }
   return s;
 }
@@ -168,7 +247,7 @@ Status FaultInjectionEnv::NewWritableLog(const std::string& path,
     uint64_t size = 0;
     base_->FileSize(path, &size).ok();
     FileState& st = files_[path];
-    st.current_size = st.synced_size = size;
+    st.current_size = st.flushed_size = st.synced_size = size;
   }
   *log = std::make_unique<FaultWritableLog>(this, path, std::move(base));
   return Status::OK();
@@ -186,6 +265,7 @@ Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
     auto it = files_.find(path);
     if (it != files_.end()) {
       it->second.current_size = std::min(it->second.current_size, size);
+      it->second.flushed_size = std::min(it->second.flushed_size, size);
       it->second.synced_size = std::min(it->second.synced_size, size);
     }
   }

@@ -102,17 +102,37 @@ class FaultInjectionEnv : public Env {
   // out (not part of the test-facing surface).
   Status LogAppend(const std::string& path, const Slice& data,
                    WritableLog* base);
+  // A gathered append consumes one op index *per record*, so a fault
+  // armed mid-group tears the group exactly where a per-record schedule
+  // would: records before the faulted index reach the file, the faulted
+  // one fails (or is shortened), everything after it is never written.
+  Status LogAppendV(const std::string& path, const Slice* records, size_t n,
+                    WritableLog* base);
   Status LogSync(const std::string& path, WritableLog* base);
+  // Flush (buffer → kernel): consumes no op index and passes through on
+  // a dead env, but records the flush point so LogSyncFlushed can model
+  // the fsync-only barrier faithfully.
+  Status LogFlush(const std::string& path, WritableLog* base);
+  // The fsync-only durability point: one op index like LogSync, but it
+  // hardens only bytes explicitly flushed — appends that raced past the
+  // last flush stay volatile, exactly as fsync treats bytes still in a
+  // user-space buffer.
+  Status LogSyncFlushed(const std::string& path, WritableLog* base);
 
  private:
   struct FileState {
     uint64_t synced_size = 0;   // durable as of the last successful Sync
-    uint64_t current_size = 0;  // bytes handed to the kernel
+    uint64_t flushed_size = 0;  // pushed to the kernel by an explicit Flush
+    uint64_t current_size = 0;  // bytes appended through this env
   };
 
   // Decision + bookkeeping for one log op. Returns the fault to inject
   // into this op (kNone = proceed normally).
   FaultKind NextOp(size_t* partial_bytes);
+
+  // One record's append with the fault schedule applied; caller holds
+  // mu_ and has checked dead_. Shared by LogAppend and LogAppendV.
+  Status AppendOneLocked(FileState& st, const Slice& data, WritableLog* base);
 
   Env* const base_;
   mutable std::mutex mu_;

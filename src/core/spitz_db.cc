@@ -34,6 +34,20 @@ SiriIndexOptions MakeSiriOptions(const SpitzOptions& options) {
   return siri;
 }
 
+// Bounds on one commit group. The leader drains the queue up to these
+// caps so a burst of writers cannot stretch one group (and thus the
+// tail latency of its first member) without bound; writers past the cap
+// simply form the next group. The ops cap dominates for small writes,
+// the byte cap for blob-sized ones.
+constexpr size_t kMaxGroupOps = 4096;
+constexpr size_t kMaxGroupBytes = 4 << 20;
+
+// When a non-sync commit leaves more than this many bytes in the
+// journal's manual-flush buffer, the leader flushes them to the kernel
+// (FlushJournal) before finishing — bounding user-space memory for
+// workloads that never ask for a barrier.
+constexpr size_t kJournalBackpressureBytes = 4 << 20;
+
 }  // namespace
 
 Status SpitzOptions::Validate() const {
@@ -90,8 +104,10 @@ void SpitzDb::WireMetrics() {
       registry_.histogram("index.siri.proof_bytes." + backend);
   metrics_.range_proof_bytes =
       registry_.histogram("index.siri.range_proof_bytes." + backend);
+  metrics_.group_size = registry_.histogram("core.db.commit.group_size");
   registry_.RegisterCounter("core.db.journal.truncated_bytes",
                             &journal_truncated_bytes_);
+  registry_.RegisterCounter("core.db.journal.fsyncs", &journal_fsyncs_);
   chunks_->ExportMetrics(&registry_);
   if (node_cache_) node_cache_->ExportMetrics(&registry_);
   auditor_->ExportMetrics(&registry_);
@@ -197,6 +213,11 @@ Status SpitzDb::Recover() {
     return Status::IOError("cannot open journal log: " + journal_path + ": " +
                            open_status.message());
   }
+  // The journal flushes only inside the sync_mu_ barrier discipline
+  // (SyncCommitted/FlushJournal): no record may become kernel-visible —
+  // and so eligible for an in-flight fsync — before the chunk barrier
+  // that covers it has been ordered ahead of it.
+  journal_log_->SetManualFlush(true);
   return Status::OK();
 }
 
@@ -206,24 +227,15 @@ SpitzDb::~SpitzDb() {
 }
 
 Status SpitzDb::SyncStorage() {
-  // Chunks strictly before the journal: a journal block is only
-  // meaningful if the index nodes its root references are durable, and
-  // recovery refuses roots that do not resolve in the chunk store. With
-  // this order, a crash between the two syncs merely loses the newest
-  // blocks (whose chunks are already safe) — never the reverse, which
-  // would turn a crash into unrecoverable corruption.
-  if (auto* file_store = dynamic_cast<FileChunkStore*>(chunks_.get())) {
-    Status s = file_store->Sync();
-    if (!s.ok()) return s;
-  }
-  if (journal_log_ != nullptr) {
+  // In-memory databases have no journal; syncing the chunk store is a
+  // no-op there (virtual Sync defaults to OK) but kept for uniformity.
+  if (journal_log_ == nullptr) return chunks_->Sync();
+  uint64_t seq = 0;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    Status s = journal_log_->Sync();
-    if (!s.ok()) {
-      return Status::IOError("journal sync failed: " + s.message());
-    }
+    seq = append_seq_;
   }
-  return Status::OK();
+  return SyncCommitted(seq);
 }
 
 void SpitzDb::PublishSnapshotLocked(bool journal_changed) {
@@ -238,25 +250,226 @@ void SpitzDb::PublishSnapshotLocked(bool journal_changed) {
 }
 
 Status SpitzDb::Put(const Slice& key, const Slice& value) {
+  return Put(WriteOptions(), key, value);
+}
+
+Status SpitzDb::Put(const WriteOptions& options, const Slice& key,
+                    const Slice& value) {
   WriteBatch batch;
   batch.Put(key, value);
-  return Write(batch);
+  return Write(options, batch);
 }
 
 Status SpitzDb::Delete(const Slice& key) {
+  return Delete(WriteOptions(), key);
+}
+
+Status SpitzDb::Delete(const WriteOptions& options, const Slice& key) {
   WriteBatch batch;
   batch.Delete(key);
-  return Write(batch);
+  return Write(options, batch);
 }
 
 Status SpitzDb::Write(const WriteBatch& batch) {
-  if (!init_status_.ok()) return init_status_;
-  ScopedTimer timer(metrics_.write_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  return WriteLocked(batch);
+  return Write(WriteOptions(), batch);
 }
 
-Status SpitzDb::WriteLocked(const WriteBatch& batch) {
+Status SpitzDb::Write(const WriteOptions& options, const WriteBatch& batch) {
+  if (!init_status_.ok()) return init_status_;
+  ScopedTimer timer(metrics_.write_ns);
+  CommitRequest req;
+  req.batch = &batch;
+  // Durability is only on offer when there is a journal to fsync; the
+  // in-memory database ignores the flag rather than force-sealing
+  // partial blocks for a barrier that cannot exist.
+  req.sync =
+      (options.sync || options_.sync_writes) && journal_log_ != nullptr;
+
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(&req);
+  // Wait until a leader commits this request — or until this request
+  // reaches the head of the queue and must lead. A group stays queued
+  // through its apply stage, so exactly one leader applies at a time
+  // and journal records are appended in commit order. (The queue can be
+  // empty here: a popped-but-not-done request rechecking the predicate
+  // must not dereference front().)
+  commit_cv_.wait(lock, [&] {
+    return req.done ||
+           (!commit_queue_.empty() && &req == commit_queue_.front());
+  });
+  if (req.done) return req.status;
+
+  // Leader: drain a bounded group off the queue head. The requests stay
+  // queued (see above); later arrivals line up behind them.
+  std::vector<CommitRequest*> group;
+  bool group_sync = false;
+  size_t group_ops = 0, group_bytes = 0;
+  for (CommitRequest* r : commit_queue_) {
+    if (!group.empty() && (group_ops + r->batch->size() > kMaxGroupOps ||
+                           group_bytes + r->batch->ByteSize() > kMaxGroupBytes)) {
+      break;
+    }
+    group.push_back(r);
+    group_ops += r->batch->size();
+    group_bytes += r->batch->ByteSize();
+    group_sync |= r->sync;
+  }
+  lock.unlock();
+
+  uint64_t append_seq = 0;
+  bool flush_backpressure = false;
+  Status io = CommitGroup(group, group_sync, &append_seq,
+                          &flush_backpressure);
+
+  // Pipelined hand-off: pop the group and wake the next head *before*
+  // any disk wait, so its apply stage (mu_) runs while this group sits
+  // in the sync stage (sync_mu_). Popped members are not done yet —
+  // they keep waiting on commit_cv_ until after the barrier.
+  lock.lock();
+  commit_queue_.erase(commit_queue_.begin(),
+                      commit_queue_.begin() + group.size());
+  commit_cv_.notify_all();
+  lock.unlock();
+
+  if (group_sync && io.ok()) {
+    // One disk barrier amortized over the whole group — and over any
+    // other group whose records the same barrier happens to cover. No
+    // lock is held: enqueueing writers, the next group's apply, readers
+    // and the auditor all keep running while this group waits on disk.
+    io = SyncCommitted(append_seq);
+    if (!io.ok()) {
+      // Every writer whose batch applied must hear that its write may
+      // not survive a restart. Batches rejected at apply time keep
+      // their own (more specific) error.
+      for (CommitRequest* r : group) {
+        if (r->status.ok()) r->status = io;
+      }
+    }
+  } else if (flush_backpressure) {
+    FlushJournal();
+  }
+
+  lock.lock();
+  for (CommitRequest* r : group) r->done = true;
+  commit_cv_.notify_all();
+  return req.status;
+}
+
+Status SpitzDb::CommitGroup(const std::vector<CommitRequest*>& group,
+                            bool sync, uint64_t* append_seq,
+                            bool* flush_backpressure) {
+  if (metrics_.group_size) metrics_.group_size->Record(group.size());
+  std::vector<std::string> records;  // serialized journal records
+  bool sealed = false;
+  Status io;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (CommitRequest* r : group) {
+      r->status = ApplyBatchLocked(*r->batch);
+      // Seal inside the per-batch loop, exactly where the serial path
+      // would: block boundaries (and each block's recorded index root)
+      // are therefore identical to running the same batch sequence one
+      // at a time, whatever grouping the queue happened to produce.
+      if (r->status.ok() && pending_.size() >= options_.block_size) {
+        SealPendingLocked(&records);
+        sealed = true;
+      }
+    }
+    // A sync group additionally seals its tail: durability is promised
+    // for every write in the group, and only journaled blocks survive a
+    // crash.
+    if (sync && !pending_.empty()) {
+      SealPendingLocked(&records);
+      sealed = true;
+    }
+    io = AppendJournalRecordsLocked(records);
+    *append_seq = append_seq_;
+    PublishSnapshotLocked(/*journal_changed=*/sealed);
+    if (!sync && journal_log_ != nullptr) {
+      // Read under mu_ (appends are mu_-serialized, so this is exact):
+      // a long non-sync run must eventually hand its manual-flush
+      // buffer to the kernel or it grows without bound.
+      *flush_backpressure =
+          journal_log_->BufferedBytes() >= kJournalBackpressureBytes;
+    }
+  }
+  if (!io.ok()) {
+    // A failed journal append is group-wide: none or only a prefix of
+    // the blocks will survive a restart.
+    for (CommitRequest* r : group) {
+      if (r->status.ok()) r->status = io;
+    }
+  }
+  return io;
+}
+
+Status SpitzDb::SyncCommitted(uint64_t seq) {
+  std::unique_lock<std::mutex> sync_lock(sync_mu_);
+  for (;;) {
+    // A barrier that completed after our records were appended already
+    // hardened them (its flush snapshot is a superset of our cut):
+    // piggyback and return without touching the disk. This is the
+    // coalescing that keeps fsyncs ≪ puts — concurrent sync writers
+    // converge on ~2 barriers per round, not one each.
+    if (synced_seq_ >= seq) return Status::OK();
+    if (!sync_in_flight_) break;
+    sync_cv_.wait(sync_lock);
+  }
+  sync_in_flight_ = true;
+  sync_lock.unlock();
+
+  Status s;
+  uint64_t flushed_seq = 0;
+  {
+    // (1) Snapshot-flush: every journal record appended so far becomes
+    // kernel-visible, and nothing else can follow until this barrier
+    // completes (every flush defers to the in-flight barrier; the
+    // journal never flushes on its own in manual-flush mode).
+    std::lock_guard<std::mutex> lock(mu_);
+    s = journal_log_->Flush();
+    flushed_seq = append_seq_;
+  }
+  if (!s.ok()) {
+    s = Status::IOError("journal flush failed: " + s.message());
+  } else {
+    // (2) Chunks strictly before (3) the journal: every record in the
+    // snapshot references only chunks appended before it, so after
+    // this barrier the chunk store durably holds every index node the
+    // journal's durable prefix can name. Recovery depends on that
+    // order — it refuses roots that do not resolve in the chunk store.
+    s = chunks_->Sync();
+    if (s.ok()) {
+      s = journal_log_->SyncFlushed();
+      journal_fsyncs_.Increment();
+      if (!s.ok()) {
+        s = Status::IOError("journal sync failed: " + s.message());
+      }
+    }
+  }
+
+  sync_lock.lock();
+  sync_in_flight_ = false;
+  if (s.ok() && flushed_seq > synced_seq_) synced_seq_ = flushed_seq;
+  // Wake every waiter: covered ones return OK, the rest race to run the
+  // next barrier (after a failure the winner retries the I/O and
+  // surfaces the sticky error to its own caller).
+  sync_cv_.notify_all();
+  return s;
+}
+
+void SpitzDb::FlushJournal() {
+  // Kernel visibility only, not a durability point — but excluded
+  // against the in-flight barrier, so no journal byte can slip into the
+  // window between SyncCommitted's chunk barrier and its journal fsync.
+  // A failure here is sticky inside the log and surfaces on the next
+  // append or sync.
+  std::unique_lock<std::mutex> sync_lock(sync_mu_);
+  sync_cv_.wait(sync_lock, [&] { return !sync_in_flight_; });
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_log_->Flush();
+}
+
+Status SpitzDb::ApplyBatchLocked(const WriteBatch& batch) {
   uint64_t commit_ts = clock_.Allocate();
   Hash256 root = root_;
   // Apply every op to the unified index (copy-on-write; shared nodes).
@@ -283,27 +496,25 @@ Status SpitzDb::WriteLocked(const WriteBatch& batch) {
     entry.commit_ts = commit_ts;
     pending_.push_back(std::move(entry));
   }
-  Status seal = Status::OK();
-  if (pending_.size() >= options_.block_size) {
-    seal = SealBlockLocked();
-  }
-  PublishSnapshotLocked(/*journal_changed=*/false);
-  return seal;
+  return Status::OK();
 }
 
-Status SpitzDb::SealBlockLocked() {
-  if (pending_.empty()) return Status::OK();
+void SpitzDb::SealPendingLocked(std::vector<std::string>* records) {
+  if (pending_.empty()) return;
   ScopedTimer timer(metrics_.seal_ns);
   // Each block stores the index root as of its last entry — "each block
   // in the ledger stores a historical index instance" (section 6.1).
+  // Because sealing happens immediately after the batch that crossed
+  // the boundary, root_ covers exactly the entries sealed so far.
   uint64_t height = ledger_.Append(std::move(pending_), root_, NowMicros());
   pending_.clear();
   IndexBlockHistoryLocked(height);
-  Status persist = PersistBlockLocked(height);
-  PublishSnapshotLocked(/*journal_changed=*/true);
-  // The in-memory seal stands either way; a persistence failure means
-  // this block will not survive a restart, which the caller must hear.
-  return persist;
+  if (journal_log_ == nullptr) return;
+  const std::string& block = ledger_.SerializedBlock(height);
+  std::string record;
+  PutLengthPrefixedSlice(&record, block);
+  PutFixed32(&record, crc32c::Mask(crc32c::Value(block.data(), block.size())));
+  records->push_back(std::move(record));
 }
 
 void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
@@ -314,23 +525,25 @@ void SpitzDb::IndexBlockHistoryLocked(uint64_t height) {
   }
 }
 
-Status SpitzDb::PersistBlockLocked(uint64_t height) {
-  if (journal_log_ == nullptr) return Status::OK();
-  const std::string& block = ledger_.SerializedBlock(height);
-  std::string record;
-  PutLengthPrefixedSlice(&record, block);
-  PutFixed32(&record, crc32c::Mask(crc32c::Value(block.data(), block.size())));
-  Status s = journal_log_->Append(record);
+Status SpitzDb::AppendJournalRecordsLocked(
+    const std::vector<std::string>& records) {
+  if (journal_log_ == nullptr || records.empty()) return Status::OK();
+  std::vector<Slice> slices(records.begin(), records.end());
+  Status s = journal_log_->AppendV(slices.data(), slices.size());
   if (!s.ok()) {
-    return Status::IOError("journal append failed for block " +
-                           std::to_string(height) + ": " + s.message());
+    return Status::IOError("journal append failed for " +
+                           std::to_string(records.size()) +
+                           " block(s): " + s.message());
   }
+  // Advance the append cut SyncCommitted coalesces on: a barrier whose
+  // flush observed this sequence has hardened these records.
+  append_seq_++;
   return Status::OK();
 }
 
 Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
   if (!init_status_.ok()) return init_status_;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (!root_.IsZero() || ledger_.block_count() != 0 || !pending_.empty()) {
     return Status::InvalidArgument("bulk load requires an empty database");
   }
@@ -348,22 +561,29 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
   Status s = index_->Build(std::move(entries), &root_);
   if (!s.ok()) return s;
   last_commit_ts_ = commit_ts + pending_.size();
-  // Seal full blocks; the (possibly short) tail stays pending.
+  // Seal full blocks; the (possibly short) tail stays pending. All the
+  // resulting journal records go out as one gathered append — bulk
+  // ingestion is the original group commit.
   std::vector<LedgerEntry> all = std::move(pending_);
   pending_.clear();
+  std::vector<std::string> records;
   size_t i = 0;
   while (all.size() - i >= options_.block_size) {
-    std::vector<LedgerEntry> block(all.begin() + i,
-                                   all.begin() + i + options_.block_size);
-    uint64_t height = ledger_.Append(std::move(block), root_, NowMicros());
-    IndexBlockHistoryLocked(height);
-    s = PersistBlockLocked(height);
-    if (!s.ok()) return s;
+    pending_.assign(std::make_move_iterator(all.begin() + i),
+                    std::make_move_iterator(all.begin() + i +
+                                            options_.block_size));
+    SealPendingLocked(&records);
     i += options_.block_size;
   }
-  pending_.assign(all.begin() + i, all.end());
+  pending_.assign(std::make_move_iterator(all.begin() + i),
+                  std::make_move_iterator(all.end()));
+  Status io = AppendJournalRecordsLocked(records);
   PublishSnapshotLocked(/*journal_changed=*/true);
-  return Status::OK();
+  lock.unlock();
+  // A bulk load can leave many MB in the journal's manual-flush buffer;
+  // hand them to the kernel now instead of waiting for backpressure.
+  if (io.ok() && journal_log_ != nullptr) FlushJournal();
+  return io;
 }
 
 Status SpitzDb::AuditLastBlock() {
@@ -403,7 +623,14 @@ Status SpitzDb::AuditLastBlock() {
 
 Status SpitzDb::FlushBlock() {
   std::lock_guard<std::mutex> lock(mu_);
-  return SealBlockLocked();
+  if (pending_.empty()) return Status::OK();
+  std::vector<std::string> records;
+  SealPendingLocked(&records);
+  Status io = AppendJournalRecordsLocked(records);
+  PublishSnapshotLocked(/*journal_changed=*/true);
+  // The in-memory seal stands either way; a persistence failure means
+  // this block will not survive a restart, which the caller must hear.
+  return io;
 }
 
 // The read path is lock-free: one atomic shared_ptr load pins an

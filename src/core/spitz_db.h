@@ -2,7 +2,9 @@
 #define SPITZ_CORE_SPITZ_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +56,19 @@ struct ScanProof {
   static Status DecodeFrom(Slice* input, ScanProof* out);
 };
 
+// Per-write knobs (the durable analogue of LevelDB's WriteOptions).
+struct WriteOptions {
+  WriteOptions() {}
+  // When true on a durable database, the write does not return until
+  // the journal blocks containing it are appended AND fsync'd — the
+  // write survives any crash after the call returns. Concurrent sync
+  // writers are batched by the group-commit pipeline, so the fsync cost
+  // is amortized over the whole group rather than paid per call. On an
+  // in-memory database the flag is ignored (there is nothing to make
+  // durable).
+  bool sync = false;
+};
+
 struct SpitzOptions {
   SpitzOptions() {}
   // Which SIRI instance backs the unified index (paper 3.1/6.1). The
@@ -85,6 +100,13 @@ struct SpitzOptions {
   PosTreeOptions index_options;
   // Bucket count for the kMerkleBucketTree backend (ignored otherwise).
   uint32_t mbt_bucket_count = 256;
+  // Durable-put mode: every write behaves as if WriteOptions::sync were
+  // set — the database acknowledges a Put only after its journal blocks
+  // are fsync'd. This is how a served deployment (SpitzServer) turns
+  // every client Put durable without a wire-protocol change; group
+  // commit keeps fsyncs ≪ puts under concurrency. Durable databases
+  // only (ignored in-memory).
+  bool sync_writes = false;
   // Hot-path instrumentation (latency and proof-size histograms). On by
   // default — the recording cost is a handful of relaxed atomic adds —
   // but can be switched off to measure the overhead itself (the
@@ -122,12 +144,24 @@ class SpitzDb {
   SpitzDb& operator=(const SpitzDb&) = delete;
 
   // --- OLTP write path ----------------------------------------------------
+  //
+  // All writes flow through a leader-based group-commit pipeline:
+  // concurrent writers enqueue their batch and block; the writer at the
+  // head of the queue becomes the leader, drains a bounded group,
+  // applies every batch to the copy-on-write index under the writer
+  // lock, appends all sealed journal blocks with one gathered I/O and —
+  // if any member asked for durability — issues a single fsync for the
+  // whole group before waking each waiter with its individual Status.
 
   Status Put(const Slice& key, const Slice& value);
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
   Status Delete(const Slice& key);
+  Status Delete(const WriteOptions& options, const Slice& key);
   // Atomic multi-key write (one commit timestamp, one set of ledger
   // entries).
   Status Write(const WriteBatch& batch);
+  Status Write(const WriteOptions& options, const WriteBatch& batch);
 
   // Bulk ingestion for initial provisioning: builds the index in one
   // pass and seals the corresponding ledger blocks. Equivalent to (but
@@ -254,11 +288,16 @@ class SpitzDb {
   // MetricsSnapshot::ToJson(). Safe from any thread.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
 
-  // Durable databases only: fsyncs the chunk log, then the journal —
-  // in that order, so that at every durable journal prefix the chunk
-  // store already holds the index nodes its blocks reference. This is
-  // the durability point: records merely written (Put/FlushBlock) can
-  // be lost in a crash until SyncStorage returns OK.
+  // Runs the durability barrier (SyncCommitted): snapshot-flush the
+  // journal, fsync the chunk log, then fsync the journal — in that
+  // order, so that at every durable journal prefix the chunk store
+  // already holds the index nodes its blocks reference. This is the
+  // durability point for non-sync writes: records merely written
+  // (Put/FlushBlock) can be lost in a crash until SyncStorage returns
+  // OK. (Writes issued with WriteOptions::sync are already durable when
+  // they return.) Only the buffer flush runs under the writer lock; the
+  // disk barriers themselves run outside it, so concurrent readers and
+  // writers never wait on the disk.
   Status SyncStorage();
 
  private:
@@ -287,14 +326,78 @@ class SpitzDb {
   // over from the previous snapshot unless `journal_changed`.
   void PublishSnapshotLocked(bool journal_changed);
 
-  // Applies ops to the index and ledger under mu_.
-  Status WriteLocked(const WriteBatch& batch);
-  // Seals pending entries into a block; surfaces persistence failures.
-  Status SealBlockLocked();
-  // Appends the sealed block at `height` to the journal log (durable
-  // mode only). Short writes are reported — a block the log does not
-  // hold in full would be silently unrecoverable.
-  Status PersistBlockLocked(uint64_t height);
+  // --- Group-commit pipeline ----------------------------------------------
+
+  // One writer's slot in the commit queue. The owning thread blocks on
+  // commit_cv_ until a leader sets `done` (under commit_mu_, so the
+  // status write is release/acquire-ordered with the wakeup).
+  struct CommitRequest {
+    const WriteBatch* batch = nullptr;
+    bool sync = false;
+    Status status;
+    bool done = false;
+  };
+
+  // The leader's apply stage: applies each batch under mu_, seals
+  // blocks at the same boundaries the serial path would (plus the
+  // partial tail when `sync` — durability is promised for the whole
+  // group), appends every resulting journal record with one buffered
+  // AppendV, and publishes the snapshot. No disk I/O: the caller runs
+  // SyncCommitted() after handing the queue to the next leader. Sets
+  // each member's status; a journal-append failure is surfaced to every
+  // member whose batch applied. *append_seq receives the journal append
+  // sequence after this group's records — the cut SyncCommitted must
+  // cover for the group to be durable. *flush_backpressure is set when
+  // the journal's user-space buffer has outgrown its budget and the
+  // caller should FlushJournal() (non-sync groups only — a sync group's
+  // barrier drains the buffer anyway).
+  Status CommitGroup(const std::vector<CommitRequest*>& group, bool sync,
+                     uint64_t* append_seq, bool* flush_backpressure);
+
+  // The coalescing durability barrier shared by sync commits and
+  // SyncStorage. Returns once every journal record with append sequence
+  // ≤ `seq` is durable. A caller whose records are already covered by a
+  // completed barrier returns immediately; one caller at a time runs
+  // the barrier proper — (1) flush the journal buffer under mu_,
+  // capturing the append sequence the barrier will harden; (2) fsync
+  // the chunk log; (3) fsync the journal — while later callers wait and
+  // then usually find themselves covered by it. This is where fsyncs
+  // amortize: N concurrent sync writers converge on ~2 barriers per
+  // round instead of N.
+  //
+  // Ordering invariant: chunk durability strictly precedes journal
+  // durability for every record a barrier hardens. The journal runs in
+  // manual-flush mode and every flush is serialized against the
+  // in-flight barrier, so no record can become kernel-visible between
+  // (2) and (3) — which is what recovery relies on when it refuses
+  // roots that do not resolve in the chunk store. The barrier holds no
+  // lock during the fsyncs: the next group's apply stage (mu_) runs
+  // concurrently — the pipelined half of group commit.
+  Status SyncCommitted(uint64_t seq);
+
+  // Kernel visibility without a durability point: flushes the journal
+  // buffer under mu_ while excluding any in-flight barrier (sync_mu_).
+  // Backpressure valve for long non-sync runs so the manual-flush
+  // buffer cannot grow without bound.
+  void FlushJournal();
+
+  // Applies one batch's ops to the index and the ledger buffer under
+  // mu_ (no seal, no I/O). The batch is atomic: on failure root_ and
+  // pending_ are untouched.
+  Status ApplyBatchLocked(const WriteBatch& batch);
+
+  // Seals every pending entry into one block (the serial-path boundary:
+  // seal-all once pending reaches block_size) and, in durable mode,
+  // pushes the block's serialized journal record onto *records for a
+  // later coalesced append.
+  void SealPendingLocked(std::vector<std::string>* records);
+
+  // One gathered AppendV of the records (durable mode only). An error
+  // means none/only a prefix of the blocks will survive a restart — the
+  // in-memory seals stand either way, and the caller must surface the
+  // failure to every writer in the group.
+  Status AppendJournalRecordsLocked(const std::vector<std::string>& records);
+
   // Adds the sealed block's entries to the history index.
   void IndexBlockHistoryLocked(uint64_t height);
 
@@ -313,6 +416,10 @@ class SpitzDb {
     Histogram* proof_verify_ns = nullptr;  // core.db.proof_verify_latency_ns
     Histogram* proof_bytes = nullptr;  // index.siri.proof_bytes.<backend>
     Histogram* range_proof_bytes = nullptr;  // ...range_proof_bytes.<backend>
+    // Batches per leader drain (core.db.commit.group_size): its mean is
+    // the write-amortization factor, and fsyncs ≪ puts is the
+    // observable group-commit win.
+    Histogram* group_size = nullptr;
   };
 
   // (Re)binds every component's instruments into registry_. Called at
@@ -341,6 +448,10 @@ class SpitzDb {
   // Crash-garbage bytes cut from the journal tail during recovery
   // (core.db.journal.truncated_bytes).
   Counter journal_truncated_bytes_;
+  // Journal fsyncs issued (core.db.journal.fsyncs): one per sync group
+  // and per SyncStorage, not one per put — the ratio to total puts is
+  // the amortization group commit buys.
+  Counter journal_fsyncs_;
   Journal ledger_;
   TimestampOracle clock_;
   std::unique_ptr<DeferredVerifier> auditor_;
@@ -349,10 +460,37 @@ class SpitzDb {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
 
+  // The commit queue (see "OLTP write path" above). commit_mu_ guards
+  // only the deque and the done/status handoff; it is never held while
+  // the leader works, so enqueueing writers do not serialize against
+  // the index apply or the fsync. A leader pops its group *before* the
+  // disk barrier, so the next leader's apply stage (mu_) overlaps this
+  // group's sync stage (sync_mu_). Lock order: commit_mu_ is never held
+  // together with any other lock; sync_mu_ may acquire mu_, never the
+  // reverse.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<CommitRequest*> commit_queue_;
+
+  // Barrier coalescing state (see SyncCommitted). sync_mu_ guards only
+  // these fields plus FlushJournal's flush; the barrier's own I/O runs
+  // with sync_in_flight_ set and no lock held. synced_seq_ is the
+  // highest append_seq_ cut a completed barrier has hardened;
+  // append_seq_ itself lives under mu_ (bumped by every successful
+  // journal-record append).
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_flight_ = false;
+  uint64_t synced_seq_ = 0;
+
   mutable std::mutex mu_;
   Hash256 root_;                      // current index version
   std::vector<LedgerEntry> pending_;  // entries awaiting block seal
   uint64_t last_commit_ts_ = 0;
+  // Journal append sequence: bumped by every successful record append
+  // (AppendJournalRecordsLocked). SyncCommitted(seq) promises exactly
+  // "every append cut ≤ seq is durable".
+  uint64_t append_seq_ = 0;
   // History index: key -> journal positions of its sealed writes,
   // maintained at seal time (rebuilt during recovery).
   std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>>

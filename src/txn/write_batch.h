@@ -33,11 +33,28 @@ class WriteBatch {
     ops_.push_back({OpType::kDelete, key.ToString(), std::string()});
   }
 
+  // Appends every op of `other` after this batch's ops, preserving
+  // order. This is the group-merge primitive: a commit group (or a
+  // client coalescing its own writes) folds several batches into one
+  // without re-encoding them.
+  void Append(const WriteBatch& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  }
+
   void Clear() { ops_.clear(); }
 
   const std::vector<Op>& ops() const { return ops_; }
   size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
+
+  // Approximate payload weight (key + value bytes) — what a commit
+  // group's size cap should count, since op count says little about
+  // I/O volume.
+  size_t ByteSize() const {
+    size_t total = 0;
+    for (const Op& op : ops_) total += op.key.size() + op.value.size();
+    return total;
+  }
 
   // Serialization (used by the RPC transport in the non-intrusive
   // design).
