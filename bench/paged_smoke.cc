@@ -1,0 +1,321 @@
+// Larger-than-RAM smoke check for the paged chunk store (ci/check.sh
+// leg, DESIGN.md section 12).
+//
+// Sweeps the unified buffer-cache budget over a dataset at least 4x
+// larger than every budget in the sweep and asserts the promises the
+// paged store makes:
+//
+//   1. bounded residency — peak RSS growth stays well below the on-disk
+//      footprint (the store reads through the cache instead of keeping
+//      every chunk resident), and the cache never exceeds its budget;
+//   2. zero verification failures — every read is a GetWithProof
+//      verified against the digest, under every cache budget;
+//   3. GC reclaims — after overwrites age versions out of the retention
+//      window, CollectGarbage frees disk and deletes segments;
+//   4. reopen after GC — recovery replays the rewritten segments and a
+//      verified read sweep still passes.
+//
+// Emits BENCH_paged.json (override with --out <path>): one row per
+// cache budget with hit rate, read amplification and Get p99. --smoke
+// shrinks the dataset for CI. Exits 1 on the first failed invariant.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/spitz_db.h"
+
+namespace spitz {
+namespace {
+
+int failures = 0;
+
+#define PG_CHECK(cond, what)                                         \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      fprintf(stderr, "paged_smoke: FAILED: %s (%s)\n", what, #cond); \
+      failures++;                                                    \
+    }                                                                \
+  } while (0)
+
+uint64_t CurrentRssBytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+std::string KeyOf(int i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "user%08d", i);
+  return buf;
+}
+
+std::string ValueOf(int i, int round, size_t value_bytes) {
+  std::string v = "r" + std::to_string(round) + "-" + std::to_string(i) + "-";
+  v.resize(value_bytes, 'x');
+  return v;
+}
+
+struct Row {
+  size_t cache_budget = 0;
+  uint64_t dataset_bytes = 0;
+  uint64_t disk_bytes = 0;       // before GC
+  uint64_t disk_after_gc = 0;
+  double hit_rate = 0.0;
+  double read_amplification = 0.0;
+  double get_p99_us = 0.0;
+  uint64_t rss_delta_bytes = 0;
+  uint64_t gc_dead_chunks = 0;
+  uint64_t gc_reclaimed_bytes = 0;
+  uint64_t gc_segments_deleted = 0;
+};
+
+Row RunBudget(const std::string& dir, size_t cache_budget, int records,
+              size_t value_bytes, int block_size) {
+  Row row;
+  row.cache_budget = cache_budget;
+  row.dataset_bytes = static_cast<uint64_t>(records) * value_bytes;
+  PG_CHECK(row.dataset_bytes >= 4 * cache_budget,
+           "dataset at least 4x the cache budget");
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SpitzOptions options;
+  options.data_dir = dir;
+  options.block_size = static_cast<size_t>(block_size);
+  options.buffer_cache_bytes = cache_budget;
+  options.chunk_segment_bytes = 1 << 20;
+  options.retain_versions = 2;
+
+  const uint64_t rss_before = CurrentRssBytes();
+  uint64_t rss_peak = rss_before;
+  {
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(options, &db);
+    PG_CHECK(s.ok(), "open");
+    if (!s.ok()) return row;
+
+    // Load, then overwrite a quarter of the keys so older versions age
+    // out of the retention window and the GC has something to collect.
+    for (int i = 0; i < records; i++) {
+      PG_CHECK(db->Put(KeyOf(i), ValueOf(i, 0, value_bytes)).ok(), "put");
+    }
+    for (int i = 0; i < records; i += 4) {
+      PG_CHECK(db->Put(KeyOf(i), ValueOf(i, 1, value_bytes)).ok(),
+               "overwrite");
+    }
+    PG_CHECK(db->FlushBlock().ok(), "flush");
+    PG_CHECK(db->SyncStorage().ok(), "sync");
+    rss_peak = std::max(rss_peak, CurrentRssBytes());
+
+    // Verified point reads across the whole keyspace: every proof must
+    // check out against the digest no matter how small the cache is.
+    MetricsSnapshot before = db->Metrics();
+    const SpitzDigest digest = db->Digest();
+    std::vector<uint64_t> latencies;
+    latencies.reserve(static_cast<size_t>(records));
+    uint64_t value_bytes_read = 0;
+    int verify_failures = 0;
+    for (int i = 0; i < records; i++) {
+      // A fixed stride walks the keyspace out of insertion order, so
+      // a tiny cache cannot ride a sequential sweep.
+      int k = static_cast<int>(
+          (static_cast<uint64_t>(i) * 7919) % static_cast<uint64_t>(records));
+      std::string value;
+      ReadProof proof;
+      uint64_t start = MonotonicNanos();
+      Status g = db->GetWithProof(KeyOf(k), &value, &proof);
+      if (!g.ok() ||
+          !SpitzDb::VerifyRead(digest, KeyOf(k), value, proof).ok() ||
+          value != ValueOf(k, k % 4 == 0 ? 1 : 0, value_bytes)) {
+        verify_failures++;
+        continue;
+      }
+      latencies.push_back(MonotonicNanos() - start);
+      value_bytes_read += value.size();
+    }
+    PG_CHECK(verify_failures == 0, "zero verification failures");
+    rss_peak = std::max(rss_peak, CurrentRssBytes());
+
+    MetricsSnapshot after = db->Metrics();
+    const uint64_t hits =
+        after.CounterValue("cache.hits") - before.CounterValue("cache.hits");
+    const uint64_t misses = after.CounterValue("cache.misses") -
+                            before.CounterValue("cache.misses");
+    if (hits + misses > 0) {
+      row.hit_rate = static_cast<double>(hits) /
+                     static_cast<double>(hits + misses);
+    }
+    const uint64_t disk_read = after.CounterValue("chunk.file.read_bytes") -
+                               before.CounterValue("chunk.file.read_bytes");
+    if (value_bytes_read > 0) {
+      row.read_amplification = static_cast<double>(disk_read) /
+                               static_cast<double>(value_bytes_read);
+    }
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      row.get_p99_us =
+          static_cast<double>(latencies[latencies.size() * 99 / 100]) / 1e3;
+    }
+    PG_CHECK(after.CounterValue("chunk.file.read_errors") == 0,
+             "zero read errors");
+    PG_CHECK(after.GaugeValue("cache.bytes") <=
+                 after.GaugeValue("cache.capacity_bytes"),
+             "cache stays within its budget");
+    row.disk_bytes = DirBytes(dir);
+
+    // GC: overwritten versions beyond retain_versions are dead weight.
+    ChunkGcStats stats;
+    Status gc = db->CollectGarbage(&stats);
+    PG_CHECK(gc.ok(), "collect garbage");
+    row.gc_dead_chunks = stats.dead_chunks;
+    row.gc_reclaimed_bytes = stats.reclaimed_bytes;
+    row.gc_segments_deleted = stats.segments_deleted;
+    PG_CHECK(stats.dead_chunks > 0, "gc found dead chunks");
+    PG_CHECK(stats.reclaimed_bytes > 0, "gc reclaimed bytes");
+    PG_CHECK(db->SyncStorage().ok(), "post-gc sync");
+    rss_peak = std::max(rss_peak, CurrentRssBytes());
+  }
+  row.disk_after_gc = DirBytes(dir);
+  PG_CHECK(row.disk_after_gc < row.disk_bytes, "gc shrank the directory");
+
+  // Bounded residency: a store that kept every chunk in memory would
+  // grow RSS by about the on-disk footprint; the paged store must stay
+  // well under that (cache budget + per-chunk index entries + slack).
+  row.rss_delta_bytes = rss_peak > rss_before ? rss_peak - rss_before : 0;
+  PG_CHECK(row.rss_delta_bytes < row.disk_bytes * 3 / 4,
+           "peak RSS growth bounded below the on-disk footprint");
+
+  // Reopen after GC: recovery replays the rewritten segments and the
+  // data still verifies.
+  {
+    std::unique_ptr<SpitzDb> db;
+    Status s = SpitzDb::Open(options, &db);
+    PG_CHECK(s.ok(), "reopen after gc");
+    if (s.ok()) {
+      PG_CHECK(db->key_count() == static_cast<uint64_t>(records),
+               "reopen key count");
+      const SpitzDigest digest = db->Digest();
+      int reopen_failures = 0;
+      const int step = records > 2000 ? records / 1000 : 1;
+      for (int i = 0; i < records; i += step) {
+        std::string value;
+        ReadProof proof;
+        if (!db->GetWithProof(KeyOf(i), &value, &proof).ok() ||
+            !SpitzDb::VerifyRead(digest, KeyOf(i), value, proof).ok() ||
+            value != ValueOf(i, i % 4 == 0 ? 1 : 0, value_bytes)) {
+          reopen_failures++;
+        }
+      }
+      PG_CHECK(reopen_failures == 0, "verified reads after reopen");
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+void PrintRow(FILE* out, const Row& r, bool last) {
+  fprintf(out,
+          "    {\"cache_budget_bytes\": %zu, \"dataset_bytes\": %" PRIu64
+          ", \"disk_bytes\": %" PRIu64 ", \"disk_after_gc_bytes\": %" PRIu64
+          ", \"hit_rate\": %.4f, \"read_amplification\": %.2f, "
+          "\"get_p99_us\": %.1f, \"rss_delta_bytes\": %" PRIu64
+          ", \"gc_dead_chunks\": %" PRIu64 ", \"gc_reclaimed_bytes\": %" PRIu64
+          ", \"gc_segments_deleted\": %" PRIu64 "}%s\n",
+          r.cache_budget, r.dataset_bytes, r.disk_bytes, r.disk_after_gc,
+          r.hit_rate, r.read_amplification, r.get_p99_us, r.rss_delta_bytes,
+          r.gc_dead_chunks, r.gc_reclaimed_bytes, r.gc_segments_deleted,
+          last ? "" : ",");
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  const std::string root =
+      std::filesystem::temp_directory_path() / "spitz_paged_smoke";
+  const std::string dir = root + "/db";
+
+  const int records = smoke ? 20000 : 100000;
+  const size_t value_bytes = 512;
+  const int block_size = 256;
+  const std::vector<size_t> budgets =
+      smoke ? std::vector<size_t>{512 << 10, 1 << 20, 2 << 20}
+            : std::vector<size_t>{1 << 20, 4 << 20, 12 << 20};
+
+  std::vector<Row> rows;
+  for (size_t budget : budgets) {
+    rows.push_back(RunBudget(dir, budget, records, value_bytes, block_size));
+  }
+
+  FILE* out = fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    fprintf(stderr, "paged_smoke: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  fprintf(out, "{\n  \"benchmark\": \"paged_store\",\n");
+  fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  fprintf(out, "  \"records\": %d,\n", records);
+  fprintf(out, "  \"value_bytes\": %zu,\n", value_bytes);
+  fprintf(out, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    PrintRow(out, rows[i], i + 1 == rows.size());
+  }
+  fprintf(out, "  ]\n}\n");
+  fclose(out);
+
+  for (const Row& r : rows) {
+    printf("paged_smoke: cache=%zuKB hit_rate=%.3f read_amp=%.2f "
+           "p99=%.0fus rss_delta=%" PRIu64 "KB disk=%" PRIu64
+           "KB->%" PRIu64 "KB gc_dead=%" PRIu64 "\n",
+           r.cache_budget >> 10, r.hit_rate, r.read_amplification,
+           r.get_p99_us, r.rss_delta_bytes >> 10, r.disk_bytes >> 10,
+           r.disk_after_gc >> 10, r.gc_dead_chunks);
+  }
+  std::filesystem::remove_all(root);
+  if (failures > 0) {
+    fprintf(stderr, "paged_smoke: %d check(s) failed\n", failures);
+    return 1;
+  }
+  printf("paged_smoke: ok (%zu budgets -> %s)\n", rows.size(),
+         out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spitz
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_paged.json";
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--smoke] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+  return spitz::Run(smoke, out_path);
+}

@@ -51,6 +51,13 @@ echo "==> tier-1: write-path smoke (group commit amortizes fsyncs)"
 # leader actually shared durability barriers across the group.
 "${PREFIX}/bench/write_path" --smoke --out "${PREFIX}/BENCH_write_path_smoke.json"
 
+echo "==> tier-1: paged-store smoke (larger-than-RAM, GC, reopen)"
+# Sweeps the unified buffer-cache budget over a dataset >= 4x every
+# budget: asserts bounded peak-RSS growth, zero proof-verification
+# failures under every budget, a GC pass that reclaims disk, and a
+# verified read sweep after reopening the collected store.
+"${PREFIX}/bench/paged_smoke" --smoke --out "${PREFIX}/BENCH_paged_smoke.json"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread

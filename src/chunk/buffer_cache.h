@@ -1,0 +1,176 @@
+#ifndef SPITZ_CHUNK_BUFFER_CACHE_H_
+#define SPITZ_CHUNK_BUFFER_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "crypto/hash.h"
+
+namespace spitz {
+
+// The unified buffer cache of the paged storage stack (DESIGN.md
+// section 12): one byte budget fronting both raw chunk bytes read back
+// from segment files and decoded POS-tree nodes, so the two working
+// sets compete for the same memory instead of each holding a private
+// allowance. Entries are type-erased (shared_ptr<const void> plus an
+// explicit charge); the Kind tag keeps the two populations distinct in
+// the key space and in the per-kind accounting.
+//
+// Coherence is trivial: keys are content hashes of immutable data, so a
+// cached value can never be stale — there is no invalidation path, only
+// eviction (the no-invalidation property the whole read path is built
+// on). Erase exists solely for the GC, which removes raw-chunk entries
+// whose backing records it is about to delete — not because they are
+// stale, but so dead chunks stop occupying budget.
+//
+// Pinning: an entry inserted (or re-inserted) with pin=true is exempt
+// from eviction and from Erase/Clear until Unpin balances every pin.
+// The durable store pins the entries for records that are not yet
+// kernel-visible (pread cannot serve them), which is what makes "Get
+// always works after Put" hold on the paged store; pinned bytes may
+// push a shard past its budget — the overshoot drains as soon as the
+// log flushes and the pins release.
+//
+// Thread safety: fully thread-safe; sharded by a key byte like the
+// chunk store's resident map.
+class BufferCache {
+ public:
+  enum Kind : uint8_t { kRawChunk = 0, kPosNode = 1 };
+  static constexpr size_t kKindCount = 2;
+
+  struct KindStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;  // currently resident
+    uint64_t bytes = 0;    // resident charge
+  };
+
+  struct Stats {
+    KindStats kind[kKindCount];
+    uint64_t capacity_bytes = 0;
+    uint64_t pinned_entries = 0;
+
+    uint64_t hits() const { return Total(&KindStats::hits); }
+    uint64_t misses() const { return Total(&KindStats::misses); }
+    uint64_t inserts() const { return Total(&KindStats::inserts); }
+    uint64_t evictions() const { return Total(&KindStats::evictions); }
+    uint64_t entries() const { return Total(&KindStats::entries); }
+    uint64_t bytes() const { return Total(&KindStats::bytes); }
+
+   private:
+    uint64_t Total(uint64_t KindStats::* field) const {
+      uint64_t n = 0;
+      for (size_t k = 0; k < kKindCount; k++) n += kind[k].*field;
+      return n;
+    }
+  };
+
+  explicit BufferCache(size_t capacity_bytes, size_t shard_count = 16);
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  static constexpr size_t kDefaultCapacityBytes = 64 << 20;
+
+  // Returns the cached value (promoted to most-recently-used) or
+  // nullptr on a miss.
+  std::shared_ptr<const void> Lookup(Kind kind, const Hash256& id);
+
+  // Inserts (or refreshes) an entry. `charge` is its budget footprint.
+  // With pin=false, entries larger than a whole shard's budget are not
+  // cached and least-recently-used unpinned entries are evicted until
+  // the shard is back under budget. With pin=true the entry is inserted
+  // unconditionally and its pin count bumped (an existing entry is
+  // pinned in place); every pin must be balanced by one Unpin.
+  void Insert(Kind kind, const Hash256& id, std::shared_ptr<const void> value,
+              size_t charge, bool pin = false);
+
+  // Releases one pin. Once unpinned the entry becomes evictable again
+  // (and an over-budget shard sheds it on the next insert).
+  void Unpin(Kind kind, const Hash256& id);
+
+  // Drops the entry unless it is pinned. Used by the GC to stop dead
+  // chunks from occupying budget.
+  void Erase(Kind kind, const Hash256& id);
+
+  // Drops every unpinned entry (counters are retained).
+  void Clear();
+
+  Stats stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  // Registers the whole-budget accounting under `cache.*`. The cache
+  // must outlive the registry's use.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  struct Key {
+    Hash256 id;
+    uint8_t kind;
+    bool operator==(const Key& other) const {
+      return kind == other.kind && id == other.id;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& key) const {
+      return Hash256Hasher()(key.id) ^ (static_cast<size_t>(key.kind) << 1);
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const void> value;
+    size_t charge = 0;
+    uint32_t pins = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> map;
+    size_t bytes[kKindCount] = {0, 0};
+    size_t entries[kKindCount] = {0, 0};
+    uint64_t evictions[kKindCount] = {0, 0};
+    uint64_t pinned = 0;
+  };
+
+  Shard* ShardOf(const Hash256& id) {
+    // Digest bytes are uniform; byte 9 decorrelates from the chunk
+    // store's shard byte (7) so the two stripings do not align.
+    return &shards_[id.data()[9] % shard_count_];
+  }
+  const Shard* ShardOf(const Hash256& id) const {
+    return &shards_[id.data()[9] % shard_count_];
+  }
+
+  // Evicts unpinned LRU entries until the shard is within budget.
+  // Pinned entries encountered at the tail are rotated to the front so
+  // the scan stays O(evicted). Caller holds shard->mu.
+  void EvictLocked(Shard* shard);
+
+  static size_t ShardBytes(const Shard& shard) {
+    size_t n = 0;
+    for (size_t k = 0; k < kKindCount; k++) n += shard.bytes[k];
+    return n;
+  }
+
+  const size_t capacity_bytes_;
+  const size_t shard_count_;
+  const size_t shard_budget_;  // capacity_bytes_ / shard_count_
+  std::unique_ptr<Shard[]> shards_;
+  Counter hits_[kKindCount];
+  Counter misses_[kKindCount];
+  Counter inserts_[kKindCount];
+};
+
+}  // namespace spitz
+
+#endif  // SPITZ_CHUNK_BUFFER_CACHE_H_

@@ -1,11 +1,14 @@
 #ifndef SPITZ_CHUNK_CHUNK_STORE_H_
 #define SPITZ_CHUNK_CHUNK_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "chunk/chunk.h"
+#include "chunk/epoch.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "crypto/hash.h"
@@ -16,6 +19,8 @@ namespace spitz {
 // grows only when a previously unseen chunk is inserted, so the gap
 // between logical_bytes and physical_bytes is exactly the space saved by
 // content-based deduplication (the effect shown in paper Fig. 1).
+// chunk_count and physical_bytes shrink again when the version GC
+// (RetainLive) collects chunks unreachable from the retained roots.
 //
 // DEPRECATED as a public surface: read these through the owning
 // database's Metrics() snapshot (chunk.store.* metrics) instead. The
@@ -28,12 +33,22 @@ struct ChunkStoreStats {
   uint64_t logical_bytes = 0;  // bytes offered across all Puts
 };
 
+// The result of one RetainLive (GC) pass.
+struct ChunkGcStats {
+  uint64_t live_chunks = 0;       // chunks in the survivor set
+  uint64_t dead_chunks = 0;       // chunks removed
+  uint64_t reclaimed_bytes = 0;   // stored bytes freed (memory or disk)
+  uint64_t rewritten_bytes = 0;   // live bytes copied to fresh segments
+  uint64_t segments_deleted = 0;  // victim segment files unlinked
+};
+
 // A content-addressed store for immutable chunks. This is the bottom of
 // the storage layer: SIRI index nodes, cell values, blob segments and
 // ledger blocks all live here. Thread-safe; the map is sharded by chunk
 // id so that background auditors and concurrent readers do not serialize
 // against the write path. The base class is the in-memory store;
-// FileChunkStore (file_chunk_store.h) adds durability.
+// FileChunkStore (file_chunk_store.h) is the paged, durable store whose
+// resident map holds only {segment, offset, length} locations.
 class ChunkStore {
  public:
   ChunkStore() = default;
@@ -46,39 +61,118 @@ class ChunkStore {
   // content id.
   virtual Hash256 Put(Chunk chunk);
 
-  // Looks up a chunk by id. The returned pointer remains valid for the
-  // lifetime of the store (chunks are never deleted: the store is
-  // immutable/append-only, per the VDB requirements).
-  Status Get(const Hash256& id, std::shared_ptr<const Chunk>* chunk) const;
+  // Looks up a chunk by id. The returned shared_ptr is the caller's
+  // hold on the bytes: keep it for as long as the chunk is in use. A
+  // chunk can disappear from the *store* once the version GC
+  // (RetainLive) proves it unreachable from every retained root — a
+  // held shared_ptr stays valid through that, but re-Getting the same
+  // id later may return NotFound. Callers that traverse many chunks
+  // (proof builds, scans, iterators, auditors) additionally bracket the
+  // whole traversal with PinReads() so a concurrent GC pass cannot
+  // collect the version out from under them mid-walk.
+  virtual Status Get(const Hash256& id,
+                     std::shared_ptr<const Chunk>* chunk) const;
 
-  bool Contains(const Hash256& id) const;
+  virtual bool Contains(const Hash256& id) const;
 
   // Makes every chunk stored so far crash-safe. The in-memory base
   // store has nothing to persist, so this is a no-op; FileChunkStore
-  // overrides it with a flush + fsync of the chunk log. Callers (e.g.
+  // overrides it with a flush + fsync of the segment log. Callers (e.g.
   // SpitzDb::SyncStorage and the group-commit leader) call this through
   // the interface instead of probing for the durable subclass.
   virtual Status Sync() { return Status::OK(); }
 
+  // Hook called by the database right after a block seals, so a paged
+  // store can align segment switches with sealed-block boundaries.
+  // No-op for the in-memory store.
+  virtual void OnBlockSealed() {}
+
+  // --- Version GC (DESIGN.md section 12) ----------------------------------
+  //
+  // Protocol: the collector calls BeginGc() *before* the newest chunk
+  // that its retained-roots snapshot might not cover can be inserted
+  // (SpitzDb holds the writer lock across the roots snapshot and
+  // BeginGc, so every later commit's chunks carry a later sequence).
+  // It then marks the live set by walking the retained roots, and calls
+  // RetainLive(live, mark_seq): every chunk inserted before mark_seq
+  // and in neither `live` nor the resurrected set (ids dedup-hit by
+  // concurrent Puts since BeginGc — a hit re-references a chunk the
+  // mark could not see) is collected. AbortGc() cancels after a failed
+  // mark. One GC pass at a time; RetainLive serializes internally.
+
+  // Arms resurrection tracking and returns the mark sequence.
+  uint64_t BeginGc();
+  void AbortGc();
+
+  // Collects every dead chunk (see protocol above). Reads that began
+  // before the call — under a PinReads() guard — finish first; reads of
+  // collected versions that begin afterwards fail with NotFound.
+  virtual Status RetainLive(
+      const std::unordered_set<Hash256, Hash256Hasher>& live,
+      uint64_t mark_seq, ChunkGcStats* stats);
+
+  // Brackets a multi-chunk read (proof build, scan, iteration, audit):
+  // RetainLive waits for every guard taken before its removal phase, so
+  // a traversal that could still resolve ids into condemned chunks
+  // completes before they go away. Cheap (two striped atomic adds);
+  // safe from any thread.
+  EpochManager::Guard PinReads() const { return epochs_.Enter(); }
+
   ChunkStoreStats stats() const;
 
   // Registers this store's accounting under `chunk.store.*` (and, for
-  // durable stores, `chunk.file.*`). The store must outlive the
-  // registry's use.
+  // durable stores, `chunk.file.*` / `chunk.segment.*`). The store must
+  // outlive the registry's use.
   virtual void ExportMetrics(MetricsRegistry* registry) const;
 
  protected:
   // Inserts without any persistence side effects; returns true when the
-  // chunk was not present before. Used by Put and by recovery replay.
+  // chunk was not present before. Used by the in-memory Put.
   bool InsertInMemory(Chunk chunk, Hash256* id);
+
+  // Next insertion sequence number (monotonic across the store; the GC
+  // compares entry sequences against its mark sequence). Call under the
+  // shard lock that publishes the entry so no published entry can carry
+  // a sequence later than one handed out after it.
+  uint64_t NextInsertSeq() {
+    return insert_seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Records a dedup hit while a GC pass is marking: the id is live
+  // again no matter what the mark concludes. Call with the publishing
+  // shard lock held (lock order: shard mutex, then gc_mu_).
+  void NoteDedupResurrection(const Hash256& id);
+
+  // True when `id` was resurrected since BeginGc(). Same lock order as
+  // NoteDedupResurrection; used by RetainLive's removal phase.
+  bool WasResurrected(const Hash256& id) const;
+
+  void EndGc();
+
+  EpochManager& epochs() const { return epochs_; }
+
+  // Accounting instruments (relaxed atomics); the same counters back
+  // both stats() and the metrics-registry export. Protected so the
+  // durable subclass, which keeps its own resident map, shares one set
+  // of books with the base. chunk_count_/physical_bytes_ are gauges:
+  // the GC shrinks them.
+  Counter puts_;
+  Counter dedup_hits_;
+  Gauge chunk_count_;
+  Gauge physical_bytes_;
+  Counter logical_bytes_;
 
  private:
   static constexpr size_t kShardCount = 16;
 
+  struct Resident {
+    std::shared_ptr<const Chunk> chunk;
+    uint64_t seq = 0;  // insertion sequence (GC mark comparison)
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Hash256, std::shared_ptr<const Chunk>, Hash256Hasher>
-        chunks;
+    std::unordered_map<Hash256, Resident, Hash256Hasher> chunks;
   };
 
   // Digest bytes are uniform; any byte selects a shard evenly.
@@ -87,13 +181,15 @@ class ChunkStore {
   }
 
   Shard shards_[kShardCount];
-  // Accounting instruments (relaxed atomics); the same counters back
-  // both stats() and the metrics-registry export.
-  Counter puts_;
-  Counter dedup_hits_;
-  Counter chunk_count_;
-  Counter physical_bytes_;
-  Counter logical_bytes_;
+  std::atomic<uint64_t> insert_seq_{0};
+  mutable EpochManager epochs_;
+
+  // GC resurrection state. gc_mu_ is a leaf lock acquired only with a
+  // shard mutex already held (Put's dedup path and RetainLive's
+  // removal) or alone (BeginGc/AbortGc).
+  mutable std::mutex gc_mu_;
+  bool gc_active_ = false;
+  std::unordered_set<Hash256, Hash256Hasher> resurrected_;
 };
 
 }  // namespace spitz

@@ -1,5 +1,6 @@
 #include "common/env.h"
 
+#include <dirent.h>
 #include <errno.h>
 #include <fcntl.h>
 #include <limits.h>
@@ -158,6 +159,42 @@ class PosixWritableLog : public WritableLog {
   Status status_;  // sticky: set by the first failed write/sync
 };
 
+// Positional reads over one fd. pread(2) carries no cursor, so a single
+// handle serves concurrent readers, and POSIX keeps the inode alive
+// while the fd is open — reads keep working after the file is unlinked.
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    out->resize(n);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t got = ::pread(fd_, &(*out)[done], n - done,
+                            static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        out->clear();
+        return Status::IOError(ErrnoMessage("pread " + path_, errno));
+      }
+      if (got == 0) break;  // EOF: return the short prefix
+      done += static_cast<size_t>(got);
+    }
+    out->resize(done);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
 class PosixEnv : public Env {
  public:
   Status NewWritableLog(const std::string& path,
@@ -167,6 +204,18 @@ class PosixEnv : public Env {
       return Status::IOError(ErrnoMessage("open " + path, errno));
     }
     *log = std::make_unique<PosixWritableLog>(fd, path);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOError(ErrnoMessage("open " + path, errno));
+    }
+    *file = std::make_unique<PosixRandomAccessFile>(fd, path);
     return Status::OK();
   }
 
@@ -227,6 +276,45 @@ class PosixEnv : public Env {
 
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("no such dir: " + path);
+      return Status::IOError(ErrnoMessage("opendir " + path, errno));
+    }
+    struct dirent* entry;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      const char* name = entry->d_name;
+      if (strcmp(name, ".") == 0 || strcmp(name, "..") == 0) continue;
+      names->emplace_back(name);
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOError(ErrnoMessage("unlink " + path, errno));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open dir " + path, errno));
+    }
+    Status s;
+    if (::fsync(fd) != 0) {
+      s = Status::IOError(ErrnoMessage("fsync dir " + path, errno));
+    }
+    ::close(fd);
+    return s;
   }
 };
 

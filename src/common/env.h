@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -16,11 +17,29 @@ namespace spitz {
 // Every byte the database persists — chunk-log records and journal
 // blocks — flows through an Env, so crash behaviour can be tested by
 // substituting FaultInjectionEnv (fault_env.h) for the POSIX default.
-// The surface is deliberately tiny: the two logs are append-only, so
-// the only operations recovery and steady state need are append, sync,
-// whole-file read, and truncate (to cut a torn tail back to the last
-// valid record before reopening for append).
+// The surface is deliberately small: the logs are append-only, so the
+// write side needs only append, sync, whole-file read, and truncate (to
+// cut a torn tail back to the last valid record before reopening for
+// append). The paged chunk store (DESIGN.md section 12) adds the read
+// side — positional reads through RandomAccessFile — plus the directory
+// operations its segment lifecycle needs (list, delete, dir fsync).
 // ---------------------------------------------------------------------------
+
+// A read-only handle supporting positional reads (pread). Safe to call
+// from many threads at once: Read carries no cursor. The handle stays
+// readable even after the file is unlinked — the chunk-store GC relies
+// on this to delete a segment while a straggling reader still holds the
+// handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads up to `n` bytes starting at `offset` into *out (replacing its
+  // contents). Fewer bytes than requested means EOF was hit; that is
+  // not an error here — callers that need exactly `n` bytes must check
+  // out->size() themselves.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+};
 
 // A sequential append-only handle to one log file. Appends are buffered
 // in user space; Sync() flushes the buffer and fsyncs, which is the
@@ -94,6 +113,10 @@ class Env {
   virtual Status NewWritableLog(const std::string& path,
                                 std::unique_ptr<WritableLog>* log) = 0;
 
+  // Opens `path` for positional reads. NotFound if it does not exist.
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* file) = 0;
+
   // Reads the whole file into *out. NotFound if the file does not
   // exist (recovery treats that as a fresh, empty log).
   virtual Status ReadFileToString(const std::string& path,
@@ -112,6 +135,20 @@ class Env {
   virtual Status FileSize(const std::string& path, uint64_t* size) = 0;
 
   virtual bool FileExists(const std::string& path) = 0;
+
+  // Fills *names with the entries of directory `path` (no "." / "..",
+  // unsorted). NotFound if the directory does not exist.
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* names) = 0;
+
+  // Unlinks the file. NotFound if it does not exist.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  // Fsyncs the directory itself, making renames/creates/unlinks inside
+  // it durable. The chunk-store GC calls this after writing rewrite
+  // segments (so their directory entries survive a crash that happens
+  // before the victims are unlinked).
+  virtual Status SyncDir(const std::string& path) = 0;
 };
 
 }  // namespace spitz

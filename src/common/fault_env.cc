@@ -56,6 +56,25 @@ class FaultWritableLog : public WritableLog {
   std::unique_ptr<WritableLog> base_;
 };
 
+// Positional reads pass through unless the env's read-fault toggle is
+// on. Reads are not crash points (they consume no op index): a reader
+// cannot tear on-disk state, it can only observe it.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(const FaultInjectionEnv* env, std::string path,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    return env_->FileRead(path_, offset, n, out, base_.get());
+  }
+
+ private:
+  const FaultInjectionEnv* const env_;
+  const std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
 }  // namespace
 
 void FaultInjectionEnv::FailAt(uint64_t op_index, FaultKind kind,
@@ -87,6 +106,11 @@ void FaultInjectionEnv::Revive() {
   dead_ = false;
   fired_ = false;
   armed_kind_ = FaultKind::kNone;
+}
+
+void FaultInjectionEnv::SetReadFaults(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_faults_ = on;
 }
 
 uint64_t FaultInjectionEnv::unsynced_bytes() const {
@@ -282,6 +306,55 @@ Status FaultInjectionEnv::FileSize(const std::string& path, uint64_t* size) {
 
 bool FaultInjectionEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* file) {
+  std::unique_ptr<RandomAccessFile> base;
+  Status s = base_->NewRandomAccessFile(path, &base);
+  if (!s.ok()) return s;
+  *file = std::make_unique<FaultRandomAccessFile>(this, path, std::move(base));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FileRead(const std::string& path, uint64_t offset,
+                                   size_t n, std::string* out,
+                                   const RandomAccessFile* base) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (read_faults_) {
+      return Status::IOError("injected read failure: " + path);
+    }
+  }
+  return base->Read(offset, n, out);
+}
+
+Status FaultInjectionEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* names) {
+  return base_->ListDir(path, names);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  Status s = base_->DeleteFile(path);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(path);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  // A directory fsync is a durability point like a log sync: it
+  // consumes one op index, so the crash harness also covers "crashed
+  // before the GC rewrite segments' directory entries hardened".
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return Status::IOError("injected fault: environment is dead");
+  size_t partial = 0;
+  FaultKind kind = NextOp(&partial);
+  if (kind != FaultKind::kNone) {
+    return Status::IOError("injected dir sync failure");
+  }
+  return base_->SyncDir(path);
 }
 
 }  // namespace spitz

@@ -85,6 +85,11 @@ class FaultInjectionEnv : public Env {
   // Clears the dead flag and any armed fault; subsequent I/O succeeds.
   void Revive();
 
+  // While on, every RandomAccessFile::Read through this env fails with
+  // IOError (the log write stream is untouched). Exercises the chunk
+  // store's positional-read error path without killing the process.
+  void SetReadFaults(bool on);
+
   // Bytes that SimulateCrash(kDropUnsynced) would currently discard.
   uint64_t unsynced_bytes() const;
 
@@ -92,11 +97,21 @@ class FaultInjectionEnv : public Env {
 
   Status NewWritableLog(const std::string& path,
                         std::unique_ptr<WritableLog>* log) override;
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* file) override;
   Status ReadFileToString(const std::string& path, std::string* out) override;
   Status Truncate(const std::string& path, uint64_t size) override;
   Status CreateDir(const std::string& path) override;
   Status FileSize(const std::string& path, uint64_t* size) override;
   bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
+  Status DeleteFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+  // Internal: read entry point for the RandomAccessFile wrapper.
+  Status FileRead(const std::string& path, uint64_t offset, size_t n,
+                  std::string* out, const RandomAccessFile* base) const;
 
   // Internal: op entry points used by the log wrapper this env hands
   // out (not part of the test-facing surface).
@@ -143,6 +158,7 @@ class FaultInjectionEnv : public Env {
   uint64_t armed_op_ = 0;
   FaultKind armed_kind_ = FaultKind::kNone;
   size_t armed_partial_ = 0;
+  bool read_faults_ = false;
 };
 
 }  // namespace spitz

@@ -1,5 +1,7 @@
 #include "core/spitz_db.h"
 
+#include <algorithm>
+
 #include "chunk/file_chunk_store.h"
 #include "common/clock.h"
 #include "common/codec.h"
@@ -10,19 +12,23 @@ namespace spitz {
 namespace {
 
 std::unique_ptr<ChunkStore> MakeChunkStore(const SpitzOptions& options,
-                                           Env* env, Status* status) {
+                                           Env* env, BufferCache* cache,
+                                           Status* status) {
   *status = Status::OK();
   if (options.data_dir.empty()) {
     return std::make_unique<ChunkStore>();
   }
   // A data directory that cannot be created must fail Open() here, with
   // the real errno, rather than surfacing later as a confusing
-  // cannot-open-chunk-log error.
+  // cannot-open-segment error.
   *status = env->CreateDir(options.data_dir);
   if (!status->ok()) return std::make_unique<ChunkStore>();
+  FileChunkStore::Options store_options;
+  store_options.segment_bytes = options.chunk_segment_bytes;
+  store_options.cache = cache;
   std::unique_ptr<FileChunkStore> file_store;
-  *status = FileChunkStore::Open(env, options.data_dir + "/chunks.log",
-                                 &file_store);
+  *status = FileChunkStore::Open(env, options.data_dir + "/chunks",
+                                 store_options, &file_store);
   if (!status->ok()) return std::make_unique<ChunkStore>();
   return file_store;
 }
@@ -59,16 +65,27 @@ Status SpitzOptions::Validate() const {
     return Status::InvalidArgument(
         "mbt_bucket_count must be at least 1 for the MBT backend");
   }
+  if (buffer_cache_bytes == 0) {
+    return Status::InvalidArgument(
+        "buffer_cache_bytes must be positive (the paged store pins "
+        "unflushed chunks in the cache; size it small, don't disable it)");
+  }
+  if (retain_versions == 0) {
+    return Status::InvalidArgument(
+        "retain_versions must be at least 1 (the current version "
+        "cannot be garbage-collected)");
+  }
   return index_options.Validate();
 }
 
 SpitzDb::SpitzDb(SpitzOptions options)
     : options_(options),
       init_status_(options.Validate()),
+      buffer_cache_(std::make_unique<BufferCache>(
+          options.buffer_cache_bytes > 0 ? options.buffer_cache_bytes
+                                         : BufferCache::kDefaultCapacityBytes)),
       chunks_(std::make_unique<ChunkStore>()),
-      node_cache_(options.node_cache_bytes > 0
-                      ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
-                      : nullptr),
+      node_cache_(std::make_unique<PosNodeCache>(buffer_cache_.get())),
       auditor_(std::make_unique<DeferredVerifier>(DeferredVerifier::Options(
           options.audit_batch_size, options.audit_workers))) {
   // Durable databases must go through Open() so recovery errors are
@@ -78,11 +95,16 @@ SpitzDb::SpitzDb(SpitzOptions options)
   // the caller ignores the statuses carrying init_status_.
   if (options_.block_size == 0) options_.block_size = 64;
   if (options_.mbt_bucket_count == 0) options_.mbt_bucket_count = 256;
+  if (options_.buffer_cache_bytes == 0) {
+    options_.buffer_cache_bytes = BufferCache::kDefaultCapacityBytes;
+  }
+  if (options_.retain_versions == 0) options_.retain_versions = 1;
   index_ = MakeSiriIndex(options_.index_backend, chunks_.get(),
                          MakeSiriOptions(options_));
   index_->SetNodeCache(node_cache_.get());
   WireMetrics();
   PublishSnapshotLocked(/*journal_changed=*/true);
+  StartGcThread();
 }
 
 void SpitzDb::WireMetrics() {
@@ -108,7 +130,16 @@ void SpitzDb::WireMetrics() {
   registry_.RegisterCounter("core.db.journal.truncated_bytes",
                             &journal_truncated_bytes_);
   registry_.RegisterCounter("core.db.journal.fsyncs", &journal_fsyncs_);
+  registry_.RegisterCounter("gc.runs", &gc_runs_);
+  registry_.RegisterCounter("gc.failures", &gc_failures_);
+  registry_.RegisterCounter("gc.dead_chunks", &gc_dead_chunks_);
+  registry_.RegisterCounter("gc.reclaimed_bytes", &gc_reclaimed_bytes_);
+  registry_.RegisterCounter("gc.rewritten_bytes", &gc_rewritten_bytes_);
+  registry_.RegisterCounter("gc.segments_deleted", &gc_segments_deleted_);
+  registry_.RegisterGaugeFn("gc.live_chunks",
+                            [this] { return gc_live_chunks_.value(); });
   chunks_->ExportMetrics(&registry_);
+  buffer_cache_->ExportMetrics(&registry_);
   if (node_cache_) node_cache_->ExportMetrics(&registry_);
   auditor_->ExportMetrics(&registry_);
 }
@@ -122,15 +153,19 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
   auto instance = std::unique_ptr<SpitzDb>(new SpitzDb());
   instance->options_ = options;
   instance->env_ = options.env != nullptr ? options.env : Env::Default();
-  instance->chunks_ = MakeChunkStore(options, instance->env_, &s);
+  // Rebuild the unified cache at the configured budget, then bind the
+  // durable store and the index to it (the default-constructed members
+  // pointed at the throwaway in-memory components; recreating the cache
+  // also guarantees no entry aliases ids from the old store).
+  instance->node_cache_.reset();
+  instance->buffer_cache_ =
+      std::make_unique<BufferCache>(options.buffer_cache_bytes);
+  instance->chunks_ =
+      MakeChunkStore(options, instance->env_, instance->buffer_cache_.get(),
+                     &s);
   if (!s.ok()) return s;
-  // Rebind the index to the durable store (the default-constructed one
-  // pointed at the throwaway in-memory store), re-creating the node
-  // cache so no entry aliases ids from the old store.
   instance->node_cache_ =
-      options.node_cache_bytes > 0
-          ? std::make_unique<PosNodeCache>(options.node_cache_bytes)
-          : nullptr;
+      std::make_unique<PosNodeCache>(instance->buffer_cache_.get());
   instance->index_ = MakeSiriIndex(options.index_backend,
                                    instance->chunks_.get(),
                                    MakeSiriOptions(options));
@@ -142,6 +177,7 @@ Status SpitzDb::Open(SpitzOptions options, std::unique_ptr<SpitzDb>* db) {
   s = instance->Recover();
   if (!s.ok()) return s;
   instance->PublishSnapshotLocked(/*journal_changed=*/true);
+  instance->StartGcThread();
   *db = std::move(instance);
   return Status::OK();
 }
@@ -222,8 +258,103 @@ Status SpitzDb::Recover() {
 }
 
 SpitzDb::~SpitzDb() {
+  if (gc_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(gc_wake_mu_);
+      gc_stop_ = true;
+    }
+    gc_wake_cv_.notify_all();
+    gc_thread_.join();
+  }
   auditor_->Flush();
   if (journal_log_ != nullptr) journal_log_->Close();
+}
+
+void SpitzDb::StartGcThread() {
+  if (options_.gc_interval_blocks == 0 || gc_thread_.joinable()) return;
+  gc_thread_ = std::thread(&SpitzDb::GcThreadMain, this);
+}
+
+void SpitzDb::GcThreadMain() {
+  std::unique_lock<std::mutex> lock(gc_wake_mu_);
+  for (;;) {
+    gc_wake_cv_.wait(lock, [&] {
+      return gc_stop_ || gc_sealed_height_ - gc_ran_height_ >=
+                             options_.gc_interval_blocks;
+    });
+    if (gc_stop_) return;
+    gc_ran_height_ = gc_sealed_height_;
+    lock.unlock();
+    // Failures already land in gc.failures; a background pass has no
+    // caller to hand the status to.
+    CollectGarbage(nullptr);
+    lock.lock();
+  }
+}
+
+void SpitzDb::NotifySealed(uint64_t block_count) {
+  // Outside mu_: the roll inside OnBlockSealed may fsync the outgoing
+  // segment, and commits must not wait on that.
+  chunks_->OnBlockSealed();
+  if (!gc_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(gc_wake_mu_);
+    if (block_count > gc_sealed_height_) gc_sealed_height_ = block_count;
+  }
+  gc_wake_cv_.notify_one();
+}
+
+Status SpitzDb::CollectGarbage(ChunkGcStats* stats_out) {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> gc_lock(gc_run_mu_);
+  // Snapshot the retained roots and arm the store's mark under the
+  // writer lock: every commit after this point carries an insertion
+  // sequence >= mark_seq and is untouchable by this pass, so the roots
+  // below cover everything the pass may collect.
+  std::vector<Hash256> roots;
+  uint64_t mark_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    roots.push_back(root_);
+    uint64_t blocks = ledger_.block_count();
+    uint64_t keep = std::min<uint64_t>(options_.retain_versions, blocks);
+    for (uint64_t i = 0; i < keep; i++) {
+      Block block;
+      Status s = ledger_.GetBlock(blocks - 1 - i, &block);
+      if (!s.ok()) return s;
+      roots.push_back(block.index_root());
+    }
+    mark_seq = chunks_->BeginGc();
+  }
+  // Mark outside the writer lock — the roots are immutable versions, so
+  // the walk never races a commit. The epoch pin keeps a concurrent
+  // (second) collector from sweeping mid-walk.
+  std::unordered_set<Hash256, Hash256Hasher> live;
+  {
+    auto pin = chunks_->PinReads();
+    for (const Hash256& root : roots) {
+      Status s = index_->CollectChunks(root, &live);
+      if (!s.ok()) {
+        chunks_->AbortGc();
+        gc_failures_.Increment();
+        return s;
+      }
+    }
+  }
+  ChunkGcStats stats;
+  Status s = chunks_->RetainLive(live, mark_seq, &stats);
+  if (!s.ok()) {
+    gc_failures_.Increment();
+    return s;
+  }
+  gc_runs_.Increment();
+  gc_live_chunks_.Set(stats.live_chunks);
+  gc_dead_chunks_.Increment(stats.dead_chunks);
+  gc_reclaimed_bytes_.Increment(stats.reclaimed_bytes);
+  gc_rewritten_bytes_.Increment(stats.rewritten_bytes);
+  gc_segments_deleted_.Increment(stats.segments_deleted);
+  if (stats_out != nullptr) *stats_out = stats;
+  return Status::OK();
 }
 
 Status SpitzDb::SyncStorage() {
@@ -361,6 +492,7 @@ Status SpitzDb::CommitGroup(const std::vector<CommitRequest*>& group,
   if (metrics_.group_size) metrics_.group_size->Record(group.size());
   std::vector<std::string> records;  // serialized journal records
   bool sealed = false;
+  uint64_t block_count = 0;
   Status io;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -384,6 +516,7 @@ Status SpitzDb::CommitGroup(const std::vector<CommitRequest*>& group,
     }
     io = AppendJournalRecordsLocked(records);
     *append_seq = append_seq_;
+    block_count = ledger_.block_count();
     PublishSnapshotLocked(/*journal_changed=*/sealed);
     if (!sync && journal_log_ != nullptr) {
       // Read under mu_ (appends are mu_-serialized, so this is exact):
@@ -400,6 +533,7 @@ Status SpitzDb::CommitGroup(const std::vector<CommitRequest*>& group,
       if (r->status.ok()) r->status = io;
     }
   }
+  if (sealed) NotifySealed(block_count);
   return io;
 }
 
@@ -578,8 +712,10 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
   pending_.assign(std::make_move_iterator(all.begin() + i),
                   std::make_move_iterator(all.end()));
   Status io = AppendJournalRecordsLocked(records);
+  uint64_t block_count = ledger_.block_count();
   PublishSnapshotLocked(/*journal_changed=*/true);
   lock.unlock();
+  if (block_count > 0) NotifySealed(block_count);
   // A bulk load can leave many MB in the journal's manual-flush buffer;
   // hand them to the kernel now instead of waiting for backpressure.
   if (io.ok() && journal_log_ != nullptr) FlushJournal();
@@ -622,12 +758,18 @@ Status SpitzDb::AuditLastBlock() {
 }
 
 Status SpitzDb::FlushBlock() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (pending_.empty()) return Status::OK();
-  std::vector<std::string> records;
-  SealPendingLocked(&records);
-  Status io = AppendJournalRecordsLocked(records);
-  PublishSnapshotLocked(/*journal_changed=*/true);
+  uint64_t block_count = 0;
+  Status io;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return Status::OK();
+    std::vector<std::string> records;
+    SealPendingLocked(&records);
+    io = AppendJournalRecordsLocked(records);
+    block_count = ledger_.block_count();
+    PublishSnapshotLocked(/*journal_changed=*/true);
+  }
+  NotifySealed(block_count);
   // The in-memory seal stands either way; a persistence failure means
   // this block will not survive a restart, which the caller must hear.
   return io;
@@ -640,12 +782,18 @@ Status SpitzDb::FlushBlock() {
 
 Status SpitzDb::Get(const Slice& key, std::string* value) const {
   ScopedTimer timer(metrics_.read_ns);
+  // The epoch pin brackets the whole traversal so a concurrent GC pass
+  // cannot unpublish chunks mid-walk (the snapshot root itself is
+  // always retained; the pin protects the window where an *older*
+  // snapshot captured before a commit is still being read).
+  auto pin = chunks_->PinReads();
   return index_->Get(CurrentSnapshot()->root, key, value);
 }
 
 Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
                              ReadProof* proof) const {
   ScopedTimer timer(metrics_.proof_build_ns);
+  auto pin = chunks_->PinReads();
   Hash256 root = CurrentSnapshot()->root;
   Status s = index_->GetWithProof(root, key, value, &proof->index_proof);
   proof->index_root = root;
@@ -660,6 +808,7 @@ Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
 Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
                      std::vector<PosEntry>* out) const {
   ScopedTimer timer(metrics_.scan_ns);
+  auto pin = chunks_->PinReads();
   return index_->Scan(CurrentSnapshot()->root, start, end, limit, out);
 }
 
@@ -667,6 +816,7 @@ Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
                               size_t limit, std::vector<PosEntry>* out,
                               ScanProof* proof) const {
   ScopedTimer timer(metrics_.proof_build_ns);
+  auto pin = chunks_->PinReads();
   Hash256 root = CurrentSnapshot()->root;
   Status s = index_->ScanWithProof(root, start, end, limit, out,
                                    &proof->index_proof);
@@ -796,12 +946,14 @@ Status SpitzDb::IndexRootAt(uint64_t block_height, Hash256* root) const {
 
 Status SpitzDb::GetAt(const Hash256& index_root, const Slice& key,
                       std::string* value) const {
+  auto pin = chunks_->PinReads();
   return index_->Get(index_root, key, value);
 }
 
 Status SpitzDb::ScanAt(const Hash256& index_root, const Slice& start,
                        const Slice& end, size_t limit,
                        std::vector<PosEntry>* out) const {
+  auto pin = chunks_->PinReads();
   return index_->Scan(index_root, start, end, limit, out);
 }
 
@@ -810,54 +962,87 @@ Status SpitzDb::AuditWrite(
   Hash256 root = CurrentSnapshot()->root;
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy, expected_value] {
-    std::string value;
-    SiriProof proof;
-    Status s = index_->GetWithProof(root, key_copy, &value, &proof);
-    // The re-verification is the audit's actual work; its latency feeds
-    // the proof-verify histogram (queueing lag is tracked separately by
-    // the verifier itself).
-    auto timed_verify = [&](const std::optional<std::string>& expect) {
-      ScopedTimer timer(metrics_.proof_verify_ns);
-      return proof.Verify(root, key_copy, expect);
-    };
-    if (s.ok()) {
-      return timed_verify(value).ok() &&
-                     (!expected_value.has_value() || value == *expected_value)
-                 ? Status::OK()
-                 : Status::VerificationFailed("audit mismatch on " + key_copy);
-    }
-    if (s.IsNotFound()) {
-      if (expected_value.has_value()) {
-        return Status::VerificationFailed("audited key missing: " + key_copy);
+    Status result;
+    {
+      // The pin keeps a GC pass whose quiescence wait began after this
+      // point from unpublishing chunks mid-proof.
+      auto pin = chunks_->PinReads();
+      std::string value;
+      SiriProof proof;
+      Status s = index_->GetWithProof(root, key_copy, &value, &proof);
+      // The re-verification is the audit's actual work; its latency
+      // feeds the proof-verify histogram (queueing lag is tracked
+      // separately by the verifier itself).
+      auto timed_verify = [&](const std::optional<std::string>& expect) {
+        ScopedTimer timer(metrics_.proof_verify_ns);
+        return proof.Verify(root, key_copy, expect);
+      };
+      if (s.ok()) {
+        result =
+            timed_verify(value).ok() &&
+                    (!expected_value.has_value() || value == *expected_value)
+                ? Status::OK()
+                : Status::VerificationFailed("audit mismatch on " + key_copy);
+      } else if (s.IsNotFound()) {
+        if (expected_value.has_value()) {
+          result =
+              Status::VerificationFailed("audited key missing: " + key_copy);
+        } else if (root.IsZero()) {
+          // The empty index proves every absence trivially; there is no
+          // traversal to check a proof against.
+          result = Status::OK();
+        } else {
+          result = timed_verify(std::nullopt);
+        }
+      } else {
+        result = s;
       }
-      // The empty index proves every absence trivially; there is no
-      // traversal to check a proof against.
-      if (root.IsZero()) return Status::OK();
-      return timed_verify(std::nullopt);
     }
-    return s;
+    return ResolveAuditResult(root, std::move(result));
   });
+}
+
+// A deferred audit can outlive its version's retention window: by the
+// time it runs, a GC pass may have collected the chunks its captured
+// root names, and the proof build then fails through no fault of the
+// data. Such an audit is *vacuous* — the version no longer exists to be
+// verified. Distinguishing that from real tampering: wait out any
+// in-flight pass (gc_run_mu_), then probe the root chunk. A root that
+// survived a completed pass was in the live set, and the live set is
+// closed under reachability — its whole subtree survived too, so a
+// failure with the root still present is genuine. Called with no epoch
+// pin held (a pinned waiter on gc_run_mu_ would deadlock against the
+// pass's quiescence wait).
+Status SpitzDb::ResolveAuditResult(const Hash256& root, Status result) {
+  if (result.ok() || root.IsZero()) return result;
+  { std::lock_guard<std::mutex> lock(gc_run_mu_); }
+  if (!chunks_->Contains(root)) return Status::OK();
+  return result;
 }
 
 Status SpitzDb::AuditKey(const Slice& key) {
   Hash256 root = CurrentSnapshot()->root;
   std::string key_copy = key.ToString();
   return auditor_->Submit([this, root, key_copy] {
-    std::string value;
-    SiriProof proof;
-    Status s = index_->GetWithProof(root, key_copy, &value, &proof);
-    auto timed_verify = [&](const std::optional<std::string>& expect) {
-      ScopedTimer timer(metrics_.proof_verify_ns);
-      return proof.Verify(root, key_copy, expect);
-    };
-    if (s.ok()) {
-      return timed_verify(value);
+    Status result;
+    {
+      auto pin = chunks_->PinReads();
+      std::string value;
+      SiriProof proof;
+      Status s = index_->GetWithProof(root, key_copy, &value, &proof);
+      auto timed_verify = [&](const std::optional<std::string>& expect) {
+        ScopedTimer timer(metrics_.proof_verify_ns);
+        return proof.Verify(root, key_copy, expect);
+      };
+      if (s.ok()) {
+        result = timed_verify(value);
+      } else if (s.IsNotFound()) {
+        result = root.IsZero() ? Status::OK() : timed_verify(std::nullopt);
+      } else {
+        result = s;
+      }
     }
-    if (s.IsNotFound()) {
-      if (root.IsZero()) return Status::OK();
-      return timed_verify(std::nullopt);
-    }
-    return s;
+    return ResolveAuditResult(root, std::move(result));
   });
 }
 
@@ -875,6 +1060,7 @@ uint64_t SpitzDb::entry_count() const {
 }
 
 uint64_t SpitzDb::key_count() const {
+  auto pin = chunks_->PinReads();
   uint64_t count = 0;
   index_->Count(CurrentSnapshot()->root, &count);
   return count;

@@ -10,8 +10,10 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "chunk/buffer_cache.h"
 #include "chunk/chunk_store.h"
 #include "common/env.h"
 #include "common/metrics.h"
@@ -84,9 +86,23 @@ struct SpitzOptions {
   // Worker threads draining the deferred-verification queue (0 = one
   // per hardware thread). Ignored in online mode.
   size_t audit_workers = 0;
-  // Byte budget for the decoded POS-tree node cache shared by every
-  // read, write and audit traversal (0 disables caching).
-  size_t node_cache_bytes = PosNodeCache::kDefaultCapacityBytes;
+  // Byte budget for the unified buffer cache (DESIGN.md section 12):
+  // one budget shared by raw chunk bytes (the paged durable store reads
+  // through it) and decoded POS-tree nodes. Must be positive — a paged
+  // store cannot serve unflushed chunks without a cache to pin them in;
+  // size it small instead of disabling it.
+  size_t buffer_cache_bytes = BufferCache::kDefaultCapacityBytes;
+  // Target size of one chunk segment file (durable mode). The active
+  // segment rolls at the first sealed-block boundary past this size.
+  size_t chunk_segment_bytes = 8 << 20;
+  // How many of the most recent sealed blocks' index roots the version
+  // GC (CollectGarbage) keeps readable, in addition to the live root.
+  // Chunks reachable only from older versions are reclaimed. Must be
+  // positive — the current version is always retained.
+  size_t retain_versions = 8;
+  // When positive, a background thread runs CollectGarbage() every this
+  // many sealed blocks. 0 (default) leaves GC entirely manual.
+  size_t gc_interval_blocks = 0;
   // When non-empty, the database is durable: chunks and sealed ledger
   // blocks are persisted under this directory and recovered by Open().
   // Durability is at block boundaries — call FlushBlock() to seal the
@@ -114,9 +130,11 @@ struct SpitzOptions {
   bool enable_metrics = true;
 
   // Rejects nonsensical configurations: block_size == 0 (degenerate
-  // sealing) and bucket_count == 0 for the MBT backend. Checked by
-  // Open() and by the in-memory constructor (whose write paths then
-  // fail with the validation error).
+  // sealing), bucket_count == 0 for the MBT backend, a zero buffer
+  // cache (the paged store needs somewhere to pin unflushed chunks)
+  // and retain_versions == 0 (the live version cannot be collected).
+  // Checked by Open() and by the in-memory constructor (whose write
+  // paths then fail with the validation error).
   Status Validate() const;
 };
 
@@ -250,6 +268,20 @@ class SpitzDb {
   // Seals any buffered entries into a final block. Returns an IOError
   // if the sealed block could not be persisted (durable mode).
   Status FlushBlock();
+
+  // --- Version GC (epoch-based; DESIGN.md section 12) ---------------------
+
+  // Reclaims chunks unreachable from the retained versions: the live
+  // root plus the index roots of the last `retain_versions` sealed
+  // blocks. The mark phase walks those roots outside the writer lock
+  // (chunks are immutable); the sweep rewrites still-live records out
+  // of condemned segments, waits for in-flight reader epochs, then
+  // unpublishes the dead ids and unlinks the victim files. Reads of
+  // retained versions — and traversals that began before the sweep —
+  // are never disturbed; reads of collected versions begin returning
+  // NotFound. Safe to call concurrently with reads, writes and audits;
+  // passes themselves serialize. Fills *stats when non-null.
+  Status CollectGarbage(ChunkGcStats* stats = nullptr);
 
   // --- Auditor (deferred verification, section 5.3) -----------------------
 
@@ -404,6 +436,21 @@ class SpitzDb {
   // Recovery of a durable database; called by Open().
   Status Recover();
 
+  // Post-seal work that must run outside mu_: aligns the chunk store's
+  // segment boundary with the sealed block and wakes the background GC
+  // thread (if configured) with the new ledger height.
+  void NotifySealed(uint64_t block_count);
+
+  // Turns a failed deferred audit into a vacuous pass when its captured
+  // root was garbage-collected before the audit ran (the version no
+  // longer exists to verify). Must be called with no epoch pin held.
+  Status ResolveAuditResult(const Hash256& root, Status result);
+
+  // Starts the background GC thread when gc_interval_blocks > 0; no-op
+  // otherwise or if already running.
+  void StartGcThread();
+  void GcThreadMain();
+
   // Latency/size histograms on the hot paths, resolved once at wiring
   // time so recording is pointer-deref + relaxed atomics. All null when
   // options_.enable_metrics is false (ScopedTimer tolerates null).
@@ -437,7 +484,12 @@ class SpitzDb {
   // audit threads that record verify latencies during shutdown.
   MetricsRegistry registry_;
   DbMetrics metrics_;
+  // The unified cache. Declared before the components that read through
+  // it (chunk store, node-cache facade) so it outlives them.
+  std::unique_ptr<BufferCache> buffer_cache_;
   std::unique_ptr<ChunkStore> chunks_;
+  // Typed facade over buffer_cache_ for decoded POS-tree nodes; keeps
+  // the index.cache.* metric surface.
   std::unique_ptr<PosNodeCache> node_cache_;
   // The pluggable SIRI index chosen by options_.index_backend.
   std::unique_ptr<SiriIndex> index_;
@@ -495,6 +547,27 @@ class SpitzDb {
   // maintained at seal time (rebuilt during recovery).
   std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>>
       history_index_;
+
+  // --- Version GC state ---------------------------------------------------
+
+  // One GC pass at a time (manual callers and the background thread
+  // contend here, never inside the store).
+  std::mutex gc_run_mu_;
+  // Background-thread wakeup state. gc_wake_mu_ is a leaf lock.
+  std::mutex gc_wake_mu_;
+  std::condition_variable gc_wake_cv_;
+  bool gc_stop_ = false;
+  uint64_t gc_sealed_height_ = 0;  // latest ledger height seen at a seal
+  uint64_t gc_ran_height_ = 0;     // height at the last background pass
+  std::thread gc_thread_;
+  // gc.* instruments: pass counts and cumulative reclamation.
+  Counter gc_runs_;
+  Counter gc_failures_;
+  Counter gc_dead_chunks_;
+  Counter gc_reclaimed_bytes_;
+  Counter gc_rewritten_bytes_;
+  Counter gc_segments_deleted_;
+  Gauge gc_live_chunks_;  // survivor count of the most recent pass
 };
 
 }  // namespace spitz

@@ -248,4 +248,18 @@ Status MerkleBucketTree::Count(const Hash256& root, uint64_t* count) const {
   return Status::OK();
 }
 
+Status MerkleBucketTree::CollectChunks(
+    const Hash256& root,
+    std::unordered_set<Hash256, Hash256Hasher>* live) const {
+  if (root.IsZero()) return Status::OK();
+  if (!live->insert(root).second) return Status::OK();
+  std::vector<Hash256> bucket_ids;
+  Status s = LoadDirectory(root, &bucket_ids);
+  if (!s.ok()) return s;
+  for (const Hash256& id : bucket_ids) {
+    if (!id.IsZero()) live->insert(id);
+  }
+  return Status::OK();
+}
+
 }  // namespace spitz

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk_store.h"
@@ -62,6 +63,11 @@ class MerkleBucketTree {
                             const Proof& proof, const Options& options = Options());
 
   Status Count(const Hash256& root, uint64_t* count) const;
+
+  // Inserts the directory chunk and every bucket chunk reachable from
+  // `root` into *live. Used by the version GC.
+  Status CollectChunks(const Hash256& root,
+                       std::unordered_set<Hash256, Hash256Hasher>* live) const;
 
  private:
   uint32_t BucketOf(const Slice& key) const;

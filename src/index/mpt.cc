@@ -589,4 +589,30 @@ Status MerklePatriciaTrie::Count(const Hash256& root, uint64_t* count) const {
   return Status::Corruption("unknown trie node kind");
 }
 
+Status MerklePatriciaTrie::CollectChunks(
+    const Hash256& root,
+    std::unordered_set<Hash256, Hash256Hasher>* live) const {
+  if (root.IsZero()) return Status::OK();
+  if (!live->insert(root).second) return Status::OK();  // shared subtree
+  Node node;
+  Status s = LoadNode(root, &node);
+  if (!s.ok()) return s;
+  switch (node.kind) {
+    case NodeKind::kLeaf:
+      return Status::OK();
+    case NodeKind::kExtension:
+      return CollectChunks(node.child, live);
+    case NodeKind::kBranch: {
+      for (int i = 0; i < 16; i++) {
+        if (!node.children[i].IsZero()) {
+          s = CollectChunks(node.children[i], live);
+          if (!s.ok()) return s;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown trie node kind");
+}
+
 }  // namespace spitz

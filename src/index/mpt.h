@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk_store.h"
@@ -53,6 +54,11 @@ class MerklePatriciaTrie {
 
   // Number of keys stored under `root` (full subtree walk).
   Status Count(const Hash256& root, uint64_t* count) const;
+
+  // Inserts every chunk id reachable from `root` into *live (pruning
+  // already-visited subtrees). Used by the version GC.
+  Status CollectChunks(const Hash256& root,
+                       std::unordered_set<Hash256, Hash256Hasher>* live) const;
 
  private:
   enum class NodeKind : uint8_t { kLeaf = 0, kExtension = 1, kBranch = 2 };

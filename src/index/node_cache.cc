@@ -1,85 +1,50 @@
 #include "index/node_cache.h"
 
-#include <algorithm>
-
 namespace spitz {
 
 PosNodeCache::PosNodeCache(size_t capacity_bytes, size_t shard_count)
-    : capacity_bytes_(capacity_bytes),
-      shard_count_(std::max<size_t>(1, shard_count)),
-      shard_budget_(std::max<size_t>(1, capacity_bytes / shard_count_)),
-      shards_(new Shard[shard_count_]) {}
+    : owned_cache_(std::make_unique<BufferCache>(capacity_bytes, shard_count)),
+      cache_(owned_cache_.get()) {}
+
+PosNodeCache::PosNodeCache(BufferCache* cache) : cache_(cache) {}
 
 std::shared_ptr<const PosNode> PosNodeCache::Lookup(const Hash256& id) {
-  Shard* shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard->mu);
-  auto it = shard->map.find(id);
-  if (it == shard->map.end()) {
-    misses_.Increment();
-    return nullptr;
-  }
-  hits_.Increment();
-  // Promote to most-recently-used.
-  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
-  return it->second->second;
+  return std::static_pointer_cast<const PosNode>(
+      cache_->Lookup(BufferCache::kPosNode, id));
 }
 
 void PosNodeCache::Insert(const Hash256& id,
                           std::shared_ptr<const PosNode> node) {
   if (node == nullptr) return;
   const size_t charge = node->ByteSize();
-  if (charge > shard_budget_) return;  // would evict an entire shard
-  Shard* shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard->mu);
-  auto it = shard->map.find(id);
-  if (it != shard->map.end()) {
-    // Same id ⇒ same content; just refresh recency.
-    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
-    return;
-  }
-  inserts_.Increment();
-  shard->lru.emplace_front(id, std::move(node));
-  shard->map.emplace(id, shard->lru.begin());
-  shard->bytes += charge;
-  while (shard->bytes > shard_budget_ && shard->lru.size() > 1) {
-    auto& victim = shard->lru.back();
-    shard->bytes -= victim.second->ByteSize();
-    shard->map.erase(victim.first);
-    shard->lru.pop_back();
-    shard->evictions++;
-  }
+  cache_->Insert(BufferCache::kPosNode, id, std::move(node), charge);
 }
 
-void PosNodeCache::Clear() {
-  for (size_t i = 0; i < shard_count_; i++) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
-    shards_[i].lru.clear();
-    shards_[i].map.clear();
-    shards_[i].bytes = 0;
-  }
-}
+void PosNodeCache::Clear() { cache_->Clear(); }
 
 PosNodeCacheStats PosNodeCache::stats() const {
+  BufferCache::Stats all = cache_->stats();
+  const BufferCache::KindStats& k = all.kind[BufferCache::kPosNode];
   PosNodeCacheStats s;
-  s.hits = hits_.value();
-  s.misses = misses_.value();
-  s.inserts = inserts_.value();
-  s.capacity_bytes = capacity_bytes_;
-  for (size_t i = 0; i < shard_count_; i++) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
-    s.entries += shards_[i].lru.size();
-    s.bytes += shards_[i].bytes;
-    s.evictions += shards_[i].evictions;
-  }
+  s.hits = k.hits;
+  s.misses = k.misses;
+  s.inserts = k.inserts;
+  s.evictions = k.evictions;
+  s.entries = k.entries;
+  s.bytes = k.bytes;
+  s.capacity_bytes = all.capacity_bytes;
   return s;
 }
 
 void PosNodeCache::ExportMetrics(MetricsRegistry* registry) const {
-  registry->RegisterCounter("index.cache.hits", &hits_);
-  registry->RegisterCounter("index.cache.misses", &misses_);
-  registry->RegisterCounter("index.cache.inserts", &inserts_);
-  // Eviction counts and residency are per-shard state under the shard
-  // locks; sampled via stats() at snapshot time only.
+  // All node-kind state lives inside the shared BufferCache; sampled
+  // via stats() at snapshot time.
+  registry->RegisterCounterFn("index.cache.hits",
+                              [this] { return stats().hits; });
+  registry->RegisterCounterFn("index.cache.misses",
+                              [this] { return stats().misses; });
+  registry->RegisterCounterFn("index.cache.inserts",
+                              [this] { return stats().inserts; });
   registry->RegisterCounterFn("index.cache.evictions",
                               [this] { return stats().evictions; });
   registry->RegisterGaugeFn("index.cache.entries",
@@ -87,7 +52,7 @@ void PosNodeCache::ExportMetrics(MetricsRegistry* registry) const {
   registry->RegisterGaugeFn("index.cache.bytes",
                             [this] { return stats().bytes; });
   registry->RegisterGaugeFn("index.cache.capacity_bytes", [this] {
-    return static_cast<uint64_t>(capacity_bytes_);
+    return static_cast<uint64_t>(cache_->capacity_bytes());
   });
 }
 

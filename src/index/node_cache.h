@@ -2,12 +2,9 @@
 #define SPITZ_INDEX_NODE_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
 
+#include "chunk/buffer_cache.h"
 #include "common/metrics.h"
 #include "crypto/hash.h"
 #include "index/pos_tree.h"
@@ -32,11 +29,14 @@ struct PosNodeCacheStats {
   }
 };
 
-// A sharded LRU cache of decoded POS-tree nodes, keyed by chunk id with
-// a byte-budget capacity. Hot upper tree levels (the root and first
-// meta levels are touched by *every* traversal) stay decoded in memory,
-// eliminating the chunk fetch + varint decode + string materialization
-// that otherwise repeats per lookup.
+// The decoded-POS-node view of the unified BufferCache (DESIGN.md
+// section 12): a typed facade that stores nodes under the kPosNode kind
+// of a BufferCache, either a private one (component use) or the
+// database's shared cache, where decoded nodes and raw chunk bytes
+// compete for one byte budget. Hot upper tree levels (the root and
+// first meta levels are touched by *every* traversal) stay decoded in
+// memory, eliminating the chunk fetch + varint decode + string
+// materialization that otherwise repeats per lookup.
 //
 // Coherence is trivial: a chunk id is the content hash of an immutable
 // chunk, so a cached node can never be stale — there is no invalidation
@@ -44,13 +44,16 @@ struct PosNodeCacheStats {
 // lock-free snapshot read path of SpitzDb sound (see DESIGN.md,
 // "Concurrency model").
 //
-// Thread safety: fully thread-safe. The id space is uniform (SHA-256),
-// so striping the LRU into shards by id byte spreads both the hash-map
-// and the recency-list mutations across `shard_count` mutexes.
+// Thread safety: fully thread-safe (the underlying BufferCache is
+// sharded by id byte).
 class PosNodeCache {
  public:
   explicit PosNodeCache(size_t capacity_bytes = kDefaultCapacityBytes,
                         size_t shard_count = 16);
+
+  // Wraps a shared cache owned by someone else (the database). `cache`
+  // must outlive this facade.
+  explicit PosNodeCache(BufferCache* cache);
 
   PosNodeCache(const PosNodeCache&) = delete;
   PosNodeCache& operator=(const PosNodeCache&) = delete;
@@ -66,44 +69,24 @@ class PosNodeCache {
   // larger than a whole shard's budget are not cached.
   void Insert(const Hash256& id, std::shared_ptr<const PosNode> node);
 
-  // Drops every entry (counters are retained).
+  // Drops every unpinned entry of the underlying cache — including raw
+  // chunk entries when the cache is shared (counters are retained).
   void Clear();
 
+  // Node-kind accounting only; raw-chunk traffic through a shared
+  // cache does not show up here.
   PosNodeCacheStats stats() const;
-  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t capacity_bytes() const { return cache_->capacity_bytes(); }
+
+  BufferCache* buffer_cache() const { return cache_; }
 
   // Registers hit/miss/insert counters and resident-size gauges under
   // `index.cache.*`. The cache must outlive the registry's use.
   void ExportMetrics(MetricsRegistry* registry) const;
 
  private:
-  struct Shard {
-    mutable std::mutex mu;
-    // Front = most recently used.
-    std::list<std::pair<Hash256, std::shared_ptr<const PosNode>>> lru;
-    std::unordered_map<
-        Hash256,
-        std::list<std::pair<Hash256, std::shared_ptr<const PosNode>>>::iterator,
-        Hash256Hasher>
-        map;
-    size_t bytes = 0;
-    uint64_t evictions = 0;
-  };
-
-  Shard* ShardOf(const Hash256& id) {
-    // Digest bytes are uniform; any byte selects a shard evenly. Byte 9
-    // is deliberately distinct from ChunkStore's shard byte so the two
-    // stripings decorrelate.
-    return &shards_[id.data()[9] % shard_count_];
-  }
-
-  const size_t capacity_bytes_;
-  const size_t shard_count_;
-  const size_t shard_budget_;  // capacity_bytes_ / shard_count_
-  std::unique_ptr<Shard[]> shards_;
-  Counter hits_;
-  Counter misses_;
-  Counter inserts_;
+  std::unique_ptr<BufferCache> owned_cache_;
+  BufferCache* cache_ = nullptr;
 };
 
 }  // namespace spitz

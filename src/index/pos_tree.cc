@@ -433,6 +433,22 @@ Status PosTree::Count(const Hash256& root, uint64_t* count) const {
   return Status::OK();
 }
 
+Status PosTree::CollectChunks(
+    const Hash256& root,
+    std::unordered_set<Hash256, Hash256Hasher>* live) const {
+  if (root.IsZero()) return Status::OK();
+  if (!live->insert(root).second) return Status::OK();  // shared subtree
+  std::shared_ptr<const PosNode> node;
+  Status s = LoadNode(root, &node);
+  if (!s.ok()) return s;
+  if (node->is_leaf()) return Status::OK();
+  for (const ChildRef& c : node->children) {
+    s = CollectChunks(c.id, live);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status PosTree::Height(const Hash256& root, uint32_t* height) const {
   *height = 0;
   Hash256 id = root;

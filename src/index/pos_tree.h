@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk_store.h"
@@ -179,6 +180,12 @@ class PosTree {
 
   // Tree height (0 for empty, 1 for a single leaf).
   Status Height(const Hash256& root, uint32_t* height) const;
+
+  // Inserts every chunk id reachable from `root` into *live, pruning
+  // subtrees whose root is already present (version sharing makes the
+  // union of several versions cheap to mark). Used by the version GC.
+  Status CollectChunks(const Hash256& root,
+                       std::unordered_set<Hash256, Hash256Hasher>* live) const;
 
   // --- Client-side (stateless) verification ------------------------------
 

@@ -26,8 +26,11 @@ namespace spitz {
 //   if (!it.status().ok()) { ... }
 class PosTreeIterator {
  public:
+  // The iterator holds a read epoch for its whole lifetime: the version
+  // GC will not unmap any chunk while this iterator exists, even if the
+  // iterated root has since fallen out of the retention window.
   PosTreeIterator(const ChunkStore* store, const Hash256& root)
-      : store_(store), root_(root) {}
+      : store_(store), root_(root), epoch_pin_(store->PinReads()) {}
 
   PosTreeIterator(const PosTreeIterator&) = delete;
   PosTreeIterator& operator=(const PosTreeIterator&) = delete;
@@ -62,6 +65,7 @@ class PosTreeIterator {
 
   const ChunkStore* store_;
   Hash256 root_;
+  EpochManager::Guard epoch_pin_;
   bool valid_ = false;
   Status status_;
 

@@ -268,6 +268,11 @@ class PosSiriIndex : public SiriIndex {
   Status Count(const Hash256& root, uint64_t* count) const override {
     return tree_.Count(root, count);
   }
+  Status CollectChunks(
+      const Hash256& root,
+      std::unordered_set<Hash256, Hash256Hasher>* live) const override {
+    return tree_.CollectChunks(root, live);
+  }
   Status Build(std::vector<PosEntry> entries, Hash256* root) const override {
     return tree_.Build(std::move(entries), root);
   }
@@ -317,6 +322,11 @@ class MptSiriIndex : public SiriIndex {
   Status Count(const Hash256& root, uint64_t* count) const override {
     return tree_.Count(root, count);
   }
+  Status CollectChunks(
+      const Hash256& root,
+      std::unordered_set<Hash256, Hash256Hasher>* live) const override {
+    return tree_.CollectChunks(root, live);
+  }
 
  private:
   MerklePatriciaTrie tree_;
@@ -349,6 +359,11 @@ class MbtSiriIndex : public SiriIndex {
   }
   Status Count(const Hash256& root, uint64_t* count) const override {
     return tree_.Count(root, count);
+  }
+  Status CollectChunks(
+      const Hash256& root,
+      std::unordered_set<Hash256, Hash256Hasher>* live) const override {
+    return tree_.CollectChunks(root, live);
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk_store.h"
@@ -136,6 +137,16 @@ class SiriIndex {
   virtual Status Delete(const Hash256& root, const Slice& key,
                         Hash256* new_root) const = 0;
   virtual Status Count(const Hash256& root, uint64_t* count) const = 0;
+
+  // Inserts the ids of every chunk reachable from `root` (the root
+  // itself, internal nodes, leaves/buckets) into *live. Shared subtrees
+  // already present in *live are pruned, so marking N retained versions
+  // costs the size of their union, not N full walks — the structural
+  // sharing of the SIRI family working for the GC. Used by the version
+  // GC to assemble the live set passed to ChunkStore::RetainLive.
+  virtual Status CollectChunks(
+      const Hash256& root,
+      std::unordered_set<Hash256, Hash256Hasher>* live) const = 0;
 
   // Bulk-builds a tree from entries (last write per key wins). The
   // default loops Put; backends with a native builder override.

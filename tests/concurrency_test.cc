@@ -359,7 +359,7 @@ TEST(ConcurrencyTest, NodeCacheSharedUnderConcurrentTraffic) {
 
 TEST(ConcurrencyTest, SpitzDbNodeCacheServesRepeatTraversals) {
   SpitzOptions options;
-  options.node_cache_bytes = 8 << 20;
+  options.buffer_cache_bytes = 8 << 20;
   SpitzDb db(options);
   for (int i = 0; i < 2000; i++) {
     ASSERT_TRUE(db.Put("cache" + std::to_string(i), "value").ok());
@@ -379,24 +379,25 @@ TEST(ConcurrencyTest, SpitzDbNodeCacheServesRepeatTraversals) {
                     cold.CounterValue("index.cache.misses");
   EXPECT_GT(hits, misses * 10);
 
-  // Disabled cache keeps working and reports zeros (the index.cache.*
-  // metrics are simply not registered).
-  SpitzOptions no_cache;
-  no_cache.node_cache_bytes = 0;
-  SpitzDb db2(no_cache);
+  // A starvation-sized cache keeps working — traversals just fall back
+  // to the chunk store and the metrics report mostly misses. (A zero
+  // budget is rejected by Validate(): the paged store needs the cache
+  // to pin unflushed chunks.)
+  SpitzOptions tiny_cache;
+  tiny_cache.buffer_cache_bytes = 4096;
+  SpitzDb db2(tiny_cache);
   ASSERT_TRUE(db2.Put("k", "v").ok());
   ASSERT_TRUE(db2.Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
   MetricsSnapshot snap2 = db2.Metrics();
-  EXPECT_EQ(snap2.CounterValue("index.cache.hits") +
-                snap2.CounterValue("index.cache.misses"),
-            0u);
+  EXPECT_GT(snap2.CounterValue("index.cache.misses"), 0u);
 }
 
 TEST(ConcurrencyTest, CachedAndUncachedTreesAgreeOnRootsAndProofs) {
   SpitzOptions cached_opts;
-  cached_opts.node_cache_bytes = 4 << 20;
+  cached_opts.buffer_cache_bytes = 4 << 20;
   SpitzOptions uncached_opts;
-  uncached_opts.node_cache_bytes = 0;
+  uncached_opts.buffer_cache_bytes = 4096;  // effectively cacheless
   SpitzDb cached(cached_opts);
   SpitzDb uncached(uncached_opts);
   for (int i = 0; i < 500; i++) {
@@ -520,6 +521,157 @@ TEST(ConcurrencyTest, GroupCommitSyncWritersAmortizeFsyncs) {
     }
   }
   std::filesystem::remove_all(dir);
+}
+
+// --- Version GC vs concurrent readers and auditors -------------------------
+
+// The epoch-based GC must never disturb a retained-version read or an
+// in-flight proof build: writers churn versions, readers run verified
+// gets and scans against live snapshots, auditors re-derive proofs on
+// background threads, and GC passes sweep dead versions the whole
+// time. TSan-clean, zero verification failures, and every read of a
+// retained version succeeds.
+TEST(ConcurrencyTest, VersionGcRacesReadersWritersAndAuditors) {
+  std::string dir = ::testing::TempDir() + "/spitz_gc_race";
+  std::filesystem::remove_all(dir);
+  {
+    SpitzOptions options;
+    options.block_size = 8;
+    options.retain_versions = 2;
+    options.chunk_segment_bytes = 16 << 10;  // many small segments
+    options.buffer_cache_bytes = 256 << 10;
+    options.data_dir = dir;
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(options, &db).ok());
+    const int kKeys = 128;
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db->Put("gckey" + std::to_string(i), "v0").ok());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> read_errors{0};
+    std::atomic<uint64_t> proof_failures{0};
+
+    std::vector<std::thread> pool;
+    // Writers: churn versions so dead chunks accumulate.
+    for (int w = 0; w < 2; w++) {
+      pool.emplace_back([&, w] {
+        int round = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::string v = "w" + std::to_string(w) + "r" + std::to_string(round);
+          for (int i = w; i < kKeys; i += 2) {
+            db->Put("gckey" + std::to_string(i), v);
+          }
+          round++;
+        }
+      });
+    }
+    // Readers: verified point reads and scans of the live snapshot.
+    for (int r = 0; r < 2; r++) {
+      pool.emplace_back([&, r] {
+        std::string value;
+        int i = r;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::string key = "gckey" + std::to_string(i % kKeys);
+          ReadProof proof;
+          SpitzDigest digest = db->Digest();
+          Status s = db->GetWithProof(key, &value, &proof);
+          if (!s.ok() && !s.IsNotFound()) {
+            read_errors.fetch_add(1);
+          } else if (s.ok() && proof.index_root == digest.index_root &&
+                     !SpitzDb::VerifyRead(digest, key, value, proof).ok()) {
+            proof_failures.fetch_add(1);
+          }
+          std::vector<PosEntry> out;
+          if (!db->Scan("gckey", "gckez", 32, &out).ok()) {
+            read_errors.fetch_add(1);
+          }
+          i += 7;
+        }
+      });
+    }
+    // Auditor feed: integrity audits that re-build proofs on the
+    // deferred-verifier threads while GC sweeps.
+    pool.emplace_back([&] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        db->AuditKey("gckey" + std::to_string(i % kKeys));
+        i++;
+      }
+    });
+    // Collector: continuous GC passes.
+    pool.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        db->FlushBlock();
+        ChunkGcStats stats;
+        Status s = db->CollectGarbage(&stats);
+        if (!s.ok()) read_errors.fetch_add(1);
+      }
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    stop.store(true);
+    for (auto& t : pool) t.join();
+
+    EXPECT_EQ(read_errors.load(), 0u);
+    EXPECT_EQ(proof_failures.load(), 0u);
+    // Audits of the live version must all have verified. (An audit can
+    // legally observe NotFound only if its root was collected first —
+    // retain_versions=2 plus the audit's epoch pin prevents that for
+    // roots captured at submit time.)
+    EXPECT_TRUE(db->DrainAudits().ok());
+    EXPECT_GE(db->Metrics().CounterValue("gc.runs"), 1u);
+
+    // Every key still reads back with a verifying proof after the dust
+    // settles.
+    std::string value;
+    for (int i = 0; i < kKeys; i++) {
+      std::string key = "gckey" + std::to_string(i);
+      ReadProof proof;
+      ASSERT_TRUE(db->GetWithProof(key, &value, &proof).ok()) << key;
+      EXPECT_TRUE(
+          SpitzDb::VerifyRead(db->Digest(), key, value, proof).ok());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// An open iterator pins its epoch: a GC pass that collects the
+// iterated version out of the retention window must not invalidate the
+// traversal mid-flight.
+TEST(ConcurrencyTest, IteratorSurvivesGcOfItsVersion) {
+  SpitzOptions options;
+  options.block_size = 4;
+  options.retain_versions = 1;
+  SpitzDb db(options);
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(db.Put("it" + std::to_string(i / 10) + std::to_string(i % 10),
+                       "v0")
+                    .ok());
+  }
+  ASSERT_TRUE(db.FlushBlock().ok());
+  auto it = db.NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  size_t seen = 0;
+  std::thread churn([&] {
+    // Overwrite everything (new version) and collect the old one.
+    for (int i = 0; i < 64; i++) {
+      db.Put("it" + std::to_string(i / 10) + std::to_string(i % 10), "v1");
+    }
+    db.FlushBlock();
+    // The GC pass blocks on the iterator's epoch pin during its
+    // quiescence wait only if it needs to unpublish; either way the
+    // iterator's held chunks stay readable.
+    db.CollectGarbage(nullptr);
+  });
+  for (; it->Valid(); it->Next()) seen++;
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(seen, 64u);
+  // Release the iterator's epoch pin so the GC's quiescence wait (on
+  // the churn thread) can complete.
+  it.reset();
+  churn.join();
 }
 
 }  // namespace

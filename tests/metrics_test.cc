@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -265,6 +266,58 @@ TEST(MetricsEndToEndTest, ProofAndLatencyHistogramsPerBackend) {
     ASSERT_NE(wait, nullptr);
     EXPECT_EQ(wait->count, 32u);
   }
+}
+
+TEST(MetricsEndToEndTest, PagedStoreGcAndCacheMetricsRoundTripThroughJson) {
+  std::string dir = ::testing::TempDir() + "/spitz_metrics_paged";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SpitzOptions options;
+  options.block_size = 8;
+  options.data_dir = dir;
+  options.chunk_segment_bytes = 4 << 10;
+  options.retain_versions = 1;
+  options.buffer_cache_bytes = 256 << 10;
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(options, &db).ok());
+  // Three rounds of overwrites: the older rounds' chunks go dead, and
+  // the tiny segment budget forces the store through several rolls.
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 64; i++) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(i),
+                          "round" + std::to_string(round) + "-" +
+                              std::to_string(i))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(db->FlushBlock().ok());
+  ChunkGcStats stats;
+  ASSERT_TRUE(db->CollectGarbage(&stats).ok());
+  EXPECT_GT(stats.dead_chunks, 0u);
+
+  MetricsSnapshot snap = db->Metrics();
+  EXPECT_EQ(snap.CounterValue("gc.runs"), 1u);
+  EXPECT_GT(snap.CounterValue("gc.dead_chunks"), 0u);
+  EXPECT_GT(snap.CounterValue("gc.reclaimed_bytes"), 0u);
+  EXPECT_GT(snap.GaugeValue("gc.live_chunks"), 0u);
+  EXPECT_GT(snap.CounterValue("chunk.segment.rolls"), 0u);
+  EXPECT_GT(snap.GaugeValue("chunk.segment.count"), 0u);
+  EXPECT_GT(snap.CounterValue("cache.hits") + snap.CounterValue("cache.misses"),
+            0u);
+  EXPECT_GT(snap.GaugeValue("cache.bytes"), 0u);
+  EXPECT_EQ(snap.GaugeValue("cache.capacity_bytes"),
+            uint64_t{256} << 10);
+
+  // The new families survive the JSON wire format exactly.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(snap.ToJsonString(), &parsed).ok());
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(parsed, &decoded).ok());
+  EXPECT_EQ(decoded.counters, snap.counters);
+  EXPECT_EQ(decoded.gauges, snap.gauges);
+
+  db.reset();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(MetricsEndToEndTest, RangeProofBytesRecordedForScans) {

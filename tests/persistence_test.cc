@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <unordered_set>
 
 #include "chunk/file_chunk_store.h"
 #include "common/random.h"
@@ -11,6 +12,12 @@
 
 namespace spitz {
 namespace {
+
+std::string RandomPayload(Random* rnd, size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) c = static_cast<char>('a' + rnd->Uniform(26));
+  return s;
+}
 
 class PersistenceTest : public ::testing::Test {
  protected:
@@ -36,17 +43,17 @@ class PersistenceTest : public ::testing::Test {
 // --- FileChunkStore ---------------------------------------------------------
 
 TEST_F(PersistenceTest, FileChunkStoreRoundTrip) {
-  std::string path = dir_ + "/chunks.log";
+  std::string store_dir = dir_ + "/chunks";
   Hash256 id;
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     id = store->Put(Chunk(ChunkType::kBlob, "persistent payload"));
     ASSERT_TRUE(store->Sync().ok());
   }
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     EXPECT_EQ(store->recovered_chunks(), 1u);
     std::shared_ptr<const Chunk> chunk;
     ASSERT_TRUE(store->Get(id, &chunk).ok());
@@ -56,41 +63,121 @@ TEST_F(PersistenceTest, FileChunkStoreRoundTrip) {
 }
 
 TEST_F(PersistenceTest, FileChunkStoreDeduplicatesAcrossSessions) {
-  std::string path = dir_ + "/chunks.log";
+  std::string store_dir = dir_ + "/chunks";
+  std::string segment =
+      store_dir + "/" + FileChunkStore::SegmentFileName(1);
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(Chunk(ChunkType::kBlob, "same"));
+    ASSERT_TRUE(store->Sync().ok());
   }
-  auto size_before = std::filesystem::file_size(path);
+  auto size_before = std::filesystem::file_size(segment);
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(Chunk(ChunkType::kBlob, "same"));  // already on disk
     ASSERT_TRUE(store->Sync().ok());
   }
-  EXPECT_EQ(std::filesystem::file_size(path), size_before);
+  EXPECT_EQ(std::filesystem::file_size(segment), size_before);
 }
 
 TEST_F(PersistenceTest, FileChunkStoreSurvivesTornTail) {
-  std::string path = dir_ + "/chunks.log";
+  std::string store_dir = dir_ + "/chunks";
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(Chunk(ChunkType::kBlob, "complete record"));
     ASSERT_TRUE(store->Sync().ok());
   }
-  // Simulate a crash mid-append: garbage half-record at the tail.
+  // Simulate a crash mid-append: garbage half-record at the tail of the
+  // active segment.
   {
-    std::ofstream out(path, std::ios::binary | std::ios::app);
+    std::ofstream out(store_dir + "/" + FileChunkStore::SegmentFileName(1),
+                      std::ios::binary | std::ios::app);
     out.put(static_cast<char>(ChunkType::kBlob));
     out.put(static_cast<char>(200));  // claims 200 bytes, provides 3
     out << "xyz";
   }
   std::unique_ptr<FileChunkStore> store;
-  ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+  ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
   EXPECT_EQ(store->recovered_chunks(), 1u);
+  EXPECT_GT(store->truncated_bytes(), 0u);
   EXPECT_TRUE(store->Contains(Chunk(ChunkType::kBlob, "complete record").id()));
+}
+
+TEST_F(PersistenceTest, FileChunkStoreRollsSegmentsAndRecoversAll) {
+  std::string store_dir = dir_ + "/chunks";
+  FileChunkStore::Options small;
+  small.segment_bytes = 4 << 10;  // tiny segments force several rolls
+  std::vector<Hash256> ids;
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(
+        FileChunkStore::Open(Env::Default(), store_dir, small, &store).ok());
+    Random rnd(77);
+    for (int i = 0; i < 64; i++) {
+      std::string payload = RandomPayload(&rnd, 512) + std::to_string(i);
+      ids.push_back(store->Put(Chunk(ChunkType::kBlob, std::move(payload))));
+      store->OnBlockSealed();  // roll opportunity at each "block" seal
+    }
+    ASSERT_TRUE(store->Sync().ok());
+    EXPECT_GT(store->segment_count(), 2u) << "expected multiple segments";
+  }
+  std::unique_ptr<FileChunkStore> store;
+  ASSERT_TRUE(
+      FileChunkStore::Open(Env::Default(), store_dir, small, &store).ok());
+  EXPECT_EQ(store->recovered_chunks(), ids.size());
+  for (const Hash256& id : ids) {
+    std::shared_ptr<const Chunk> chunk;
+    ASSERT_TRUE(store->Get(id, &chunk).ok());
+    EXPECT_EQ(chunk->id(), id);
+  }
+}
+
+TEST_F(PersistenceTest, FileChunkStoreGcReclaimsDiskAcrossReopen) {
+  std::string store_dir = dir_ + "/chunks";
+  FileChunkStore::Options small;
+  small.segment_bytes = 4 << 10;
+  std::unordered_set<Hash256, Hash256Hasher> live;
+  std::vector<Hash256> dead;
+  {
+    std::unique_ptr<FileChunkStore> store;
+    ASSERT_TRUE(
+        FileChunkStore::Open(Env::Default(), store_dir, small, &store).ok());
+    Random rnd(88);
+    for (int i = 0; i < 64; i++) {
+      Hash256 id = store->Put(
+          Chunk(ChunkType::kBlob, RandomPayload(&rnd, 512) + std::to_string(i)));
+      if (i % 4 == 0) {
+        live.insert(id);
+      } else {
+        dead.push_back(id);
+      }
+      store->OnBlockSealed();
+    }
+    ASSERT_TRUE(store->Sync().ok());
+    uint64_t segments_before = store->segment_count();
+    uint64_t mark_seq = store->BeginGc();
+    ChunkGcStats stats;
+    ASSERT_TRUE(store->RetainLive(live, mark_seq, &stats).ok());
+    EXPECT_EQ(stats.dead_chunks, dead.size());
+    EXPECT_GT(stats.reclaimed_bytes, 0u);
+    EXPECT_GT(stats.segments_deleted, 0u);
+    EXPECT_LT(store->segment_count(), segments_before);
+    for (const Hash256& id : live) EXPECT_TRUE(store->Contains(id));
+    for (const Hash256& id : dead) EXPECT_FALSE(store->Contains(id));
+  }
+  // The survivor set recovers cleanly from the compacted segments.
+  std::unique_ptr<FileChunkStore> store;
+  ASSERT_TRUE(
+      FileChunkStore::Open(Env::Default(), store_dir, small, &store).ok());
+  EXPECT_EQ(store->recovered_chunks(), live.size());
+  for (const Hash256& id : live) {
+    std::shared_ptr<const Chunk> chunk;
+    ASSERT_TRUE(store->Get(id, &chunk).ok());
+  }
+  for (const Hash256& id : dead) EXPECT_FALSE(store->Contains(id));
 }
 
 // --- SpitzDb durability ------------------------------------------------------

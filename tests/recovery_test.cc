@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/file_chunk_store.h"
@@ -138,32 +139,34 @@ TEST_F(RecoveryTest, CreateDirFailsWhenAFileSquatsOnTheDataDir) {
 
 // --- Torn-tail append-after-garbage (the data-loss bug) ---------------------
 
-TEST_F(RecoveryTest, ChunkLogWriteAfterTornTailIsNotLost) {
-  std::string path = dir_ + "/chunks.log";
+TEST_F(RecoveryTest, ChunkStoreWriteAfterTornTailIsNotLost) {
+  std::string store_dir = dir_ + "/chunks";
   Chunk first(ChunkType::kBlob, "first record");
   Chunk second(ChunkType::kBlob, "written after the crash");
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(first);
     ASSERT_TRUE(store->Sync().ok());
   }
-  AppendGarbage(path);
-  uint64_t size_with_garbage = std::filesystem::file_size(path);
+  // The crash garbage lands on the tail of the active segment.
+  std::string seg1 = store_dir + "/" + FileChunkStore::SegmentFileName(1);
+  AppendGarbage(seg1);
+  uint64_t size_with_garbage = std::filesystem::file_size(seg1);
   {
-    // Recovery must cut the log back to the last valid record...
+    // Recovery must cut the segment back to the last valid record...
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     EXPECT_EQ(store->recovered_chunks(), 1u);
     EXPECT_EQ(store->truncated_bytes(), size_with_garbage -
-              std::filesystem::file_size(path));
+              std::filesystem::file_size(seg1));
     EXPECT_GT(store->truncated_bytes(), 0u);
     // ...so that this record lands where replay can reach it.
     store->Put(second);
     ASSERT_TRUE(store->Sync().ok());
   }
   std::unique_ptr<FileChunkStore> store;
-  ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+  ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
   EXPECT_EQ(store->recovered_chunks(), 2u);
   EXPECT_TRUE(store->Contains(first.id()));
   EXPECT_TRUE(store->Contains(second.id()))
@@ -202,18 +205,19 @@ TEST_F(RecoveryTest, JournalWriteAfterTornTailIsNotLost) {
 
 // --- CRC detection of corrupted middle records ------------------------------
 
-TEST_F(RecoveryTest, ChunkLogCorruptedMiddleRecordIsDetected) {
-  std::string path = dir_ + "/chunks.log";
+TEST_F(RecoveryTest, ChunkStoreCorruptedMiddleRecordIsDetected) {
+  std::string store_dir = dir_ + "/chunks";
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(Chunk(ChunkType::kBlob, std::string(64, 'a')));
     store->Put(Chunk(ChunkType::kBlob, std::string(64, 'b')));
     ASSERT_TRUE(store->Sync().ok());
   }
-  FlipByteAt(path, 10);  // inside the first record's payload
+  // Inside the first record's payload of segment 1.
+  FlipByteAt(store_dir + "/" + FileChunkStore::SegmentFileName(1), 10);
   std::unique_ptr<FileChunkStore> store;
-  Status s = FileChunkStore::Open(path, &store);
+  Status s = FileChunkStore::Open(store_dir, &store);
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
@@ -232,21 +236,22 @@ TEST_F(RecoveryTest, JournalCorruptedMiddleRecordIsDetected) {
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
-TEST_F(RecoveryTest, ChunkLogCorruptedCrcIsDetected) {
-  std::string path = dir_ + "/chunks.log";
+TEST_F(RecoveryTest, ChunkStoreCorruptedCrcIsDetected) {
+  std::string store_dir = dir_ + "/chunks";
+  std::string seg1 = store_dir + "/" + FileChunkStore::SegmentFileName(1);
   uint64_t first_record_end;
   {
     std::unique_ptr<FileChunkStore> store;
-    ASSERT_TRUE(FileChunkStore::Open(path, &store).ok());
+    ASSERT_TRUE(FileChunkStore::Open(store_dir, &store).ok());
     store->Put(Chunk(ChunkType::kBlob, "record one"));
     ASSERT_TRUE(store->Sync().ok());
-    first_record_end = std::filesystem::file_size(path);
+    first_record_end = std::filesystem::file_size(seg1);
     store->Put(Chunk(ChunkType::kBlob, "record two"));
     ASSERT_TRUE(store->Sync().ok());
   }
-  FlipByteAt(path, first_record_end - 1);  // last CRC byte of record one
+  FlipByteAt(seg1, first_record_end - 1);  // last CRC byte of record one
   std::unique_ptr<FileChunkStore> store;
-  Status s = FileChunkStore::Open(path, &store);
+  Status s = FileChunkStore::Open(store_dir, &store);
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
@@ -254,7 +259,7 @@ TEST_F(RecoveryTest, ChunkLogCorruptedCrcIsDetected) {
 
 TEST_F(RecoveryTest, ChunkStoreShortWriteIsStickyAndRecoverable) {
   FaultInjectionEnv env(Env::Default());
-  std::string path = dir_ + "/chunks.log";
+  std::string path = dir_ + "/chunks";
   Chunk durable(ChunkType::kBlob, "synced before the fault");
   Chunk torn(ChunkType::kBlob, "only partially written");
   Chunk after(ChunkType::kBlob, "written after recovery");
@@ -291,6 +296,107 @@ TEST_F(RecoveryTest, ChunkStoreShortWriteIsStickyAndRecoverable) {
   EXPECT_EQ(store->recovered_chunks(), 2u);
   EXPECT_TRUE(store->Contains(durable.id()));
   EXPECT_TRUE(store->Contains(after.id()));
+}
+
+// --- GC rewrite crash-point sweep -------------------------------------------
+//
+// The scripted store workload fills several tiny segments, seals them,
+// then garbage-collects down to a quarter of the chunks (which rewrites
+// the surviving records of victim segments and unlinks the victims).
+// Crash at every I/O op under both crash modes. Reopen must always
+// succeed, and whenever the pre-GC sync completed, every retained chunk
+// must still be present with intact content afterwards — a GC torn at
+// any point may leave duplicate or dead records behind, but must never
+// lose a live chunk or poison recovery.
+
+TEST_F(RecoveryTest, ChunkStoreCrashDuringGcRewriteKeepsLiveChunks) {
+  constexpr int kChunks = 32;
+  std::vector<Chunk> chunks;
+  std::unordered_set<Hash256, Hash256Hasher> live;
+  for (int i = 0; i < kChunks; i++) {
+    chunks.emplace_back(ChunkType::kBlob,
+                        std::string(200, static_cast<char>('a' + i % 26)) +
+                            std::to_string(i));
+    if (i % 4 == 0) live.insert(chunks.back().id());
+  }
+  FileChunkStore::Options small;
+  small.segment_bytes = 1 << 10;
+  std::string store_dir = dir_ + "/chunks";
+
+  // Phases reached before the env died: 1 = all puts synced (a fault
+  // can then only tear the GC), 2 = GC completed too.
+  auto run_workload = [&](FaultInjectionEnv* env) {
+    int phase = 0;
+    std::unique_ptr<FileChunkStore> store;
+    if (!FileChunkStore::Open(env, store_dir, small, &store).ok()) {
+      return phase;
+    }
+    for (int i = 0; i < kChunks; i++) {
+      store->Put(chunks[i]);
+      if (i % 4 == 3) store->OnBlockSealed();
+    }
+    if (!store->Sync().ok()) return phase;
+    phase = 1;
+    uint64_t mark = store->BeginGc();
+    ChunkGcStats stats;
+    if (store->RetainLive(live, mark, &stats).ok()) phase = 2;
+    return phase;
+  };
+
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv env(Env::Default());
+    ASSERT_EQ(run_workload(&env), 2);
+    total_ops = env.ops_seen();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  const struct {
+    CrashMode mode;
+    const char* name;
+  } kModes[] = {
+      {CrashMode::kDropUnsynced, "drop-unsynced"},
+      {CrashMode::kKeepUnsynced, "keep-unsynced"},
+  };
+  for (const auto& crash : kModes) {
+    for (uint64_t op = 0; op < total_ops; op++) {
+      SCOPED_TRACE(std::string(crash.name) + ", short-write at op " +
+                   std::to_string(op));
+      FaultInjectionEnv env(Env::Default());
+      env.FailAt(op, FaultKind::kShortWrite, /*partial_bytes=*/2);
+      int phase = run_workload(&env);
+      EXPECT_TRUE(env.fault_fired());
+      EXPECT_LT(phase, 2) << "workload finished past its crash point";
+      env.Crash();
+      ASSERT_TRUE(env.SimulateCrash(crash.mode).ok());
+      env.Revive();
+      std::unique_ptr<FileChunkStore> store;
+      Status s = FileChunkStore::Open(&env, store_dir, small, &store);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      if (phase >= 1) {
+        // All 32 chunks were durable when the GC started, so no crash
+        // point inside the GC may lose a retained chunk.
+        for (int i = 0; i < kChunks; i += 4) {
+          std::shared_ptr<const Chunk> chunk;
+          Status g = store->Get(chunks[i].id(), &chunk);
+          ASSERT_TRUE(g.ok())
+              << "GC crash lost live chunk " << i << ": " << g.ToString();
+          EXPECT_EQ(chunk->payload(), chunks[i].payload());
+        }
+      }
+      // Whatever survived must be readable: recovery never republishes
+      // a chunk it cannot serve.
+      for (int i = 0; i < kChunks; i++) {
+        if (!store->Contains(chunks[i].id())) continue;
+        std::shared_ptr<const Chunk> chunk;
+        EXPECT_TRUE(store->Get(chunks[i].id(), &chunk).ok());
+      }
+      std::filesystem::remove_all(dir_);
+      std::filesystem::create_directories(dir_);
+    }
+  }
 }
 
 TEST_F(RecoveryTest, SyncFaultSurfacesThroughSyncStorage) {
@@ -355,9 +461,17 @@ TEST_F(RecoveryTest, ReopenAfterSyncRecoversExactlySyncedState) {
 // that succeeded before the fault — nothing lost below it, nothing
 // resurrected above it, both logs reopened cleanly — and a subsequent
 // write-sync-reopen cycle must lose nothing.
+//
+// The segment budget is tiny so the workload rolls chunk segments
+// mid-run: the sweep therefore also lands faults inside a segment
+// switch (seal-fsync, new-segment creation, directory sync) and inside
+// the store's own creation (a fresh store syncs its directory, so Open
+// itself can be the crash point — the harness treats a failed Open as
+// zero synced keys and still demands a clean recovery).
 
 constexpr int kBlocksPerRun = 4;
 constexpr int kKeysPerBlock = 4;
+constexpr size_t kTinySegmentBytes = 1 << 10;
 
 std::string WorkloadKey(int i) { return "wk" + std::to_string(i); }
 
@@ -380,14 +494,19 @@ int RunWorkload(SpitzDb* db) {
 }
 
 TEST_F(RecoveryTest, CrashAfterEveryIoOpRecoversExactlySyncedPrefix) {
+  SpitzOptions tiny_segments = DurableOptions(kKeysPerBlock);
+  tiny_segments.chunk_segment_bytes = kTinySegmentBytes;
   // Dry run: count the ops the workload performs end to end.
   uint64_t total_ops = 0;
   {
     FaultInjectionEnv env(Env::Default());
+    tiny_segments.env = &env;
     std::unique_ptr<SpitzDb> db;
-    ASSERT_TRUE(SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db).ok());
+    ASSERT_TRUE(SpitzDb::Open(tiny_segments, &db).ok());
     int synced = RunWorkload(db.get());
     ASSERT_EQ(synced, kBlocksPerRun * kKeysPerBlock);
+    ASSERT_GT(db->Metrics().CounterValue("chunk.segment.rolls"), 0u)
+        << "the sweep is supposed to cover crashes inside segment switches";
     total_ops = env.ops_seen();
     std::filesystem::remove_all(dir_);
   }
@@ -406,13 +525,15 @@ TEST_F(RecoveryTest, CrashAfterEveryIoOpRecoversExactlySyncedPrefix) {
       SCOPED_TRACE(std::string(fault.name) + " at op " + std::to_string(op));
       std::filesystem::create_directories(dir_);
       FaultInjectionEnv env(Env::Default());
+      tiny_segments.env = &env;
       env.FailAt(op, fault.kind, /*partial_bytes=*/2);
       int synced_keys = 0;
       {
         std::unique_ptr<SpitzDb> db;
-        ASSERT_TRUE(
-            SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db).ok());
-        synced_keys = RunWorkload(db.get());
+        Status open_s = SpitzDb::Open(tiny_segments, &db);
+        if (open_s.ok()) {
+          synced_keys = RunWorkload(db.get());
+        }
         EXPECT_TRUE(env.fault_fired());
         env.Crash();
       }
@@ -422,7 +543,7 @@ TEST_F(RecoveryTest, CrashAfterEveryIoOpRecoversExactlySyncedPrefix) {
         // Recovery must succeed — a crash may lose unsynced records but
         // never corrupt the store.
         std::unique_ptr<SpitzDb> db;
-        Status s = SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db);
+        Status s = SpitzDb::Open(tiny_segments, &db);
         ASSERT_TRUE(s.ok()) << s.ToString();
         EXPECT_EQ(db->key_count(), static_cast<uint64_t>(synced_keys));
         std::string value;
@@ -446,8 +567,7 @@ TEST_F(RecoveryTest, CrashAfterEveryIoOpRecoversExactlySyncedPrefix) {
         // Nothing written after recovery may be lost (the old code
         // failed exactly here: appends behind a torn tail vanished).
         std::unique_ptr<SpitzDb> db;
-        ASSERT_TRUE(
-            SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db).ok());
+        ASSERT_TRUE(SpitzDb::Open(tiny_segments, &db).ok());
         EXPECT_EQ(db->key_count(),
                   static_cast<uint64_t>(synced_keys) + kKeysPerBlock);
         std::string value;
@@ -465,11 +585,14 @@ TEST_F(RecoveryTest, CrashAfterEveryIoOpRecoversExactlySyncedPrefix) {
 // recovered state is then *at least* the synced prefix and at most
 // everything appended, with any torn tail truncated.
 TEST_F(RecoveryTest, CrashKeepingUnsyncedDataStillRecovers) {
+  SpitzOptions tiny_segments = DurableOptions(kKeysPerBlock);
+  tiny_segments.chunk_segment_bytes = kTinySegmentBytes;
   uint64_t total_ops = 0;
   {
     FaultInjectionEnv env(Env::Default());
+    tiny_segments.env = &env;
     std::unique_ptr<SpitzDb> db;
-    ASSERT_TRUE(SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db).ok());
+    ASSERT_TRUE(SpitzDb::Open(tiny_segments, &db).ok());
     RunWorkload(db.get());
     total_ops = env.ops_seen();
     std::filesystem::remove_all(dir_);
@@ -478,19 +601,21 @@ TEST_F(RecoveryTest, CrashKeepingUnsyncedDataStillRecovers) {
     SCOPED_TRACE("short-write at op " + std::to_string(op));
     std::filesystem::create_directories(dir_);
     FaultInjectionEnv env(Env::Default());
+    tiny_segments.env = &env;
     env.FailAt(op, FaultKind::kShortWrite, /*partial_bytes=*/2);
     int synced_keys = 0;
     {
       std::unique_ptr<SpitzDb> db;
-      ASSERT_TRUE(
-          SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db).ok());
-      synced_keys = RunWorkload(db.get());
+      Status open_s = SpitzDb::Open(tiny_segments, &db);
+      if (open_s.ok()) {
+        synced_keys = RunWorkload(db.get());
+      }
       env.Crash();
     }
     ASSERT_TRUE(env.SimulateCrash(CrashMode::kKeepUnsynced).ok());
     env.Revive();
     std::unique_ptr<SpitzDb> db;
-    Status s = SpitzDb::Open(DurableOptions(kKeysPerBlock, &env), &db);
+    Status s = SpitzDb::Open(tiny_segments, &db);
     ASSERT_TRUE(s.ok()) << s.ToString();
     EXPECT_GE(db->key_count(), static_cast<uint64_t>(synced_keys));
     std::string value;

@@ -277,6 +277,24 @@ TEST(SpitzDbTest, BulkLoadRejectsNonEmptyDb) {
   EXPECT_TRUE(db.BulkLoad({{"a", "1"}}).IsInvalidArgument());
 }
 
+TEST(SpitzDbTest, OptionsRejectDisabledCacheAndRetention) {
+  {
+    // The paged store pins unflushed chunks in the buffer cache, so a
+    // zero budget cannot mean "no cache" anymore.
+    SpitzOptions options;
+    options.buffer_cache_bytes = 0;
+    SpitzDb db(options);
+    EXPECT_TRUE(db.Put("k", "v").IsInvalidArgument());
+  }
+  {
+    // The live version itself is always retained; zero is meaningless.
+    SpitzOptions options;
+    options.retain_versions = 0;
+    SpitzDb db(options);
+    EXPECT_TRUE(db.Put("k", "v").IsInvalidArgument());
+  }
+}
+
 TEST(SpitzDbTest, AuditLastBlockPasses) {
   SpitzOptions options;
   options.block_size = 8;
