@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite in Release (plus metrics, recovery,
-# network and write-path smoke runs), the concurrency + network tests under
-# ThreadSanitizer, and the proof-codec + database + network tests under
-# ASan+UBSan (untrusted wire bytes are decoded there, so memory errors
-# and UB are the failure modes that matter). All legs must be green for
-# a change to land.
+# network, write-path and cluster smoke runs), the concurrency + network
+# + cluster tests under ThreadSanitizer, and the proof-codec + database
+# + network + cluster tests under ASan+UBSan (untrusted wire bytes are
+# decoded there, so memory errors and UB are the failure modes that
+# matter). All legs must be green for a change to land.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -58,26 +58,33 @@ echo "==> tier-1: paged-store smoke (larger-than-RAM, GC, reopen)"
 # verified read sweep after reopening the collected store.
 "${PREFIX}/bench/paged_smoke" --smoke --out "${PREFIX}/BENCH_paged_smoke.json"
 
+echo "==> tier-1: cluster smoke (3 shards, 2PC, cluster root digest)"
+# A 3-shard loopback cluster under concurrent clients: cross-shard RMW
+# transactions (asserts the 2PC path actually ran), verified gets and
+# scans against the cluster root digest with a hard zero-proof-failure
+# assertion, and a digest envelope decode + re-verify round trip.
+"${PREFIX}/bench/cluster_scale" --smoke --out "${PREFIX}/BENCH_cluster_smoke.json"
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
       --target concurrency_test txn_test spitz_db_test metrics_test \
-               recovery_test net_test
+               recovery_test net_test cluster_test
 # TSAN_OPTIONS makes any reported race fail the run (exit code).
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery|Net'
+        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery|Net|Cluster'
 
 echo "==> tier-2: ASan+UBSan proof-codec and database suite"
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target siri_proof_test siri_backend_test spitz_db_test recovery_test \
-               net_test concurrency_test
+               net_test concurrency_test cluster_test
 ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
 UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net|Concurrency'
+        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net|Concurrency|Cluster'
 
 echo "==> all checks passed"

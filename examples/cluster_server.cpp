@@ -1,0 +1,63 @@
+// A whole Spitz cluster in one process: N shard databases, each behind
+// its own SpitzServer on a loopback port. In production every shard
+// would be its own process on its own machine; the wire protocol is
+// identical, so this is the honest single-box stand-in for the
+// DESIGN.md section 13 deployment. Pair it with cluster_client:
+//
+//   terminal 1:  ./build/examples/cluster_server 7711 3
+//   terminal 2:  ./build/examples/cluster_client 7711 3
+//
+// Shard i listens on base_port + i. The presumed-abort sweeper is on,
+// so transactions whose coordinator dies after prepare are eventually
+// aborted instead of pinning their keys forever. Runs until stdin
+// closes (Ctrl-D), then drains and reports per-shard totals.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/spitz_db.h"
+#include "net/spitz_server.h"
+
+using namespace spitz;
+
+int main(int argc, char** argv) {
+  uint16_t base_port = 7711;
+  size_t shard_count = 3;
+  if (argc > 1) base_port = static_cast<uint16_t>(atoi(argv[1]));
+  if (argc > 2) shard_count = static_cast<size_t>(atoi(argv[2]));
+
+  std::vector<std::unique_ptr<SpitzDb>> dbs;
+  std::vector<std::unique_ptr<SpitzServer>> shards;
+  for (size_t i = 0; i < shard_count; i++) {
+    dbs.push_back(std::make_unique<SpitzDb>());
+    SpitzServer::Options options;
+    options.db = dbs.back().get();
+    options.net.loop.port = static_cast<uint16_t>(base_port + i);
+    // Coordinators decide in milliseconds; anything prepared for 10s
+    // has lost its coordinator and is presumed aborted.
+    options.txn_abort_after_ms = 10000;
+    std::unique_ptr<SpitzServer> server;
+    Status s = SpitzServer::Open(options, &server);
+    if (!s.ok()) {
+      fprintf(stderr, "shard %zu open failed: %s\n", i,
+              s.ToString().c_str());
+      return 1;
+    }
+    printf("shard %zu listening on 127.0.0.1:%u\n", i, server->port());
+    shards.push_back(std::move(server));
+  }
+  printf("cluster of %zu shard(s) up; press Ctrl-D to shut down\n",
+         shard_count);
+
+  while (getchar() != EOF) {
+  }
+
+  for (size_t i = 0; i < shards.size(); i++) {
+    shards[i]->Shutdown();
+    printf("shard %zu served %llu frames\n", i,
+           static_cast<unsigned long long>(shards[i]->frames_served()));
+  }
+  return 0;
+}

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   options.net.port = static_cast<uint16_t>(atoi(argv[1]));
 
   std::unique_ptr<SpitzClient> client;
-  Status s = SpitzClient::Connect(options, &client);
+  Status s = SpitzClient::Open(options, &client);
   if (!s.ok()) {
     fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
     return 1;

@@ -24,10 +24,11 @@ int main(int argc, char** argv) {
   }
 
   SpitzDb db;
+  options.db = &db;
   std::unique_ptr<SpitzServer> server;
-  Status s = SpitzServer::Start(&db, options, &server);
+  Status s = SpitzServer::Open(options, &server);
   if (!s.ok()) {
-    fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    fprintf(stderr, "server open failed: %s\n", s.ToString().c_str());
     return 1;
   }
   printf("spitz server listening on 127.0.0.1:%u\n", server->port());

@@ -1,0 +1,371 @@
+#include "cluster/cluster_client.h"
+
+#include <algorithm>
+
+#include "cluster/partition.h"
+#include "common/codec.h"
+#include "net/spitz_wire.h"
+
+namespace spitz {
+
+namespace {
+
+// Re-wraps a shard's error with which shard produced it, preserving
+// the code (Status's code+message constructor is not public).
+Status TagShard(size_t shard, const Status& s) {
+  const std::string msg =
+      "shard " + std::to_string(shard) + ": " + s.ToString();
+  switch (s.code()) {
+    case Status::Code::kNotFound:
+      return Status::NotFound(msg);
+    case Status::Code::kCorruption:
+      return Status::Corruption(msg);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case Status::Code::kIOError:
+      return Status::IOError(msg);
+    case Status::Code::kAborted:
+      return Status::Aborted(msg);
+    case Status::Code::kBusy:
+      return Status::Busy(msg);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(msg);
+    case Status::Code::kVerificationFailed:
+      return Status::VerificationFailed(msg);
+    case Status::Code::kTimedOut:
+      return Status::TimedOut(msg);
+    default:
+      return Status::Unavailable(msg);
+  }
+}
+
+}  // namespace
+
+Status ClusterClient::Options::Validate() const {
+  if (shards.empty()) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  for (size_t i = 0; i < shards.size(); i++) {
+    if (shards[i].port == 0) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " endpoint has no port");
+    }
+  }
+  if (verify_retries < 0) {
+    return Status::InvalidArgument("verify_retries must be non-negative");
+  }
+  return Status::OK();
+}
+
+Status ClusterClient::Open(const Options& options,
+                           std::unique_ptr<ClusterClient>* out) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
+  auto client = std::unique_ptr<ClusterClient>(new ClusterClient());
+  client->verify_retries_ = options.verify_retries;
+  std::vector<SpitzClient*> raw;
+  for (size_t i = 0; i < options.shards.size(); i++) {
+    SpitzClient::Options shard_options;
+    shard_options.net = options.shards[i];
+    std::unique_ptr<SpitzClient> shard;
+    s = SpitzClient::Open(shard_options, &shard);
+    if (!s.ok()) return TagShard(i, s);
+    raw.push_back(shard.get());
+    client->shards_.push_back(std::move(shard));
+  }
+  client->coordinator_ = std::make_unique<ClusterCoordinator>(
+      std::move(raw), options.txn_id_seed);
+  *out = std::move(client);
+  return Status::OK();
+}
+
+// --- Write path -------------------------------------------------------------
+
+Status ClusterClient::Put(const WriteOptions& options, const Slice& key,
+                          const Slice& value) {
+  return shards_[PartitionOf(key, shards_.size())]->Put(options, key, value);
+}
+
+Status ClusterClient::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[PartitionOf(key, shards_.size())]->Delete(options, key);
+}
+
+Status ClusterClient::Write(const WriteOptions& options,
+                            const WriteBatch& batch) {
+  return coordinator_->CommitBatch(options, batch);
+}
+
+// --- Snapshot ---------------------------------------------------------------
+
+Status ClusterClient::GetClusterDigest(ClusterDigest* out) {
+  out->shards.clear();
+  out->shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    SpitzDigest digest;
+    Status s = shards_[i]->Digest(&digest);
+    if (!s.ok()) return TagShard(i, s);
+    out->shards.push_back(digest);
+  }
+  out->Seal();
+  return Status::OK();
+}
+
+// --- Read path --------------------------------------------------------------
+
+Status ClusterClient::Get(const ReadOptions& options, const Slice& key,
+                          std::string* value) {
+  if (!options.verify) {
+    return shards_[PartitionOf(key, shards_.size())]->Get(
+        ReadOptions(), key, value);
+  }
+  // Each attempt pins a fresh snapshot; a root that aged out of a busy
+  // shard's retention window heals on retry, a genuine mismatch keeps
+  // failing and the last verdict surfaces.
+  Status s;
+  for (int attempt = 0; attempt <= verify_retries_; attempt++) {
+    s = VerifiedGetOnce(key, value);
+    if (s.ok() || s.IsNotFound()) return s;
+  }
+  return s;
+}
+
+Status ClusterClient::VerifiedGetOnce(const Slice& key, std::string* value) {
+  ClusterDigest digest;
+  Status s = GetClusterDigest(&digest);
+  if (!s.ok()) return s;
+  const size_t shard = PartitionOf(key, shards_.size());
+  std::optional<std::string> found;
+  ReadProof proof;
+  s = shards_[shard]->GetProofAt(digest.shards[shard].index_root, key, &found,
+                                 &proof);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  Status verdict = SpitzDb::VerifyRead(digest.shards[shard], key, found, proof);
+  if (!verdict.ok()) return verdict;
+  if (found.has_value()) *value = std::move(*found);
+  return s;
+}
+
+Status ClusterClient::Scan(const ReadOptions& options, const Slice& start,
+                           const Slice& end, size_t limit,
+                           std::vector<PosEntry>* rows) {
+  if (!options.verify) {
+    std::vector<std::vector<PosEntry>> per_shard(shards_.size());
+    for (size_t i = 0; i < shards_.size(); i++) {
+      Status s = shards_[i]->Scan(ReadOptions(), start, end, limit,
+                                  &per_shard[i]);
+      if (!s.ok()) return s;
+    }
+    MergeShardRows(std::move(per_shard), limit, rows);
+    return Status::OK();
+  }
+  Status s;
+  for (int attempt = 0; attempt <= verify_retries_; attempt++) {
+    s = VerifiedScanOnce(start, end, limit, rows);
+    if (s.ok()) return s;
+  }
+  return s;
+}
+
+Status ClusterClient::VerifiedScanOnce(const Slice& start, const Slice& end,
+                                       size_t limit,
+                                       std::vector<PosEntry>* rows) {
+  ClusterDigest digest;
+  Status s = GetClusterDigest(&digest);
+  if (!s.ok()) return s;
+  std::vector<std::vector<PosEntry>> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    spitz::ScanProof proof;
+    s = shards_[i]->ScanProofAt(digest.shards[i].index_root, start, end, limit,
+                                &per_shard[i], &proof);
+    if (!s.ok()) return s;
+    Status verdict = SpitzDb::VerifyScan(digest.shards[i], start, end, limit,
+                                         per_shard[i], proof);
+    if (!verdict.ok()) return verdict;
+  }
+  // Every shard proved its first `limit` in-range rows, so the merged
+  // first `limit` rows are each covered by some shard's proof.
+  MergeShardRows(std::move(per_shard), limit, rows);
+  return Status::OK();
+}
+
+// --- Evidence ---------------------------------------------------------------
+//
+// Cluster evidence wraps shard evidence: the digest slot carries the
+// ClusterDigest envelope (whose root commits every shard digest), the
+// proof slot carries which shard answered plus the shard's pinned-root
+// proof — for scans, every shard's full row set and proof, since the
+// merged rows alone cannot be re-verified per shard after truncation.
+
+Status ClusterClient::GetProof(const Slice& key, Evidence* out) {
+  Status s;
+  for (int attempt = 0; attempt <= verify_retries_; attempt++) {
+    ClusterDigest digest;
+    s = GetClusterDigest(&digest);
+    if (!s.ok()) return s;
+    const size_t shard = PartitionOf(key, shards_.size());
+    std::optional<std::string> found;
+    ReadProof proof;
+    s = shards_[shard]->GetProofAt(digest.shards[shard].index_root, key,
+                                   &found, &proof);
+    if (!s.ok() && !s.IsNotFound()) continue;
+    out->value = found;
+    out->proof.clear();
+    PutVarint64(&out->proof, shard);
+    proof.EncodeTo(&out->proof);
+    out->digest.clear();
+    digest.EncodeTo(&out->digest);
+    // Only hand out evidence that checks: an aged-out root retries, so
+    // the caller never has to distinguish staleness from tamper.
+    if (VerifyGetEvidence(key, *out).ok()) return s;
+  }
+  return s.ok() || s.IsNotFound()
+             ? Status::VerificationFailed("could not assemble verifiable get evidence")
+             : s;
+}
+
+Status ClusterClient::ScanProof(const Slice& start, const Slice& end,
+                                size_t limit, ScanEvidence* out) {
+  Status s;
+  for (int attempt = 0; attempt <= verify_retries_; attempt++) {
+    ClusterDigest digest;
+    s = GetClusterDigest(&digest);
+    if (!s.ok()) return s;
+    out->proof.clear();
+    PutVarint64(&out->proof, shards_.size());
+    std::vector<std::vector<PosEntry>> per_shard(shards_.size());
+    bool failed = false;
+    for (size_t i = 0; i < shards_.size(); i++) {
+      spitz::ScanProof proof;
+      s = shards_[i]->ScanProofAt(digest.shards[i].index_root, start, end,
+                                  limit, &per_shard[i], &proof);
+      if (!s.ok()) {
+        failed = true;
+        break;
+      }
+      wire::EncodeRows(per_shard[i], &out->proof);
+      proof.EncodeTo(&out->proof);
+    }
+    if (failed) continue;
+    out->digest.clear();
+    digest.EncodeTo(&out->digest);
+    MergeShardRows(std::move(per_shard), limit, &out->rows);
+    if (VerifyScanEvidence(start, end, limit, *out).ok()) return Status::OK();
+  }
+  return s.ok() ? Status::VerificationFailed(
+                      "could not assemble verifiable scan evidence")
+                : s;
+}
+
+Status ClusterClient::Digest(std::string* out) {
+  ClusterDigest digest;
+  Status s = GetClusterDigest(&digest);
+  if (!s.ok()) return s;
+  out->clear();
+  digest.EncodeTo(out);
+  return Status::OK();
+}
+
+Status ClusterClient::Audit(const Slice& key) {
+  if (!key.empty()) {
+    return shards_[PartitionOf(key, shards_.size())]->Audit(key);
+  }
+  for (size_t i = 0; i < shards_.size(); i++) {
+    Status s = shards_[i]->Audit(Slice());
+    if (!s.ok()) return TagShard(i, s);
+  }
+  return Status::OK();
+}
+
+// --- Stateless verifiers ----------------------------------------------------
+
+Status ClusterClient::VerifyGetEvidence(const Slice& key,
+                                        const Evidence& evidence) {
+  Slice digest_input(evidence.digest);
+  ClusterDigest digest;
+  Status s = ClusterDigest::DecodeFrom(&digest_input, &digest);
+  if (!s.ok()) return s;
+  Slice proof_input(evidence.proof);
+  uint64_t shard = 0;
+  s = GetVarint64(&proof_input, &shard);
+  if (!s.ok()) return s;
+  if (shard >= digest.shards.size()) {
+    return Status::VerificationFailed("evidence names a shard outside the cluster");
+  }
+  // The responding shard must be the one the partition function owns
+  // the key to — otherwise a shard could vouch for keys it never held.
+  if (shard != PartitionOf(key, digest.shards.size())) {
+    return Status::VerificationFailed("evidence shard does not own the key");
+  }
+  ReadProof proof;
+  s = ReadProof::DecodeFrom(&proof_input, &proof);
+  if (!s.ok()) return s;
+  return SpitzDb::VerifyRead(digest.shards[shard], key, evidence.value, proof);
+}
+
+Status ClusterClient::VerifyScanEvidence(const Slice& start, const Slice& end,
+                                         size_t limit,
+                                         const ScanEvidence& evidence) {
+  Slice digest_input(evidence.digest);
+  ClusterDigest digest;
+  Status s = ClusterDigest::DecodeFrom(&digest_input, &digest);
+  if (!s.ok()) return s;
+  Slice proof_input(evidence.proof);
+  uint64_t shard_count = 0;
+  s = GetVarint64(&proof_input, &shard_count);
+  if (!s.ok()) return s;
+  if (shard_count != digest.shards.size()) {
+    return Status::VerificationFailed("scan evidence shard count mismatch");
+  }
+  std::vector<std::vector<PosEntry>> per_shard(digest.shards.size());
+  for (size_t i = 0; i < digest.shards.size(); i++) {
+    s = wire::DecodeRows(&proof_input, &per_shard[i]);
+    if (!s.ok()) return s;
+    spitz::ScanProof proof;
+    s = spitz::ScanProof::DecodeFrom(&proof_input, &proof);
+    if (!s.ok()) return s;
+    Status verdict = SpitzDb::VerifyScan(digest.shards[i], start, end, limit,
+                                         per_shard[i], proof);
+    if (!verdict.ok()) return verdict;
+  }
+  // The merged rows must be exactly the merge of the proven per-shard
+  // sets — no row invented, dropped, or reordered after verification.
+  std::vector<PosEntry> expected;
+  MergeShardRows(std::move(per_shard), limit, &expected);
+  if (expected.size() != evidence.rows.size()) {
+    return Status::VerificationFailed("scan evidence rows diverge from proofs");
+  }
+  for (size_t i = 0; i < expected.size(); i++) {
+    if (expected[i].key != evidence.rows[i].key ||
+        expected[i].value != evidence.rows[i].value) {
+      return Status::VerificationFailed("scan evidence rows diverge from proofs");
+    }
+  }
+  return Status::OK();
+}
+
+// --- Merge ------------------------------------------------------------------
+
+void MergeShardRows(std::vector<std::vector<PosEntry>> per_shard, size_t limit,
+                    std::vector<PosEntry>* out) {
+  out->clear();
+  // limit 0 = no limit, matching the scan contract everywhere else.
+  const size_t cap = limit == 0 ? static_cast<size_t>(-1) : limit;
+  std::vector<size_t> cursor(per_shard.size(), 0);
+  while (out->size() < cap) {
+    int best = -1;
+    for (size_t i = 0; i < per_shard.size(); i++) {
+      if (cursor[i] >= per_shard[i].size()) continue;
+      if (best < 0 ||
+          per_shard[i][cursor[i]].key <
+              per_shard[static_cast<size_t>(best)][cursor[best]].key) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    out->push_back(
+        std::move(per_shard[static_cast<size_t>(best)][cursor[best]]));
+    cursor[static_cast<size_t>(best)]++;
+  }
+}
+
+}  // namespace spitz

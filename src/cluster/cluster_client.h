@@ -1,0 +1,133 @@
+#ifndef SPITZ_CLUSTER_CLUSTER_CLIENT_H_
+#define SPITZ_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_digest.h"
+#include "cluster/coordinator.h"
+#include "core/verified_kv.h"
+#include "net/spitz_client.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// ClusterClient — a sharded Spitz cluster behind the one VerifiedKv
+// surface. Keys route by the shared partition function (the same one
+// ShardedStore and the coordinator use); cross-shard batches commit
+// via 2PC; verified reads and scans check out against a single cluster
+// root digest.
+//
+// Verified read protocol (Get/Scan with ReadOptions::verify):
+//
+//   1. snapshot: fetch every shard's digest, Merkle them into one
+//      ClusterDigest (its root is the hash the caller can retain);
+//   2. prove: ask the owning shard (all shards, for a scan) for a
+//      proof pinned at exactly the index root its digest named
+//      (kGetProofAt/kScanProofAt) — concurrent commits cannot skew it;
+//   3. verify locally against the pinned shard digest, whose bytes the
+//      cluster root commits.
+//
+// A proof that fails because the pinned root aged out of a busy
+// shard's version-retention window is retried with a fresh snapshot
+// (Options::verify_retries); a proof that fails because rows and hash
+// disagree keeps failing and surfaces as VerificationFailed.
+//
+// Scans fan out to every shard at the pinned roots, verify per shard,
+// then merge-sort by key and truncate to `limit` — each shard proved
+// its first `limit` in-range rows, so the global first `limit` rows
+// are covered by proofs.
+//
+// Thread-safe: routing state is immutable after Open and each
+// SpitzClient channel is itself thread-safe.
+// ---------------------------------------------------------------------------
+class ClusterClient : public VerifiedKv {
+ public:
+  struct Options {
+    Options() {}
+    // One endpoint per shard, in partition order — must match the
+    // server-side deployment on every client, or routes diverge.
+    std::vector<NetClient::Options> shards;
+    // Fresh-snapshot retries for verified reads whose pinned root aged
+    // out under write pressure.
+    int verify_retries = 3;
+    // Forwarded to ClusterCoordinator (0 = clock-derived).
+    uint64_t txn_id_seed = 0;
+
+    Status Validate() const;
+  };
+
+  static Status Open(const Options& options,
+                     std::unique_ptr<ClusterClient>* out);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // --- VerifiedKv ---------------------------------------------------------
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start,
+              const Slice& end, size_t limit,
+              std::vector<PosEntry>* rows) override;
+  // Evidence against the *cluster*: digest = ClusterDigest envelope,
+  // proof = shard index + the shard's pinned-root proof. Verify with
+  // VerifyGetEvidence / VerifyScanEvidence.
+  Status GetProof(const Slice& key, Evidence* out) override;
+  Status ScanProof(const Slice& start, const Slice& end, size_t limit,
+                   ScanEvidence* out) override;
+  Status Digest(std::string* out) override;
+  // Routes to the owning shard; empty key audits every shard's last
+  // sealed block.
+  Status Audit(const Slice& key) override;
+
+  using VerifiedKv::Delete;
+  using VerifiedKv::Get;
+  using VerifiedKv::Put;
+  using VerifiedKv::Scan;
+
+  // --- Cluster surface ----------------------------------------------------
+
+  // Atomic cross-shard write: splits by partition, one-phase on a
+  // single shard, 2PC otherwise.
+  Status Write(const WriteOptions& options, const WriteBatch& batch);
+
+  // Captures a fresh cluster snapshot (per-shard digests + root).
+  Status GetClusterDigest(ClusterDigest* out);
+
+  // Stateless verifiers for cluster Evidence — the client-side end of
+  // the envelope; reject any tampered byte in value, proof, or digest.
+  static Status VerifyGetEvidence(const Slice& key, const Evidence& evidence);
+  static Status VerifyScanEvidence(const Slice& start, const Slice& end,
+                                   size_t limit,
+                                   const ScanEvidence& evidence);
+
+  size_t shard_count() const { return shards_.size(); }
+  SpitzClient* shard(size_t i) { return shards_[i].get(); }
+  ClusterCoordinator* coordinator() { return coordinator_.get(); }
+
+ private:
+  ClusterClient() = default;
+
+  // One verified-get / verified-scan attempt at a fresh snapshot.
+  Status VerifiedGetOnce(const Slice& key, std::string* value);
+  Status VerifiedScanOnce(const Slice& start, const Slice& end, size_t limit,
+                          std::vector<PosEntry>* rows);
+
+  std::vector<std::unique_ptr<SpitzClient>> shards_;
+  std::unique_ptr<ClusterCoordinator> coordinator_;
+  int verify_retries_ = 3;
+};
+
+// k-way merge of per-shard scan results (each sorted by key) into one
+// sorted row set, truncated to `limit`. Exposed for tests.
+void MergeShardRows(std::vector<std::vector<PosEntry>> per_shard, size_t limit,
+                    std::vector<PosEntry>* out);
+
+}  // namespace spitz
+
+#endif  // SPITZ_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,76 @@
+#include "cluster/cluster_digest.h"
+
+#include "common/codec.h"
+
+namespace spitz {
+
+namespace {
+
+// One tree build shared by root computation and inclusion proofs.
+void BuildTree(const std::vector<SpitzDigest>& shards, MerkleTree* tree) {
+  std::string leaf;
+  for (const SpitzDigest& shard : shards) {
+    leaf.clear();
+    shard.EncodeTo(&leaf);
+    tree->AppendLeaf(leaf);
+  }
+}
+
+}  // namespace
+
+Hash256 ClusterDigest::ComputeRoot(const std::vector<SpitzDigest>& shards) {
+  MerkleTree tree;
+  BuildTree(shards, &tree);
+  return tree.Root();
+}
+
+void ClusterDigest::EncodeTo(std::string* out) const {
+  PutVarint64(out, shards.size());
+  for (const SpitzDigest& shard : shards) shard.EncodeTo(out);
+  out->append(reinterpret_cast<const char*>(root.data()), Hash256::kSize);
+}
+
+Status ClusterDigest::DecodeFrom(Slice* input, ClusterDigest* out) {
+  uint64_t n = 0;
+  Status s = GetVarint64(input, &n);
+  if (!s.ok()) return s;
+  out->shards.clear();
+  // Untrusted count: cap the reservation, let decode fail naturally.
+  out->shards.reserve(static_cast<size_t>(n < 1024 ? n : 1024));
+  for (uint64_t i = 0; i < n; i++) {
+    SpitzDigest shard;
+    s = SpitzDigest::DecodeFrom(input, &shard);
+    if (!s.ok()) return s;
+    out->shards.push_back(shard);
+  }
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("cluster digest truncated before root");
+  }
+  out->root = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  if (out->root != ComputeRoot(out->shards)) {
+    return Status::VerificationFailed(
+        "cluster digest root does not commit its shard digests");
+  }
+  return Status::OK();
+}
+
+Status ClusterDigest::ShardInclusionProof(size_t index,
+                                          MerkleInclusionProof* proof) const {
+  if (index >= shards.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  MerkleTree tree;
+  BuildTree(shards, &tree);
+  return tree.InclusionProof(index, proof);
+}
+
+bool ClusterDigest::VerifyShardInclusion(const SpitzDigest& shard_digest,
+                                         const MerkleInclusionProof& proof,
+                                         const Hash256& root) {
+  std::string leaf;
+  shard_digest.EncodeTo(&leaf);
+  return MerkleTree::VerifyInclusion(Hash256::OfLeaf(leaf), proof, root);
+}
+
+}  // namespace spitz

@@ -1,0 +1,123 @@
+#include "cluster/coordinator.h"
+
+#include <map>
+
+#include "cluster/partition.h"
+#include "common/clock.h"
+
+namespace spitz {
+
+namespace {
+
+// How many times a durable commit decision is re-pushed at a shard
+// whose commit RPC failed before the driver gives up and leaves the
+// shard in-doubt (its sweeper or ResolveInDoubt takes it from there).
+constexpr int kCommitRetries = 3;
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(std::vector<SpitzClient*> shards,
+                                       uint64_t txn_id_seed)
+    : shards_(std::move(shards)),
+      // Clock-seeded ids keep two coordinators born in different
+      // microseconds disjoint; the low bits leave room for 2^20 local
+      // transactions before ranges could meet.
+      next_txn_id_(txn_id_seed != 0 ? txn_id_seed : (NowMicros() << 20) | 1) {
+  commits_1pc_ = registry_.counter("cluster.coordinator.commits_1pc");
+  commits_2pc_ = registry_.counter("cluster.coordinator.commits_2pc");
+  aborts_ = registry_.counter("cluster.coordinator.aborts");
+  in_doubt_resolved_ = registry_.counter("cluster.coordinator.in_doubt_resolved");
+}
+
+Status ClusterCoordinator::CommitBatch(const WriteOptions& options,
+                                       const WriteBatch& batch) {
+  if (shards_.empty()) return Status::InvalidArgument("no shards");
+  if (batch.empty()) return Status::OK();
+
+  // Split by the shared partition function — the same routing every
+  // reader uses, so a batch's writes land where its readers will look.
+  std::map<size_t, WriteBatch> parts;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    WriteBatch& part = parts[PartitionOf(op.key, shards_.size())];
+    if (op.type == WriteBatch::OpType::kPut) {
+      part.Put(op.key, op.value);
+    } else {
+      part.Delete(op.key);
+    }
+  }
+
+  if (parts.size() == 1) {
+    // One-phase fast path: a single shard's kWrite is already atomic.
+    Status s = shards_[parts.begin()->first]->Write(options,
+                                                    parts.begin()->second);
+    if (s.ok()) commits_1pc_->Increment();
+    return s;
+  }
+
+  const uint64_t txn_id = NextTxnId();
+
+  // Phase 1: collect durable votes. First failure aborts everything
+  // prepared so far — including the failing shard, whose vote may have
+  // landed even though its reply did not.
+  std::vector<size_t> prepared;
+  for (const auto& [shard, part] : parts) {
+    Status s = shards_[shard]->TxnPrepare(txn_id, part);
+    if (!s.ok()) {
+      for (size_t p : prepared) shards_[p]->TxnAbort(txn_id);
+      shards_[shard]->TxnAbort(txn_id);
+      aborts_->Increment();
+      return s;
+    }
+    prepared.push_back(shard);
+  }
+
+  // Phase 2: the decision is commit from here on — never abort a shard
+  // past this point. A failed commit RPC is retried; a shard that stays
+  // unreachable keeps the transaction in-doubt (prepared + durable)
+  // until a later TxnCommit for this id lands or an operator resolves it.
+  Status result = Status::OK();
+  for (size_t shard : prepared) {
+    Status s;
+    for (int attempt = 0; attempt <= kCommitRetries; attempt++) {
+      s = shards_[shard]->TxnCommit(txn_id);
+      // NotFound = "already resolved": a retried commit after a shard
+      // applied the first one.
+      if (s.ok() || s.IsNotFound()) {
+        s = Status::OK();
+        break;
+      }
+    }
+    if (!s.ok() && result.ok()) {
+      result = Status::Unavailable("commit decision not yet applied on shard " +
+                                   std::to_string(shard) + ": " + s.ToString());
+    }
+  }
+  if (result.ok()) commits_2pc_->Increment();
+  return result;
+}
+
+Status ClusterCoordinator::ResolveInDoubt(size_t* aborted) {
+  size_t total = 0;
+  Status result = Status::OK();
+  for (size_t shard = 0; shard < shards_.size(); shard++) {
+    std::vector<uint64_t> txn_ids;
+    Status s = shards_[shard]->TxnInDoubt(&txn_ids);
+    if (!s.ok()) {
+      if (result.ok()) result = s;
+      continue;
+    }
+    for (uint64_t txn_id : txn_ids) {
+      s = shards_[shard]->TxnAbort(txn_id);
+      if (s.ok()) {
+        total++;
+        in_doubt_resolved_->Increment();
+      } else if (!s.IsNotFound() && result.ok()) {
+        result = s;
+      }
+    }
+  }
+  if (aborted != nullptr) *aborted = total;
+  return result;
+}
+
+}  // namespace spitz

@@ -1,0 +1,39 @@
+#ifndef SPITZ_CLUSTER_PARTITION_H_
+#define SPITZ_CLUSTER_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace spitz {
+
+// ---------------------------------------------------------------------------
+// The ONE key-partitioning function of the system. Shard placement must
+// agree everywhere a key is routed — the in-process ShardedStore, the
+// cluster coordinator's 2PC driver, and every ClusterClient — or a
+// transaction prepared on one shard would be committed on another.
+// Header-only so the txn layer can share it without a link dependency
+// on the cluster library.
+//
+// FNV-1a over the key bytes, reduced mod shard_count. Stable by
+// construction: changing this function is a cluster-wide resharding
+// event, not a refactor.
+// ---------------------------------------------------------------------------
+
+inline uint64_t PartitionHash(const Slice& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (size_t i = 0; i < key.size(); i++) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+inline size_t PartitionOf(const Slice& key, size_t shard_count) {
+  return static_cast<size_t>(PartitionHash(key) % shard_count);
+}
+
+}  // namespace spitz
+
+#endif  // SPITZ_CLUSTER_PARTITION_H_

@@ -54,6 +54,11 @@ constexpr size_t kMaxGroupBytes = 4 << 20;
 // workloads that never ask for a barrier.
 constexpr size_t kJournalBackpressureBytes = 4 << 20;
 
+// txn.log record types (2PC participant; see PrepareTxn in the header).
+constexpr uint8_t kTxnRecordPrepare = 1;
+constexpr uint8_t kTxnRecordCommit = 2;
+constexpr uint8_t kTxnRecordAbort = 3;
+
 }  // namespace
 
 Status SpitzOptions::Validate() const {
@@ -130,6 +135,12 @@ void SpitzDb::WireMetrics() {
   registry_.RegisterCounter("core.db.journal.truncated_bytes",
                             &journal_truncated_bytes_);
   registry_.RegisterCounter("core.db.journal.fsyncs", &journal_fsyncs_);
+  registry_.RegisterCounter("core.db.txn.prepares", &txn_prepares_);
+  registry_.RegisterCounter("core.db.txn.commits", &txn_commits_);
+  registry_.RegisterCounter("core.db.txn.aborts", &txn_aborts_);
+  registry_.RegisterCounter("core.db.txn.prepare_conflicts", &txn_conflicts_);
+  registry_.RegisterGaugeFn("core.db.txn.in_doubt",
+                            [this] { return txn_in_doubt_.value(); });
   registry_.RegisterCounter("gc.runs", &gc_runs_);
   registry_.RegisterCounter("gc.failures", &gc_failures_);
   registry_.RegisterCounter("gc.dead_chunks", &gc_dead_chunks_);
@@ -254,7 +265,9 @@ Status SpitzDb::Recover() {
   // and so eligible for an in-flight fsync — before the chunk barrier
   // that covers it has been ordered ahead of it.
   journal_log_->SetManualFlush(true);
-  return Status::OK();
+  // Replay the 2PC participant log: prepares without a decision marker
+  // become the in-doubt set, their key locks re-taken.
+  return RecoverTxnLog();
 }
 
 SpitzDb::~SpitzDb() {
@@ -268,6 +281,7 @@ SpitzDb::~SpitzDb() {
   }
   auditor_->Flush();
   if (journal_log_ != nullptr) journal_log_->Close();
+  if (txn_log_ != nullptr) txn_log_->Close();
 }
 
 void SpitzDb::StartGcThread() {
@@ -406,10 +420,16 @@ Status SpitzDb::Write(const WriteBatch& batch) {
 }
 
 Status SpitzDb::Write(const WriteOptions& options, const WriteBatch& batch) {
+  return WriteInternal(options, batch, /*bypass_txn=*/0);
+}
+
+Status SpitzDb::WriteInternal(const WriteOptions& options,
+                              const WriteBatch& batch, uint64_t bypass_txn) {
   if (!init_status_.ok()) return init_status_;
   ScopedTimer timer(metrics_.write_ns);
   CommitRequest req;
   req.batch = &batch;
+  req.bypass_txn = bypass_txn;
   // Durability is only on offer when there is a journal to fsync; the
   // in-memory database ignores the flag rather than force-sealing
   // partial blocks for a barrier that cannot exist.
@@ -497,6 +517,20 @@ Status SpitzDb::CommitGroup(const std::vector<CommitRequest*>& group,
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (CommitRequest* r : group) {
+      // Prepared-key locks: a batch touching a key some in-doubt 2PC
+      // transaction prepared must wait for the coordinator's decision
+      // (Busy), or the decided outcome could be clobbered between vote
+      // and commit. The atomic fast path keeps the common nothing-
+      // prepared case free of the extra lock.
+      if (prepared_count_.load(std::memory_order_acquire) != 0 ||
+          r->bypass_txn != 0) {
+        std::lock_guard<std::mutex> txn_lock(txn_mu_);
+        r->status = CheckPreparedConflictsLocked(*r->batch, r->bypass_txn);
+        if (!r->status.ok()) {
+          txn_conflicts_.Increment();
+          continue;
+        }
+      }
       r->status = ApplyBatchLocked(*r->batch);
       // Seal inside the per-batch loop, exactly where the serial path
       // would: block boundaries (and each block's recorded index root)
@@ -722,6 +756,268 @@ Status SpitzDb::BulkLoad(std::vector<PosEntry> entries) {
   return io;
 }
 
+// --- 2PC participant --------------------------------------------------------
+
+Status SpitzDb::PrepareTxn(uint64_t txn_id, const WriteBatch& batch) {
+  if (!init_status_.ok()) return init_status_;
+  if (txn_id == 0) {
+    return Status::InvalidArgument("txn_id must be nonzero");
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("cannot prepare an empty batch");
+  }
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  // Idempotent re-prepare: a coordinator retrying a lost vote must get
+  // the same yes it got the first time.
+  if (prepared_.count(txn_id) != 0) return Status::OK();
+  Status s = CheckPreparedConflictsLocked(batch, txn_id);
+  if (!s.ok()) {
+    txn_conflicts_.Increment();
+    return s;
+  }
+  // The vote is durable before it is cast: a participant that said yes
+  // must still know it after a crash (RecoverTxnLog re-stages it).
+  s = AppendTxnRecord(kTxnRecordPrepare, txn_id, &batch);
+  if (!s.ok()) return s;
+  PreparedTxn prepared;
+  prepared.batch = batch;
+  prepared.since_ms = NowMicros() / 1000;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    prepared_keys_[op.key] = txn_id;
+  }
+  prepared_.emplace(txn_id, std::move(prepared));
+  prepared_count_.store(prepared_.size(), std::memory_order_release);
+  txn_prepares_.Increment();
+  txn_in_doubt_.Set(prepared_.size());
+  return Status::OK();
+}
+
+Status SpitzDb::CommitTxn(uint64_t txn_id) {
+  if (!init_status_.ok()) return init_status_;
+  WriteBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    auto it = prepared_.find(txn_id);
+    if (it == prepared_.end()) {
+      // Already resolved (this side's decision marker survived a prior
+      // attempt); the coordinator reads NotFound as "done".
+      return Status::NotFound("transaction not prepared on this shard");
+    }
+    batch = it->second.batch;
+  }
+  // Apply through the ordinary group-commit pipeline, bypassing the key
+  // locks this transaction's own prepare took. sync=true: the data must
+  // be durable before the decision marker says it is.
+  WriteOptions options;
+  options.sync = true;
+  Status s = WriteInternal(options, batch, txn_id);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = prepared_.find(txn_id);
+  if (it == prepared_.end()) return Status::OK();
+  // A crash between the apply above and this marker leaves the txn in
+  // doubt; the coordinator re-sends CommitTxn after recovery and the
+  // batch re-applies — state-convergent (puts re-set the same values,
+  // deletes stay deleted) at the cost of duplicate ledger entries for
+  // the retried batch.
+  s = AppendTxnRecord(kTxnRecordCommit, txn_id, nullptr);
+  if (!s.ok()) return s;
+  for (const WriteBatch::Op& op : it->second.batch.ops()) {
+    auto locked = prepared_keys_.find(op.key);
+    if (locked != prepared_keys_.end() && locked->second == txn_id) {
+      prepared_keys_.erase(locked);
+    }
+  }
+  prepared_.erase(it);
+  prepared_count_.store(prepared_.size(), std::memory_order_release);
+  txn_commits_.Increment();
+  txn_in_doubt_.Set(prepared_.size());
+  return Status::OK();
+}
+
+Status SpitzDb::AbortTxn(uint64_t txn_id) {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = prepared_.find(txn_id);
+  if (it == prepared_.end()) {
+    return Status::NotFound("transaction not prepared on this shard");
+  }
+  Status s = AppendTxnRecord(kTxnRecordAbort, txn_id, nullptr);
+  if (!s.ok()) return s;
+  for (const WriteBatch::Op& op : it->second.batch.ops()) {
+    auto locked = prepared_keys_.find(op.key);
+    if (locked != prepared_keys_.end() && locked->second == txn_id) {
+      prepared_keys_.erase(locked);
+    }
+  }
+  prepared_.erase(it);
+  prepared_count_.store(prepared_.size(), std::memory_order_release);
+  txn_aborts_.Increment();
+  txn_in_doubt_.Set(prepared_.size());
+  return Status::OK();
+}
+
+Status SpitzDb::InDoubtTxns(std::vector<uint64_t>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  for (const auto& [txn_id, prepared] : prepared_) {
+    (void)prepared;
+    out->push_back(txn_id);
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::AbortTxnsOlderThan(uint64_t max_age_ms, size_t* aborted) {
+  if (aborted != nullptr) *aborted = 0;
+  if (!init_status_.ok()) return init_status_;
+  const uint64_t now_ms = NowMicros() / 1000;
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  std::vector<uint64_t> victims;
+  for (const auto& [txn_id, prepared] : prepared_) {
+    if (now_ms - prepared.since_ms >= max_age_ms) victims.push_back(txn_id);
+  }
+  for (uint64_t txn_id : victims) {
+    Status s = AppendTxnRecord(kTxnRecordAbort, txn_id, nullptr);
+    if (!s.ok()) return s;
+    auto it = prepared_.find(txn_id);
+    for (const WriteBatch::Op& op : it->second.batch.ops()) {
+      auto locked = prepared_keys_.find(op.key);
+      if (locked != prepared_keys_.end() && locked->second == txn_id) {
+        prepared_keys_.erase(locked);
+      }
+    }
+    prepared_.erase(it);
+    txn_aborts_.Increment();
+    if (aborted != nullptr) (*aborted)++;
+  }
+  prepared_count_.store(prepared_.size(), std::memory_order_release);
+  txn_in_doubt_.Set(prepared_.size());
+  return Status::OK();
+}
+
+Status SpitzDb::CheckPreparedConflictsLocked(const WriteBatch& batch,
+                                             uint64_t bypass_txn) const {
+  for (const WriteBatch::Op& op : batch.ops()) {
+    auto it = prepared_keys_.find(op.key);
+    if (it != prepared_keys_.end() && it->second != bypass_txn) {
+      return Status::Busy("key locked by prepared transaction " +
+                          std::to_string(it->second));
+    }
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::AppendTxnRecord(uint8_t type, uint64_t txn_id,
+                                const WriteBatch* batch) {
+  // In-memory databases have no txn log; prepares then live only in
+  // memory, which loses nothing (there is no recovery either).
+  if (txn_log_ == nullptr) return Status::OK();
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  PutFixed64(&payload, txn_id);
+  if (batch != nullptr) payload.append(batch->Encode());
+  std::string record;
+  PutLengthPrefixedSlice(&record, payload);
+  PutFixed32(&record,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  Status s = txn_log_->Append(record);
+  if (s.ok()) s = txn_log_->Sync();
+  if (!s.ok()) {
+    return Status::IOError("txn log append failed: " + s.message());
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::RecoverTxnLog() {
+  const std::string path = options_.data_dir + "/txn.log";
+  std::string contents;
+  Status read_status = env_->ReadFileToString(path, &contents);
+  if (!read_status.ok() && !read_status.IsNotFound()) return read_status;
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  if (read_status.ok()) {
+    Slice input(contents);
+    uint64_t consumed = 0;
+    while (!input.empty()) {
+      Slice rest = input;
+      Slice payload;
+      if (!GetLengthPrefixedSlice(&rest, &payload).ok() ||
+          rest.size() < sizeof(uint32_t)) {
+        break;  // torn tail: the record never finished; drop it
+      }
+      uint32_t stored = DecodeFixed32(rest.data());
+      rest.remove_prefix(sizeof(uint32_t));
+      if (crc32c::Unmask(stored) !=
+          crc32c::Value(payload.data(), payload.size())) {
+        return Status::Corruption("txn log record CRC mismatch at offset " +
+                                  std::to_string(consumed) + " in " + path);
+      }
+      if (payload.size() < 1 + sizeof(uint64_t)) {
+        return Status::Corruption("short txn log record");
+      }
+      const uint8_t type = static_cast<uint8_t>(payload[0]);
+      const uint64_t txn_id = DecodeFixed64(payload.data() + 1);
+      Slice body(payload.data() + 1 + sizeof(uint64_t),
+                 payload.size() - 1 - sizeof(uint64_t));
+      switch (type) {
+        case kTxnRecordPrepare: {
+          WriteBatch batch;
+          Status s = WriteBatch::Decode(body, &batch);
+          if (!s.ok()) return s;
+          PreparedTxn prepared;
+          prepared.batch = std::move(batch);
+          // Recovered in-doubt txns age from restart, so the timeout
+          // sweep gives the coordinator a full window to resolve them.
+          prepared.since_ms = NowMicros() / 1000;
+          prepared_[txn_id] = std::move(prepared);
+          break;
+        }
+        case kTxnRecordCommit:
+        case kTxnRecordAbort:
+          prepared_.erase(txn_id);
+          break;
+        default:
+          return Status::Corruption("unknown txn log record type " +
+                                    std::to_string(type));
+      }
+      consumed += input.size() - rest.size();
+      input = rest;
+    }
+  }
+  // The survivors are the in-doubt set: voted yes, never heard the
+  // outcome. Re-take their key locks until the coordinator resolves
+  // them (or the timeout sweep aborts them).
+  for (const auto& [txn_id, prepared] : prepared_) {
+    for (const WriteBatch::Op& op : prepared.batch.ops()) {
+      prepared_keys_[op.key] = txn_id;
+    }
+  }
+  prepared_count_.store(prepared_.size(), std::memory_order_release);
+  txn_in_doubt_.Set(prepared_.size());
+  return CompactTxnLogLocked();
+}
+
+Status SpitzDb::CompactTxnLogLocked() {
+  const std::string path = options_.data_dir + "/txn.log";
+  if (txn_log_ != nullptr) {
+    txn_log_->Close();
+    txn_log_.reset();
+  }
+  if (env_->FileExists(path)) {
+    Status s = env_->Truncate(path, 0);
+    if (!s.ok()) return s;
+  }
+  Status s = env_->NewWritableLog(path, &txn_log_);
+  if (!s.ok()) {
+    return Status::IOError("cannot open txn log: " + path + ": " +
+                           s.message());
+  }
+  for (const auto& [txn_id, prepared] : prepared_) {
+    s = AppendTxnRecord(kTxnRecordPrepare, txn_id, &prepared.batch);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status SpitzDb::AuditLastBlock() {
   // Snapshot everything the audit needs under the lock (all cheap
   // copies); the expensive decode + re-hash work runs on the auditor
@@ -790,19 +1086,11 @@ Status SpitzDb::Get(const Slice& key, std::string* value) const {
   return index_->Get(CurrentSnapshot()->root, key, value);
 }
 
+// A proof is produced for presence and (non-degenerate) absence alike;
+// its wire size is what the client pays either way.
 Status SpitzDb::GetWithProof(const Slice& key, std::string* value,
                              ReadProof* proof) const {
-  ScopedTimer timer(metrics_.proof_build_ns);
-  auto pin = chunks_->PinReads();
-  Hash256 root = CurrentSnapshot()->root;
-  Status s = index_->GetWithProof(root, key, value, &proof->index_proof);
-  proof->index_root = root;
-  // A proof is produced for presence and (non-degenerate) absence alike;
-  // its wire size is what the client pays either way.
-  if (metrics_.proof_bytes && (s.ok() || s.IsNotFound())) {
-    metrics_.proof_bytes->Record(proof->index_proof.ByteSize());
-  }
-  return s;
+  return GetWithProofAt(CurrentSnapshot()->root, key, value, proof);
 }
 
 Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
@@ -814,13 +1102,33 @@ Status SpitzDb::Scan(const Slice& start, const Slice& end, size_t limit,
 
 Status SpitzDb::ScanWithProof(const Slice& start, const Slice& end,
                               size_t limit, std::vector<PosEntry>* out,
-                              ScanProof* proof) const {
+                              spitz::ScanProof* proof) const {
+  return ScanWithProofAt(CurrentSnapshot()->root, start, end, limit, out,
+                         proof);
+}
+
+Status SpitzDb::GetWithProofAt(const Hash256& index_root, const Slice& key,
+                               std::string* value, ReadProof* proof) const {
   ScopedTimer timer(metrics_.proof_build_ns);
   auto pin = chunks_->PinReads();
-  Hash256 root = CurrentSnapshot()->root;
-  Status s = index_->ScanWithProof(root, start, end, limit, out,
+  Status s = index_->GetWithProof(index_root, key, value,
+                                  &proof->index_proof);
+  proof->index_root = index_root;
+  if (metrics_.proof_bytes && (s.ok() || s.IsNotFound())) {
+    metrics_.proof_bytes->Record(proof->index_proof.ByteSize());
+  }
+  return s;
+}
+
+Status SpitzDb::ScanWithProofAt(const Hash256& index_root, const Slice& start,
+                                const Slice& end, size_t limit,
+                                std::vector<PosEntry>* out,
+                                spitz::ScanProof* proof) const {
+  ScopedTimer timer(metrics_.proof_build_ns);
+  auto pin = chunks_->PinReads();
+  Status s = index_->ScanWithProof(index_root, start, end, limit, out,
                                    &proof->index_proof);
-  proof->index_root = root;
+  proof->index_root = index_root;
   if (metrics_.range_proof_bytes && s.ok()) {
     metrics_.range_proof_bytes->Record(proof->index_proof.ByteSize());
   }
@@ -834,6 +1142,90 @@ SpitzDigest SpitzDb::Digest() const {
   d.journal = snap->journal;
   d.last_commit_ts = snap->last_commit_ts;
   return d;
+}
+
+// --- VerifiedKv surface -----------------------------------------------------
+//
+// The verified variants capture one digest up front and prove against
+// its pinned root, so a commit landing between the digest capture and
+// the traversal can never produce a spurious "different version"
+// failure.
+
+Status SpitzDb::Get(const ReadOptions& options, const Slice& key,
+                    std::string* value) {
+  const SpitzDb* self = this;
+  if (!options.verify) return self->Get(key, value);
+  SpitzDigest digest = Digest();
+  ReadProof proof;
+  std::string found;
+  Status s = GetWithProofAt(digest.index_root, key, &found, &proof);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  std::optional<std::string> expected =
+      s.ok() ? std::optional<std::string>(found) : std::nullopt;
+  Status verdict = VerifyRead(digest, key, expected, proof);
+  if (!verdict.ok()) return verdict;
+  if (s.ok()) *value = std::move(found);
+  return s;
+}
+
+Status SpitzDb::Scan(const ReadOptions& options, const Slice& start,
+                     const Slice& end, size_t limit,
+                     std::vector<PosEntry>* rows) {
+  const SpitzDb* self = this;
+  if (!options.verify) return self->Scan(start, end, limit, rows);
+  SpitzDigest digest = Digest();
+  spitz::ScanProof proof;
+  std::vector<PosEntry> found;
+  Status s = ScanWithProofAt(digest.index_root, start, end, limit, &found,
+                             &proof);
+  if (!s.ok()) return s;
+  Status verdict = VerifyScan(digest, start, end, limit, found, proof);
+  if (!verdict.ok()) return verdict;
+  *rows = std::move(found);
+  return Status::OK();
+}
+
+Status SpitzDb::GetProof(const Slice& key, Evidence* out) {
+  SpitzDigest digest = Digest();
+  ReadProof proof;
+  std::string found;
+  Status s = GetWithProofAt(digest.index_root, key, &found, &proof);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  out->value = s.ok() ? std::optional<std::string>(std::move(found))
+                      : std::nullopt;
+  out->proof.clear();
+  proof.EncodeTo(&out->proof);
+  out->digest.clear();
+  digest.EncodeTo(&out->digest);
+  return s;
+}
+
+Status SpitzDb::ScanProof(const Slice& start, const Slice& end, size_t limit,
+                          ScanEvidence* out) {
+  SpitzDigest digest = Digest();
+  spitz::ScanProof proof;
+  out->rows.clear();
+  Status s = ScanWithProofAt(digest.index_root, start, end, limit, &out->rows,
+                             &proof);
+  if (!s.ok()) return s;
+  out->proof.clear();
+  proof.EncodeTo(&out->proof);
+  out->digest.clear();
+  digest.EncodeTo(&out->digest);
+  return Status::OK();
+}
+
+Status SpitzDb::Digest(std::string* out) {
+  out->clear();
+  Digest().EncodeTo(out);
+  return Status::OK();
+}
+
+Status SpitzDb::Audit(const Slice& key) {
+  if (!init_status_.ok()) return init_status_;
+  Status s = key.empty() ? AuditLastBlock() : AuditKey(key);
+  if (!s.ok()) return s;
+  return DrainAudits();
 }
 
 // The static verifiers model the *client* side, which has no database
@@ -857,7 +1249,7 @@ Status SpitzDb::VerifyRead(const SpitzDigest& digest, const Slice& key,
 Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
                            const Slice& end, size_t limit,
                            const std::vector<PosEntry>& results,
-                           const ScanProof& proof) {
+                           const spitz::ScanProof& proof) {
   ScopedTimer timer(
       MetricsRegistry::Global()->histogram("client.db.verify_scan_latency_ns"));
   if (proof.index_root != digest.index_root) {
@@ -868,6 +1260,44 @@ Status SpitzDb::VerifyScan(const SpitzDigest& digest, const Slice& start,
 }
 
 // --- Proof wire formats -----------------------------------------------------
+
+namespace {
+
+Status GetHashField(Slice* input, Hash256* out) {
+  if (input->size() < Hash256::kSize) {
+    return Status::Corruption("truncated hash field");
+  }
+  *out = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return Status::OK();
+}
+
+}  // namespace
+
+// The digest's wire format (also the leaf bytes a cluster root digest
+// commits to — changing this re-hashes every cluster digest).
+void SpitzDigest::EncodeTo(std::string* out) const {
+  out->append(index_root.ToBytes());
+  PutVarint64(out, journal.block_count);
+  PutVarint64(out, journal.entry_count);
+  out->append(journal.tip_hash.ToBytes());
+  out->append(journal.merkle_root.ToBytes());
+  PutVarint64(out, last_commit_ts);
+}
+
+Status SpitzDigest::DecodeFrom(Slice* input, SpitzDigest* out) {
+  Status s = GetHashField(input, &out->index_root);
+  if (!s.ok()) return s;
+  s = GetVarint64(input, &out->journal.block_count);
+  if (!s.ok()) return s;
+  s = GetVarint64(input, &out->journal.entry_count);
+  if (!s.ok()) return s;
+  s = GetHashField(input, &out->journal.tip_hash);
+  if (!s.ok()) return s;
+  s = GetHashField(input, &out->journal.merkle_root);
+  if (!s.ok()) return s;
+  return GetVarint64(input, &out->last_commit_ts);
+}
 
 void ReadProof::EncodeTo(std::string* out) const {
   out->append(index_root.ToBytes());

@@ -18,6 +18,7 @@
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "core/verified_kv.h"
 #include "crypto/hash.h"
 #include "index/node_cache.h"
 #include "index/pos_tree_iterator.h"
@@ -32,11 +33,25 @@ namespace spitz {
 // The state a client needs to retain to verify any later answer: the
 // current index root (a SIRI index version) and the ledger digest
 // covering the block history. Every proof verifies against one of
-// these.
+// these. Serializable — the digest crosses the wire to clients and is
+// the leaf a cluster root digest commits to.
 struct SpitzDigest {
   Hash256 index_root;
   JournalDigest journal;
   uint64_t last_commit_ts = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, SpitzDigest* out);
+
+  bool operator==(const SpitzDigest& other) const {
+    return index_root == other.index_root &&
+           journal.block_count == other.journal.block_count &&
+           journal.entry_count == other.journal.entry_count &&
+           journal.tip_hash == other.journal.tip_hash &&
+           journal.merkle_root == other.journal.merkle_root &&
+           last_commit_ts == other.last_commit_ts;
+  }
+  bool operator!=(const SpitzDigest& other) const { return !(*this == other); }
 };
 
 // A verified read's complete evidence: a backend-tagged SIRI proof
@@ -58,18 +73,8 @@ struct ScanProof {
   static Status DecodeFrom(Slice* input, ScanProof* out);
 };
 
-// Per-write knobs (the durable analogue of LevelDB's WriteOptions).
-struct WriteOptions {
-  WriteOptions() {}
-  // When true on a durable database, the write does not return until
-  // the journal blocks containing it are appended AND fsync'd — the
-  // write survives any crash after the call returns. Concurrent sync
-  // writers are batched by the group-commit pipeline, so the fsync cost
-  // is amortized over the whole group rather than paid per call. On an
-  // in-memory database the flag is ignored (there is nothing to make
-  // durable).
-  bool sync = false;
-};
+// ReadOptions/WriteOptions live in core/verified_kv.h — they are part
+// of the VerifiedKv interface shared by every deployment shape.
 
 struct SpitzOptions {
   SpitzOptions() {}
@@ -149,7 +154,7 @@ struct SpitzOptions {
 // index IS its integrity proof — no separate ledger lookup is needed,
 // unlike the baseline which must search its ledger per record.
 // ---------------------------------------------------------------------------
-class SpitzDb {
+class SpitzDb : public VerifiedKv {
  public:
   // In-memory database (options.data_dir must be empty).
   explicit SpitzDb(SpitzOptions options = SpitzOptions());
@@ -173,9 +178,9 @@ class SpitzDb {
 
   Status Put(const Slice& key, const Slice& value);
   Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value);
+             const Slice& value) override;
   Status Delete(const Slice& key);
-  Status Delete(const WriteOptions& options, const Slice& key);
+  Status Delete(const WriteOptions& options, const Slice& key) override;
   // Atomic multi-key write (one commit timestamp, one set of ledger
   // entries).
   Status Write(const WriteBatch& batch);
@@ -187,9 +192,46 @@ class SpitzDb {
   // Fails if the database is not empty.
   Status BulkLoad(std::vector<PosEntry> entries);
 
+  // --- Two-phase-commit participant (DESIGN.md section 13) ----------------
+  //
+  // The shard-side half of cross-shard transactions. PrepareTxn makes a
+  // coordinator-assigned transaction durable *without applying it*: the
+  // batch is CRC-framed into a dedicated txn.log (fsync'd before the
+  // vote returns — a participant that voted yes can always recover its
+  // promise), and every key it touches is locked against other writers
+  // until the coordinator resolves the outcome. CommitTxn applies the
+  // prepared batch through the ordinary group-commit pipeline (sync)
+  // and seals the decision with a durable commit marker; AbortTxn drops
+  // the prepared state with an abort marker. Both are idempotent;
+  // resolving an unknown txn returns NotFound, which a coordinator
+  // reads as "already resolved" (the marker survived, the prepare
+  // record was compacted away).
+  //
+  // After a crash, Open() replays txn.log: prepares without a decision
+  // marker are re-staged as in-doubt (their key locks re-taken) and
+  // surface via InDoubtTxns() until the coordinator — or the timeout
+  // sweep AbortTxnsOlderThan — resolves them.
+
+  Status PrepareTxn(uint64_t txn_id, const WriteBatch& batch);
+  Status CommitTxn(uint64_t txn_id);
+  Status AbortTxn(uint64_t txn_id);
+  // Transaction ids prepared (or recovered) but not yet resolved.
+  Status InDoubtTxns(std::vector<uint64_t>* out) const;
+  // Presumed-abort safety valve: aborts every prepared transaction
+  // older than `max_age_ms` (coordinator died after prepare). Returns
+  // the number aborted via *aborted when non-null.
+  Status AbortTxnsOlderThan(uint64_t max_age_ms, size_t* aborted = nullptr);
+
   // --- Read path ------------------------------------------------------------
 
   Status Get(const Slice& key, std::string* value) const;
+  // VerifiedKv read: with options.verify the read is served with a
+  // proof and checked against the current digest before returning.
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start,
+              const Slice& end, size_t limit,
+              std::vector<PosEntry>* rows) override;
 
   // Read returning the proof assembled from the same index traversal.
   Status GetWithProof(const Slice& key, std::string* value,
@@ -201,8 +243,24 @@ class SpitzDb {
   // Range scan whose proof is gathered during the same traversal
   // (section 6.2.2: "the proofs of the resultant records are returned
   // simultaneously when the resultant records are scanned").
+  // (spitz:: qualification: inside this class the inherited ScanProof
+  // *method* hides the namespace-scope ScanProof *struct*.)
   Status ScanWithProof(const Slice& start, const Slice& end, size_t limit,
-                       std::vector<PosEntry>* out, ScanProof* proof) const;
+                       std::vector<PosEntry>* out,
+                       spitz::ScanProof* proof) const;
+
+  // Proofs pinned to a historical index version. This is what makes
+  // cluster-wide verified reads race-free: the coordinator snapshots
+  // every shard's digest into one cluster digest, and clients then ask
+  // each shard to prove against exactly the pinned root — immune to
+  // commits that land between the snapshot and the read. Pinned roots
+  // stay readable for the retain_versions GC window.
+  Status GetWithProofAt(const Hash256& index_root, const Slice& key,
+                        std::string* value, ReadProof* proof) const;
+  Status ScanWithProofAt(const Hash256& index_root, const Slice& start,
+                         const Slice& end, size_t limit,
+                         std::vector<PosEntry>* out,
+                         spitz::ScanProof* proof) const;
 
   // A forward iterator over the current version. Immutability makes it
   // a stable snapshot: concurrent writes never disturb it. Pass a
@@ -220,6 +278,14 @@ class SpitzDb {
   // --- Verifiability surface -----------------------------------------------
 
   SpitzDigest Digest() const;
+  // VerifiedKv evidence surface: serialized proof + digest bytes.
+  Status GetProof(const Slice& key, Evidence* out) override;
+  Status ScanProof(const Slice& start, const Slice& end, size_t limit,
+                   ScanEvidence* out) override;
+  Status Digest(std::string* out) override;
+  // Audits `key`'s current binding (empty key: the last sealed block)
+  // and drains the deferred queue so the verdict is the return status.
+  Status Audit(const Slice& key) override;
 
   // Client-side (stateless) verification helpers.
   static Status VerifyRead(const SpitzDigest& digest, const Slice& key,
@@ -228,7 +294,7 @@ class SpitzDb {
   static Status VerifyScan(const SpitzDigest& digest, const Slice& start,
                            const Slice& end, size_t limit,
                            const std::vector<PosEntry>& results,
-                           const ScanProof& proof);
+                           const spitz::ScanProof& proof);
 
   // Proves the ledger grew append-only between two digests the client
   // observed.
@@ -366,9 +432,18 @@ class SpitzDb {
   struct CommitRequest {
     const WriteBatch* batch = nullptr;
     bool sync = false;
+    // Prepared-key lock bypass: CommitTxn applies the prepared batch
+    // through the ordinary pipeline, and must not conflict with the
+    // locks its own prepare took. 0 = ordinary write (no bypass).
+    uint64_t bypass_txn = 0;
     Status status;
     bool done = false;
   };
+
+  // Write() with a prepared-key-lock bypass; the public Write
+  // delegates with bypass_txn = 0.
+  Status WriteInternal(const WriteOptions& options, const WriteBatch& batch,
+                       uint64_t bypass_txn);
 
   // The leader's apply stage: applies each batch under mu_, seals
   // blocks at the same boundaries the serial path would (plus the
@@ -435,6 +510,25 @@ class SpitzDb {
 
   // Recovery of a durable database; called by Open().
   Status Recover();
+
+  // --- 2PC participant internals ------------------------------------------
+
+  // Appends one CRC-framed record to txn.log and fsyncs it (the vote /
+  // decision must survive a crash before it is acted on). payload =
+  // [type:1][txn_id:8]([batch] for prepares).
+  Status AppendTxnRecord(uint8_t type, uint64_t txn_id,
+                         const WriteBatch* batch);
+  // Replays txn.log (tolerating a torn tail, like the journal): the
+  // surviving prepares without a decision marker become the in-doubt
+  // set. Rewrites the log to just those, so decisions compact away.
+  Status RecoverTxnLog();
+  // Rewrites txn.log to contain exactly the live prepares. Caller holds
+  // txn_mu_.
+  Status CompactTxnLogLocked();
+  // Busy if any key of `batch` is locked by a prepared transaction
+  // other than `bypass_txn`. Caller holds txn_mu_.
+  Status CheckPreparedConflictsLocked(const WriteBatch& batch,
+                                      uint64_t bypass_txn) const;
 
   // Post-seal work that must run outside mu_: aligns the chunk store's
   // segment boundary with the sealed block and wakes the background GC
@@ -534,6 +628,33 @@ class SpitzDb {
   std::condition_variable sync_cv_;
   bool sync_in_flight_ = false;
   uint64_t synced_seq_ = 0;
+
+  // --- 2PC participant state ----------------------------------------------
+
+  // txn_mu_ guards the prepared map, the key-lock table and txn.log
+  // appends. Leaf-ish lock: held while checking conflicts inside the
+  // apply path (under mu_), so the order is mu_ -> txn_mu_, never the
+  // reverse.
+  struct PreparedTxn {
+    WriteBatch batch;
+    // Steady-clock milliseconds at prepare (monotonic; recovery stamps
+    // "now" so recovered in-doubt txns age from restart).
+    uint64_t since_ms = 0;
+  };
+  mutable std::mutex txn_mu_;
+  std::map<uint64_t, PreparedTxn> prepared_;
+  std::map<std::string, uint64_t> prepared_keys_;  // key -> owning txn
+  // Fast path: writers skip the conflict check entirely when nothing is
+  // prepared (the common case on a non-cluster deployment).
+  std::atomic<uint64_t> prepared_count_{0};
+  // Durable mode only: the prepare/decision log (nullptr in-memory —
+  // prepares then live only in memory, which is fine for tests).
+  std::unique_ptr<WritableLog> txn_log_;
+  Counter txn_prepares_;   // core.db.txn.prepares
+  Counter txn_commits_;    // core.db.txn.commits
+  Counter txn_aborts_;     // core.db.txn.aborts
+  Counter txn_conflicts_;  // core.db.txn.prepare_conflicts
+  Gauge txn_in_doubt_;     // core.db.txn.in_doubt
 
   mutable std::mutex mu_;
   Hash256 root_;                      // current index version

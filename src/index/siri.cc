@@ -110,6 +110,15 @@ Status SiriProof::DecodeFrom(Slice* input, SiriProof* out) {
 Status SiriProof::Verify(
     const Hash256& root, const Slice& key,
     const std::optional<std::string>& expected_value) const {
+  if (root.IsZero()) {
+    // The zero root is the empty tree in every backend; it needs no
+    // node payloads to prove any key absent (a cluster shard that has
+    // never been written answers verified reads this way).
+    if (expected_value.has_value()) {
+      return Status::VerificationFailed("value claimed from an empty tree");
+    }
+    return Status::OK();
+  }
   switch (kind) {
     case SiriBackend::kPosTree:
       return PosTree::VerifyProof(root, key, expected_value, pos);

@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include <cstring>
+
 #include "common/codec.h"
 #include "common/crc32c.h"
 
@@ -67,6 +69,37 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out, std::string* error) {
     pos_ = 0;
   }
   return Result::kFrame;
+}
+
+void Handshake::EncodeTo(std::string* out) const {
+  out->append(kHandshakeMagic, sizeof(kHandshakeMagic));
+  PutFixed32(out, protocol_version);
+  PutFixed64(out, features);
+}
+
+Status Handshake::DecodeFrom(Slice input, Handshake* out) {
+  constexpr size_t kHandshakeBytes = sizeof(kHandshakeMagic) + 4 + 8;
+  if (input.size() < kHandshakeBytes) {
+    return Status::InvalidArgument("handshake payload too short");
+  }
+  if (std::memcmp(input.data(), kHandshakeMagic, sizeof(kHandshakeMagic)) !=
+      0) {
+    return Status::InvalidArgument("peer is not a spitz endpoint (bad magic)");
+  }
+  out->protocol_version =
+      DecodeFixed32(input.data() + sizeof(kHandshakeMagic));
+  out->features = DecodeFixed64(input.data() + sizeof(kHandshakeMagic) + 4);
+  return Status::OK();
+}
+
+Status CheckHandshake(const Handshake& peer) {
+  if (peer.protocol_version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "protocol version mismatch: peer speaks v" +
+        std::to_string(peer.protocol_version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
 }
 
 uint32_t WireStatusCode(const Status& status) {

@@ -86,6 +86,55 @@ class FrameDecoder {
 uint32_t WireStatusCode(const Status& status);
 Status StatusFromWire(uint32_t code, const Slice& message);
 
+// ---------------------------------------------------------------------------
+// Protocol handshake. The first frame each peer sends on a fresh
+// connection carries method id 0 — reserved, never a real RPC — with
+// this payload:
+//
+//   offset  size  field
+//   0       4     magic    "SPTZ"
+//   4       4     version  fixed32 protocol version
+//   8       8     features fixed64 feature bitmask
+//
+// The client sends its handshake immediately after connecting and the
+// server replies with its own before serving any RPC. A mismatched
+// magic or version earns Status::InvalidArgument (and the connection is
+// useless thereafter) instead of undefined decoding of frames whose
+// method ids mean something else in the peer's revision. Feature bits
+// are advisory: they let a compatible peer discover optional
+// capabilities without a version bump.
+// ---------------------------------------------------------------------------
+
+// Reserved method id carrying handshakes (real RPC methods start at 1).
+inline constexpr uint32_t kHandshakeMethod = 0;
+// v1: the PR 5 single-node protocol (methods 1-8, implicit — no
+// handshake frame existed). v2: handshake + cluster methods (2PC,
+// pinned-root proofs, cluster digest).
+inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr char kHandshakeMagic[4] = {'S', 'P', 'T', 'Z'};
+
+// Feature bits advertised in the handshake.
+inline constexpr uint64_t kFeatureVerifiedKv = 1ull << 0;
+inline constexpr uint64_t kFeatureTwoPhaseCommit = 1ull << 1;
+inline constexpr uint64_t kFeatureClusterDigest = 1ull << 2;
+inline constexpr uint64_t kDefaultFeatures =
+    kFeatureVerifiedKv | kFeatureTwoPhaseCommit | kFeatureClusterDigest;
+
+struct Handshake {
+  uint32_t protocol_version = kProtocolVersion;
+  uint64_t features = kDefaultFeatures;
+
+  void EncodeTo(std::string* out) const;
+  // InvalidArgument on short payloads or a wrong magic: the peer is not
+  // a Spitz endpoint (or predates the handshake) and nothing else it
+  // sends can be trusted to decode.
+  static Status DecodeFrom(Slice input, Handshake* out);
+};
+
+// Validates a decoded peer handshake against this build's protocol:
+// InvalidArgument on a version mismatch, OK otherwise.
+Status CheckHandshake(const Handshake& peer);
+
 }  // namespace spitz
 
 #endif  // SPITZ_NET_FRAME_H_

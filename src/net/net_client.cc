@@ -58,6 +58,22 @@ Status NetClient::Connect(const Options& options,
   client->fd_ = fd;
   NetClient* raw = client.get();
   client->reader_ = std::thread([raw] { raw->ReaderLoop(); });
+  // Handshake before the connection is handed to the caller: both sides
+  // prove they speak the same protocol revision, so a mismatched peer
+  // fails Connect() with InvalidArgument instead of undefined decoding
+  // on the first real RPC.
+  Handshake ours;
+  ours.protocol_version = options.protocol_version;
+  std::string request;
+  ours.EncodeTo(&request);
+  std::string response;
+  s = raw->Call(kHandshakeMethod, request, &response, options.deadline_ms);
+  if (!s.ok()) return s;
+  Handshake peer;
+  s = Handshake::DecodeFrom(response, &peer);
+  if (s.ok()) s = CheckHandshake(peer);
+  if (!s.ok()) return s;
+  raw->server_features_ = peer.features;
   *out = std::move(client);
   return Status::OK();
 }

@@ -43,6 +43,10 @@ class NetClient {
     uint64_t deadline_ms = 10'000;
     // Frames from the server larger than this poison the connection.
     size_t max_frame_bytes = 16u << 20;
+    // The protocol version announced in the connect handshake. Only
+    // tests override this (to exercise the mismatch path); real clients
+    // speak the build's kProtocolVersion.
+    uint32_t protocol_version = kProtocolVersion;
   };
 
   static Status Connect(const Options& options,
@@ -65,6 +69,9 @@ class NetClient {
     return calls_sent_.load(std::memory_order_relaxed);
   }
 
+  // Feature bitmask the server advertised in its handshake.
+  uint64_t server_features() const { return server_features_; }
+
  private:
   NetClient() = default;
 
@@ -80,6 +87,7 @@ class NetClient {
   void BreakConnection(Status reason);
 
   Options options_;
+  uint64_t server_features_ = 0;  // set once during Connect's handshake
   int fd_ = -1;
   std::thread reader_;
   std::atomic<uint64_t> next_id_{1};

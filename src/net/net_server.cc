@@ -70,6 +70,24 @@ void NetServer::DispatcherLoop() {
     Frame reply;
     reply.method = work->frame.method;
     reply.request_id = work->frame.request_id;
+    // Handshake frames are answered by the transport itself, before the
+    // application handler sees anything: a mismatched peer must learn
+    // InvalidArgument even if the handler would choke on its bytes.
+    // Not counted in frames_served_ — that counter means RPCs served.
+    if (work->frame.method == kHandshakeMethod) {
+      Handshake peer;
+      Status hs = Handshake::DecodeFrom(work->frame.payload, &peer);
+      if (hs.ok()) hs = CheckHandshake(peer);
+      reply.status = WireStatusCode(hs);
+      if (hs.ok()) {
+        Handshake ours;
+        ours.EncodeTo(&reply.payload);
+      } else {
+        reply.payload = hs.message();
+      }
+      loop_.SendFrame(work->conn_id, reply);
+      continue;
+    }
     std::string response;
     Status s = handler_(work->frame.method, work->frame.payload, &response);
     reply.status = WireStatusCode(s);

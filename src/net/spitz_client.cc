@@ -4,29 +4,53 @@
 
 namespace spitz {
 
-Status SpitzClient::Connect(const Options& options,
-                            std::unique_ptr<SpitzClient>* out) {
+Status SpitzClient::Options::Validate() const {
+  if (net.port == 0) return Status::InvalidArgument("options.net.port not set");
+  return Status::OK();
+}
+
+Status SpitzClient::Open(const Options& options,
+                         std::unique_ptr<SpitzClient>* out) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
   auto client = std::unique_ptr<SpitzClient>(new SpitzClient());
-  Status s = NetClient::Connect(options.net, &client->net_);
+  s = NetClient::Connect(options.net, &client->net_);
   if (!s.ok()) return s;
   *out = std::move(client);
   return Status::OK();
 }
 
-Status SpitzClient::Put(const Slice& key, const Slice& value) {
+// --- VerifiedKv ------------------------------------------------------------
+
+Status SpitzClient::Put(const WriteOptions& options, const Slice& key,
+                        const Slice& value) {
+  if (options.sync) {
+    // kPut carries no durability flag; a synced single put rides the
+    // batch method, which does.
+    WriteBatch batch;
+    batch.Put(key, value);
+    return Write(options, batch);
+  }
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
   PutLengthPrefixedSlice(&request, value);
   return net_->Call(wire::kPut, request, &response);
 }
 
-Status SpitzClient::Delete(const Slice& key) {
+Status SpitzClient::Delete(const WriteOptions& options, const Slice& key) {
+  if (options.sync) {
+    WriteBatch batch;
+    batch.Delete(key);
+    return Write(options, batch);
+  }
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
   return net_->Call(wire::kDelete, request, &response);
 }
 
-Status SpitzClient::Get(const Slice& key, std::string* value) {
+Status SpitzClient::Get(const ReadOptions& options, const Slice& key,
+                        std::string* value) {
+  if (options.verify) return VerifiedGet(key, value);
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
   Status s = net_->Call(wire::kGet, request, &response);
@@ -38,6 +62,83 @@ Status SpitzClient::Get(const Slice& key, std::string* value) {
   *value = v.ToString();
   return Status::OK();
 }
+
+Status SpitzClient::Scan(const ReadOptions& options, const Slice& start,
+                         const Slice& end, size_t limit,
+                         std::vector<PosEntry>* rows) {
+  if (options.verify) return VerifiedScan(start, end, limit, rows);
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  Status s = net_->Call(wire::kScan, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::DecodeRows(&input, rows);
+}
+
+Status SpitzClient::GetProof(const Slice& key, Evidence* out) {
+  ProofResult result;
+  Status s = GetProof(key, &result);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  out->value = result.value;
+  out->proof.clear();
+  result.proof.EncodeTo(&out->proof);
+  out->digest.clear();
+  result.digest.EncodeTo(&out->digest);
+  return s;
+}
+
+Status SpitzClient::ScanProof(const Slice& start, const Slice& end,
+                              size_t limit, ScanEvidence* out) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  Status s = net_->Call(wire::kScanProof, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  s = wire::DecodeRows(&input, &out->rows);
+  if (!s.ok()) return s;
+  // The envelope splits at the same boundaries the server encoded:
+  // everything after the rows and before the digest is proof bytes.
+  spitz::ScanProof proof;
+  s = spitz::ScanProof::DecodeFrom(&input, &proof);
+  if (!s.ok()) return s;
+  out->proof.clear();
+  proof.EncodeTo(&out->proof);
+  SpitzDigest digest;
+  s = wire::DecodeDigest(&input, &digest);
+  if (!s.ok()) return s;
+  out->digest.clear();
+  digest.EncodeTo(&out->digest);
+  return Status::OK();
+}
+
+Status SpitzClient::Digest(std::string* out) {
+  SpitzDigest digest;
+  Status s = Digest(&digest);
+  if (!s.ok()) return s;
+  out->clear();
+  digest.EncodeTo(out);
+  return Status::OK();
+}
+
+Status SpitzClient::Audit(const Slice& key) {
+  std::string request, response;
+  PutLengthPrefixedSlice(&request, key);
+  return net_->Call(wire::kAudit, request, &response);
+}
+
+Status SpitzClient::Write(const WriteOptions& options,
+                          const WriteBatch& batch) {
+  std::string request, response;
+  request.push_back(options.sync ? 1 : 0);
+  request.append(batch.Encode());
+  return net_->Call(wire::kWrite, request, &response);
+}
+
+// --- Typed evidence --------------------------------------------------------
 
 Status SpitzClient::GetProof(const Slice& key, ProofResult* out) {
   std::string request, response;
@@ -69,18 +170,6 @@ Status SpitzClient::VerifiedGet(const Slice& key, std::string* value) {
   return s;
 }
 
-Status SpitzClient::Scan(const Slice& start, const Slice& end, size_t limit,
-                         std::vector<PosEntry>* rows) {
-  std::string request, response;
-  PutLengthPrefixedSlice(&request, start);
-  PutLengthPrefixedSlice(&request, end);
-  PutVarint64(&request, limit);
-  Status s = net_->Call(wire::kScan, request, &response);
-  if (!s.ok()) return s;
-  Slice input(response);
-  return wire::DecodeRows(&input, rows);
-}
-
 Status SpitzClient::VerifiedScan(const Slice& start, const Slice& end,
                                  size_t limit, std::vector<PosEntry>* rows) {
   std::string request, response;
@@ -93,8 +182,8 @@ Status SpitzClient::VerifiedScan(const Slice& start, const Slice& end,
   std::vector<PosEntry> decoded;
   s = wire::DecodeRows(&input, &decoded);
   if (!s.ok()) return s;
-  ScanProof proof;
-  s = ScanProof::DecodeFrom(&input, &proof);
+  spitz::ScanProof proof;
+  s = spitz::ScanProof::DecodeFrom(&input, &proof);
   if (!s.ok()) return s;
   SpitzDigest digest;
   s = wire::DecodeDigest(&input, &digest);
@@ -113,10 +202,82 @@ Status SpitzClient::Digest(SpitzDigest* out) {
   return wire::DecodeDigest(&input, out);
 }
 
-Status SpitzClient::Audit(const Slice& key) {
+// --- Pinned-root proofs ----------------------------------------------------
+
+Status SpitzClient::GetProofAt(const Hash256& root, const Slice& key,
+                               std::optional<std::string>* value,
+                               ReadProof* proof) {
   std::string request, response;
+  request.append(reinterpret_cast<const char*>(root.data()), Hash256::kSize);
   PutLengthPrefixedSlice(&request, key);
-  return net_->Call(wire::kAudit, request, &response);
+  Status call_status = net_->Call(wire::kGetProofAt, request, &response);
+  if (!call_status.ok() && !call_status.IsNotFound()) return call_status;
+  Slice input(response);
+  Slice v;
+  Status s = GetLengthPrefixedSlice(&input, &v);
+  if (!s.ok()) return s;
+  *value = call_status.ok() ? std::optional<std::string>(v.ToString())
+                            : std::nullopt;
+  s = ReadProof::DecodeFrom(&input, proof);
+  if (!s.ok()) return s;
+  return call_status;
+}
+
+Status SpitzClient::ScanProofAt(const Hash256& root, const Slice& start,
+                                const Slice& end, size_t limit,
+                                std::vector<PosEntry>* rows,
+                                spitz::ScanProof* proof) {
+  std::string request, response;
+  request.append(reinterpret_cast<const char*>(root.data()), Hash256::kSize);
+  PutLengthPrefixedSlice(&request, start);
+  PutLengthPrefixedSlice(&request, end);
+  PutVarint64(&request, limit);
+  Status s = net_->Call(wire::kScanProofAt, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  s = wire::DecodeRows(&input, rows);
+  if (!s.ok()) return s;
+  return spitz::ScanProof::DecodeFrom(&input, proof);
+}
+
+// --- 2PC participant RPCs --------------------------------------------------
+
+Status SpitzClient::TxnPrepare(uint64_t txn_id, const WriteBatch& batch) {
+  std::string request, response;
+  PutFixed64(&request, txn_id);
+  request.append(batch.Encode());
+  return net_->Call(wire::kTxnPrepare, request, &response);
+}
+
+Status SpitzClient::TxnCommit(uint64_t txn_id) {
+  std::string request, response;
+  PutFixed64(&request, txn_id);
+  return net_->Call(wire::kTxnCommit, request, &response);
+}
+
+Status SpitzClient::TxnAbort(uint64_t txn_id) {
+  std::string request, response;
+  PutFixed64(&request, txn_id);
+  return net_->Call(wire::kTxnAbort, request, &response);
+}
+
+Status SpitzClient::TxnInDoubt(std::vector<uint64_t>* txn_ids) {
+  std::string response;
+  Status s = net_->Call(wire::kTxnInDoubt, std::string(), &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  uint64_t n = 0;
+  s = GetVarint64(&input, &n);
+  if (!s.ok()) return s;
+  txn_ids->clear();
+  for (uint64_t i = 0; i < n; i++) {
+    if (input.size() < sizeof(uint64_t)) {
+      return Status::Corruption("truncated in-doubt list");
+    }
+    txn_ids->push_back(DecodeFixed64(input.data()));
+    input.remove_prefix(sizeof(uint64_t));
+  }
+  return Status::OK();
 }
 
 }  // namespace spitz

@@ -9,12 +9,15 @@
 #include "core/spitz_db.h"
 #include "net/net_client.h"
 #include "net/spitz_wire.h"
+#include "txn/write_batch.h"
 
 namespace spitz {
 
 // ---------------------------------------------------------------------------
 // SpitzClient — the typed client library over one pipelined NetClient
-// connection. Thread-safe: any number of threads may issue calls
+// connection, and the served implementation of VerifiedKv: code written
+// against the interface runs unchanged over an embedded SpitzDb or this
+// client. Thread-safe: any number of threads may issue calls
 // concurrently; responses are routed by request id.
 //
 // The verification story is entirely client-side: GetProof/VerifiedGet
@@ -23,22 +26,58 @@ namespace spitz {
 // would — a lying server fails verification exactly like a tampered
 // local database.
 // ---------------------------------------------------------------------------
-class SpitzClient {
+class SpitzClient : public VerifiedKv {
  public:
   struct Options {
     Options() {}
     NetClient::Options net;
+
+    Status Validate() const;
   };
 
+  // Connects and handshakes (the PR 3 Open(Options, out) convention).
+  static Status Open(const Options& options,
+                     std::unique_ptr<SpitzClient>* out);
+
+  // Deprecated: use Open(options, out).
   static Status Connect(const Options& options,
-                        std::unique_ptr<SpitzClient>* out);
+                        std::unique_ptr<SpitzClient>* out) {
+    return Open(options, out);
+  }
 
   SpitzClient(const SpitzClient&) = delete;
   SpitzClient& operator=(const SpitzClient&) = delete;
 
-  Status Put(const Slice& key, const Slice& value);
-  Status Delete(const Slice& key);
-  Status Get(const Slice& key, std::string* value);
+  // --- VerifiedKv ---------------------------------------------------------
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start,
+              const Slice& end, size_t limit,
+              std::vector<PosEntry>* rows) override;
+  Status GetProof(const Slice& key, Evidence* out) override;
+  Status ScanProof(const Slice& start, const Slice& end, size_t limit,
+                   ScanEvidence* out) override;
+  Status Digest(std::string* out) override;
+  // Server-side audit of `key`'s current binding (deferred-verification
+  // queue, drained before the reply). Empty key audits the last sealed
+  // block.
+  Status Audit(const Slice& key) override;
+
+  // Convenience overloads carried over from the pre-interface client.
+  using VerifiedKv::Delete;
+  using VerifiedKv::Get;
+  using VerifiedKv::Put;
+  using VerifiedKv::Scan;
+  Status AuditLastBlock() { return Audit(Slice()); }
+
+  // Atomic batch over the wire (wire::kWrite).
+  Status Write(const WriteOptions& options, const WriteBatch& batch);
+
+  // --- Typed evidence (decoded form of GetProof) --------------------------
 
   // The raw evidence of one read: the value (absent on NotFound), the
   // proof bytes, and the digest they verify against.
@@ -55,8 +94,6 @@ class SpitzClient {
   // checked out against the digest; VerificationFailed otherwise.
   Status VerifiedGet(const Slice& key, std::string* value);
 
-  Status Scan(const Slice& start, const Slice& end, size_t limit,
-              std::vector<PosEntry>* rows);
   // Range scan whose result set is verified against the digest before
   // it is returned.
   Status VerifiedScan(const Slice& start, const Slice& end, size_t limit,
@@ -64,11 +101,24 @@ class SpitzClient {
 
   Status Digest(SpitzDigest* out);
 
-  // Server-side audit of `key`'s current binding (deferred-verification
-  // queue, drained before the reply). Empty key audits the last sealed
-  // block.
-  Status Audit(const Slice& key);
-  Status AuditLastBlock() { return Audit(Slice()); }
+  // --- Pinned-root proofs (cluster verified reads) ------------------------
+
+  // Proof against the exact index version `root` — the shard-digest
+  // root a cluster digest pinned — so verification is immune to
+  // commits racing the read. No digest crosses the wire: the caller
+  // verifies against the digest it already holds.
+  Status GetProofAt(const Hash256& root, const Slice& key,
+                    std::optional<std::string>* value, ReadProof* proof);
+  Status ScanProofAt(const Hash256& root, const Slice& start,
+                     const Slice& end, size_t limit,
+                     std::vector<PosEntry>* rows, spitz::ScanProof* proof);
+
+  // --- 2PC participant RPCs (coordinator-facing) --------------------------
+
+  Status TxnPrepare(uint64_t txn_id, const WriteBatch& batch);
+  Status TxnCommit(uint64_t txn_id);
+  Status TxnAbort(uint64_t txn_id);
+  Status TxnInDoubt(std::vector<uint64_t>* txn_ids);
 
   // The underlying transport, e.g. for per-call deadlines via
   // channel()->Call(...).

@@ -1,24 +1,59 @@
 #include "net/spitz_server.h"
 
+#include <chrono>
+
 #include "common/codec.h"
+#include "txn/write_batch.h"
 
 namespace spitz {
 
-Status SpitzServer::Start(SpitzDb* db, Options options,
-                          std::unique_ptr<SpitzServer>* out) {
-  if (db == nullptr) return Status::InvalidArgument("null db");
-  if (options.processor_count == 0) {
+namespace {
+
+Status GetFixed64Field(Slice* input, uint64_t* out) {
+  if (input->size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated fixed64 field");
+  }
+  *out = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(uint64_t));
+  return Status::OK();
+}
+
+Status GetHashField(Slice* input, Hash256* out) {
+  if (input->size() < Hash256::kSize) {
+    return Status::InvalidArgument("truncated hash field");
+  }
+  *out = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SpitzServer::Options::Validate() const {
+  if (db == nullptr) return Status::InvalidArgument("options.db must be set");
+  if (processor_count == 0) {
     return Status::InvalidArgument("processor_count must be positive");
   }
+  if (txn_abort_after_ms > 0 && txn_sweep_interval_ms == 0) {
+    return Status::InvalidArgument(
+        "txn_sweep_interval_ms must be positive when the sweeper is on");
+  }
+  return Status::OK();
+}
+
+Status SpitzServer::Open(Options options, std::unique_ptr<SpitzServer>* out) {
+  Status s = options.Validate();
+  if (!s.ok()) return s;
   if (options.net.dispatcher_count == 0) {
     options.net.dispatcher_count = options.processor_count;
   }
   auto server = std::unique_ptr<SpitzServer>(new SpitzServer());
-  server->db_ = db;
+  server->options_ = options;
+  server->db_ = options.db;
   server->pool_ =
-      std::make_unique<ProcessorPool>(db, options.processor_count);
+      std::make_unique<ProcessorPool>(options.db, options.processor_count);
   SpitzServer* raw = server.get();
-  Status s = NetServer::Start(
+  s = NetServer::Start(
       [raw](uint32_t method, const std::string& request,
             std::string* response) {
         return raw->Handle(method, request, response);
@@ -37,6 +72,9 @@ Status SpitzServer::Start(SpitzDb* db, Options options,
   }
   raw->method_ns_[0] = server->net_->registry()->histogram(
       "net.server.method_latency_ns.unknown");
+  if (options.txn_abort_after_ms > 0) {
+    server->sweeper_ = std::thread([raw] { raw->SweeperLoop(); });
+  }
   *out = std::move(server);
   return Status::OK();
 }
@@ -44,10 +82,33 @@ Status SpitzServer::Start(SpitzDb* db, Options options,
 SpitzServer::~SpitzServer() { Shutdown(); }
 
 void SpitzServer::Shutdown() {
+  if (sweeper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sweep_mu_);
+      sweep_stop_ = true;
+    }
+    sweep_cv_.notify_all();
+    sweeper_.join();
+  }
   // Network first: in-flight requests drain through the pool while it
   // is still alive, and their responses flush before the loop exits.
   if (net_ != nullptr) net_->Shutdown();
   if (pool_ != nullptr) pool_->Shutdown();
+}
+
+void SpitzServer::SweeperLoop() {
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (!sweep_stop_) {
+    sweep_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.txn_sweep_interval_ms),
+        [&] { return sweep_stop_; });
+    if (sweep_stop_) return;
+    lock.unlock();
+    // Failures surface through core.db.txn.* metrics; the sweeper has
+    // no caller to report to.
+    db_->AbortTxnsOlderThan(options_.txn_abort_after_ms, nullptr);
+    lock.lock();
+  }
 }
 
 MetricsSnapshot SpitzServer::Metrics() const {
@@ -138,6 +199,87 @@ Status SpitzServer::Handle(uint32_t method, const std::string& request,
     }
     case wire::kDigest: {
       wire::EncodeDigest(db_->Digest(), response);
+      return Status::OK();
+    }
+    case wire::kWrite: {
+      // Atomic batch with an explicit durability flag: the wire form of
+      // SpitzDb::Write(WriteOptions, WriteBatch).
+      if (input.empty()) return Status::InvalidArgument("short write request");
+      const bool sync = input[0] != 0;
+      input.remove_prefix(1);
+      WriteBatch batch;
+      Status s = WriteBatch::Decode(input, &batch);
+      if (!s.ok()) return s;
+      WriteOptions write_options;
+      write_options.sync = sync;
+      return db_->Write(write_options, batch);
+    }
+    case wire::kTxnPrepare: {
+      uint64_t txn_id = 0;
+      Status s = GetFixed64Field(&input, &txn_id);
+      if (!s.ok()) return s;
+      WriteBatch batch;
+      s = WriteBatch::Decode(input, &batch);
+      if (!s.ok()) return s;
+      return db_->PrepareTxn(txn_id, batch);
+    }
+    case wire::kTxnCommit: {
+      uint64_t txn_id = 0;
+      Status s = GetFixed64Field(&input, &txn_id);
+      if (!s.ok()) return s;
+      return db_->CommitTxn(txn_id);
+    }
+    case wire::kTxnAbort: {
+      uint64_t txn_id = 0;
+      Status s = GetFixed64Field(&input, &txn_id);
+      if (!s.ok()) return s;
+      return db_->AbortTxn(txn_id);
+    }
+    case wire::kTxnInDoubt: {
+      std::vector<uint64_t> txn_ids;
+      Status s = db_->InDoubtTxns(&txn_ids);
+      if (!s.ok()) return s;
+      PutVarint64(response, txn_ids.size());
+      for (uint64_t txn_id : txn_ids) PutFixed64(response, txn_id);
+      return Status::OK();
+    }
+    case wire::kGetProofAt: {
+      // Pinned-root read: proves against the exact version a cluster
+      // digest snapshot named, immune to concurrent commits. No digest
+      // in the reply — the client verifies against the digest it pinned.
+      Hash256 root;
+      Status s = GetHashField(&input, &root);
+      if (!s.ok()) return s;
+      Slice key;
+      s = GetLengthPrefixedSlice(&input, &key);
+      if (!s.ok()) return s;
+      std::string value;
+      ReadProof proof;
+      s = db_->GetWithProofAt(root, key, &value, &proof);
+      if (!s.ok() && !s.IsNotFound()) return s;
+      PutLengthPrefixedSlice(response, s.ok() ? Slice(value) : Slice());
+      proof.EncodeTo(response);
+      return s;
+    }
+    case wire::kScanProofAt: {
+      Hash256 root;
+      Status s = GetHashField(&input, &root);
+      if (!s.ok()) return s;
+      Slice start, end;
+      uint64_t limit = 0;
+      s = GetLengthPrefixedSlice(&input, &start);
+      if (!s.ok()) return s;
+      s = GetLengthPrefixedSlice(&input, &end);
+      if (!s.ok()) return s;
+      s = GetVarint64(&input, &limit);
+      if (!s.ok()) return s;
+      std::vector<PosEntry> rows;
+      ScanProof proof;
+      s = db_->ScanWithProofAt(root, start, end, static_cast<size_t>(limit),
+                               &rows, &proof);
+      if (!s.ok()) return s;
+      wire::EncodeRows(rows, response);
+      proof.EncodeTo(response);
       return Status::OK();
     }
     case wire::kAudit: {

@@ -1,7 +1,10 @@
 #ifndef SPITZ_NET_SPITZ_SERVER_H_
 #define SPITZ_NET_SPITZ_SERVER_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "core/processor.h"
 #include "core/spitz_db.h"
@@ -23,6 +26,11 @@ namespace spitz {
 // together with the digest it proves against, so clients verify
 // locally (SpitzClient::VerifiedGet) without trusting the server.
 //
+// As a cluster shard (protocol v2) the server additionally exposes the
+// database's 2PC participant surface (prepare/commit/abort/in-doubt)
+// and pinned-root proofs, and can run a presumed-abort sweeper that
+// aborts prepared transactions whose coordinator went silent.
+//
 // Metrics: the NetServer's transport counters (net.frames.{rx,tx},
 // net.server.accepts, net.protocol_errors, ...) plus a per-method
 // latency histogram (net.server.method_latency_ns.<method>) and the
@@ -33,14 +41,34 @@ class SpitzServer {
   struct Options {
     Options() {}
     NetServer::Options net;
+    // The database this server fronts; must outlive the server.
+    SpitzDb* db = nullptr;
     // Processor nodes the pool runs; the dispatcher count defaults to
     // the same value so the network layer can keep them all busy.
     size_t processor_count = 4;
+    // When positive, a background sweeper aborts prepared (in-doubt)
+    // transactions older than this — the presumed-abort answer to a
+    // coordinator that died after prepare. Must be much larger than a
+    // coordinator's worst-case decision time, or a timed-out abort can
+    // race a commit decision already in flight. 0 = no sweeper.
+    uint64_t txn_abort_after_ms = 0;
+    // How often the sweeper wakes. Ignored without txn_abort_after_ms.
+    uint64_t txn_sweep_interval_ms = 100;
+
+    Status Validate() const;
   };
 
-  // `db` must outlive the server.
+  // Opens the service over options.db (the PR 3 Open(Options, out)
+  // convention): validates, binds, listens, spawns the loop, the
+  // dispatcher pool and (if configured) the txn sweeper.
+  static Status Open(Options options, std::unique_ptr<SpitzServer>* out);
+
+  // Deprecated: use Open(options, out) with options.db set.
   static Status Start(SpitzDb* db, Options options,
-                      std::unique_ptr<SpitzServer>* out);
+                      std::unique_ptr<SpitzServer>* out) {
+    options.db = db;
+    return Open(std::move(options), out);
+  }
 
   ~SpitzServer();
 
@@ -63,11 +91,19 @@ class SpitzServer {
 
   Status Handle(uint32_t method, const std::string& request,
                 std::string* response);
+  void SweeperLoop();
 
+  Options options_;
   SpitzDb* db_ = nullptr;
   std::unique_ptr<ProcessorPool> pool_;
   std::unique_ptr<NetServer> net_;
   Histogram* method_ns_[wire::kMethodCount + 1] = {};  // +1: unknown
+
+  // Presumed-abort sweeper state (txn_abort_after_ms > 0 only).
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  bool sweep_stop_ = false;
+  std::thread sweeper_;
 };
 
 }  // namespace spitz

@@ -23,43 +23,34 @@ const char* MethodName(uint32_t method) {
       return "digest";
     case kAudit:
       return "audit";
+    case kWrite:
+      return "write";
+    case kTxnPrepare:
+      return "txn_prepare";
+    case kTxnCommit:
+      return "txn_commit";
+    case kTxnAbort:
+      return "txn_abort";
+    case kTxnInDoubt:
+      return "txn_in_doubt";
+    case kGetProofAt:
+      return "get_proof_at";
+    case kScanProofAt:
+      return "scan_proof_at";
     default:
       return "unknown";
   }
 }
 
+// The digest codec is owned by the core type (it is also the cluster
+// digest's leaf format); the wire layer keeps these thin aliases for
+// its existing call sites.
 void EncodeDigest(const SpitzDigest& digest, std::string* out) {
-  out->append(digest.index_root.ToBytes());
-  PutVarint64(out, digest.journal.block_count);
-  PutVarint64(out, digest.journal.entry_count);
-  out->append(digest.journal.tip_hash.ToBytes());
-  out->append(digest.journal.merkle_root.ToBytes());
-  PutVarint64(out, digest.last_commit_ts);
+  digest.EncodeTo(out);
 }
-
-namespace {
-Status GetHash(Slice* input, Hash256* h) {
-  if (input->size() < Hash256::kSize) {
-    return Status::Corruption("truncated hash");
-  }
-  *h = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
-  input->remove_prefix(Hash256::kSize);
-  return Status::OK();
-}
-}  // namespace
 
 Status DecodeDigest(Slice* input, SpitzDigest* out) {
-  Status s = GetHash(input, &out->index_root);
-  if (!s.ok()) return s;
-  s = GetVarint64(input, &out->journal.block_count);
-  if (!s.ok()) return s;
-  s = GetVarint64(input, &out->journal.entry_count);
-  if (!s.ok()) return s;
-  s = GetHash(input, &out->journal.tip_hash);
-  if (!s.ok()) return s;
-  s = GetHash(input, &out->journal.merkle_root);
-  if (!s.ok()) return s;
-  return GetVarint64(input, &out->last_commit_ts);
+  return SpitzDigest::DecodeFrom(input, out);
 }
 
 void EncodeRows(const std::vector<PosEntry>& rows, std::string* out) {

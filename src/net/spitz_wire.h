@@ -22,12 +22,21 @@ enum Method : uint32_t {
   kScanProof = 6,  // req: like kScan                   resp: rows proof digest
   kDigest = 7,     // req: -                            resp: digest
   kAudit = 8,      // req: lp(key)                      resp: -
+  // v2 (protocol version 2): atomic batches, the 2PC participant
+  // surface, and pinned-root proofs for cluster-digest verification.
+  kWrite = 9,        // req: byte(sync) batch            resp: -
+  kTxnPrepare = 10,  // req: fixed64(txn_id) batch       resp: -
+  kTxnCommit = 11,   // req: fixed64(txn_id)             resp: -
+  kTxnAbort = 12,    // req: fixed64(txn_id)             resp: -
+  kTxnInDoubt = 13,  // req: -                           resp: var(n) fixed64*n
+  kGetProofAt = 14,  // req: root lp(key)                resp: lp(value) proof
+  kScanProofAt = 15,  // req: root lp(start) lp(end) var(limit) resp: rows proof
 };
 
 // Metric-name suffix for a method id ("put", "get", ...); "unknown"
 // for ids outside the table.
 const char* MethodName(uint32_t method);
-constexpr size_t kMethodCount = 8;
+constexpr size_t kMethodCount = 15;
 
 // --- Shared payload fragments -------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "txn/two_phase_commit.h"
 
+#include "cluster/partition.h"
 #include "crypto/hash.h"
 
 namespace spitz {
@@ -11,13 +12,11 @@ ShardedStore::ShardedStore(size_t shard_count) {
 }
 
 size_t ShardedStore::ShardOf(const Slice& key) const {
-  // A cheap stable hash; shard routing must agree across coordinators.
-  uint64_t h = 1469598103934665603ull;  // FNV-1a
-  for (size_t i = 0; i < key.size(); i++) {
-    h ^= static_cast<unsigned char>(key[i]);
-    h *= 1099511628211ull;
-  }
-  return static_cast<size_t>(h % shards_.size());
+  // Shard placement is defined in exactly one place — the same
+  // PartitionOf the cluster coordinator and ClusterClient route by —
+  // so an in-process ShardedStore and a real cluster agree on where
+  // every key lives.
+  return PartitionOf(key, shards_.size());
 }
 
 MetricsSnapshot ShardedStore::Metrics() const {

@@ -1,0 +1,519 @@
+// Tests for the sharded-cluster layer (DESIGN.md section 13): the
+// shared partition function, the cluster root digest, client-side 2PC
+// over real TCP, participant crash recovery from the durable txn log,
+// presumed-abort sweeping when the coordinator dies, and — in the
+// style of the wire-protocol fuzz tests — byte-level tampering of the
+// cluster evidence envelope, which must always be rejected and never
+// accepted or crash.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.h"
+#include "cluster/cluster_digest.h"
+#include "cluster/coordinator.h"
+#include "cluster/partition.h"
+#include "core/spitz_db.h"
+#include "net/frame.h"
+#include "net/net_client.h"
+#include "net/spitz_client.h"
+#include "net/spitz_server.h"
+#include "txn/two_phase_commit.h"
+
+namespace spitz {
+namespace {
+
+// A key the partition function routes to `shard` of `shard_count`.
+std::string KeyOnShard(size_t shard, size_t shard_count,
+                       const std::string& stem) {
+  for (int i = 0;; i++) {
+    std::string key = stem + "-" + std::to_string(i);
+    if (PartitionOf(key, shard_count) == shard) return key;
+  }
+}
+
+// An in-memory N-shard cluster: one SpitzDb + SpitzServer per shard,
+// one ClusterClient over all of them.
+struct ClusterFixture {
+  std::vector<std::unique_ptr<SpitzDb>> dbs;
+  std::vector<std::unique_ptr<SpitzServer>> servers;
+  std::unique_ptr<ClusterClient> client;
+
+  explicit ClusterFixture(size_t n) {
+    ClusterClient::Options options;
+    for (size_t i = 0; i < n; i++) {
+      dbs.push_back(std::make_unique<SpitzDb>());
+      SpitzServer::Options server_options;
+      server_options.db = dbs.back().get();
+      std::unique_ptr<SpitzServer> server;
+      Status s = SpitzServer::Open(server_options, &server);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      NetClient::Options endpoint;
+      endpoint.port = server->port();
+      options.shards.push_back(endpoint);
+      servers.push_back(std::move(server));
+    }
+    Status s = ClusterClient::Open(options, &client);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+};
+
+// --- Routing ----------------------------------------------------------------
+
+TEST(ClusterRoutingTest, ClientAndShardedStoreAgreeOnEveryKey) {
+  // One partition function for the whole system: the in-process
+  // transaction layer and the cluster client must never route one key
+  // to two different shards.
+  for (size_t shard_count : {1u, 2u, 3u, 5u, 16u}) {
+    ShardedStore store(shard_count);
+    for (int i = 0; i < 500; i++) {
+      std::string key = "route-key-" + std::to_string(i * 7919);
+      EXPECT_EQ(store.ShardOf(key), PartitionOf(key, shard_count));
+    }
+  }
+}
+
+// --- Cluster digest ---------------------------------------------------------
+
+TEST(ClusterDigestTest, RootCommitsEveryShardDigest) {
+  ClusterFixture fx(3);
+  // Distinct state on every shard, so no two leaves are equal bytes.
+  for (size_t shard = 0; shard < 3; shard++) {
+    ASSERT_TRUE(
+        fx.client->Put(KeyOnShard(shard, 3, "digest"), "1").ok());
+  }
+  ClusterDigest digest;
+  ASSERT_TRUE(fx.client->GetClusterDigest(&digest).ok());
+  ASSERT_EQ(digest.shards.size(), 3u);
+  EXPECT_EQ(digest.root, ClusterDigest::ComputeRoot(digest.shards));
+
+  // Any change to any shard's digest changes the root.
+  ClusterDigest mutated = digest;
+  mutated.shards[1].last_commit_ts ^= 1;
+  EXPECT_NE(ClusterDigest::ComputeRoot(mutated.shards), digest.root);
+
+  // Round trip, and per-shard inclusion against the root alone.
+  std::string encoded;
+  digest.EncodeTo(&encoded);
+  Slice input(encoded);
+  ClusterDigest decoded;
+  ASSERT_TRUE(ClusterDigest::DecodeFrom(&input, &decoded).ok());
+  EXPECT_EQ(decoded, digest);
+  for (size_t i = 0; i < digest.shards.size(); i++) {
+    MerkleInclusionProof proof;
+    ASSERT_TRUE(digest.ShardInclusionProof(i, &proof).ok());
+    EXPECT_TRUE(ClusterDigest::VerifyShardInclusion(digest.shards[i], proof,
+                                                    digest.root));
+    EXPECT_FALSE(ClusterDigest::VerifyShardInclusion(
+        digest.shards[(i + 1) % digest.shards.size()], proof, digest.root));
+  }
+}
+
+TEST(ClusterDigestTest, EveryByteTamperOfTheEnvelopeIsRejected) {
+  ClusterFixture fx(3);
+  ASSERT_TRUE(fx.client->Put("tamper-base", "v").ok());
+  std::string encoded;
+  ASSERT_TRUE(fx.client->Digest(&encoded).ok());
+  for (size_t i = 0; i < encoded.size(); i++) {
+    std::string bad = encoded;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    Slice input(bad);
+    ClusterDigest decoded;
+    EXPECT_FALSE(ClusterDigest::DecodeFrom(&input, &decoded).ok())
+        << "flipped byte " << i << " was accepted";
+  }
+}
+
+// --- Cross-shard transactions ------------------------------------------------
+
+TEST(ClusterTxnTest, CrossShardBatchCommitsAtomicallyViaTwoPhase) {
+  ClusterFixture fx(3);
+  WriteBatch batch;
+  std::vector<std::string> keys;
+  for (size_t shard = 0; shard < 3; shard++) {
+    keys.push_back(KeyOnShard(shard, 3, "txn"));
+    batch.Put(keys.back(), "committed-" + std::to_string(shard));
+  }
+  ASSERT_TRUE(fx.client->Write(WriteOptions(), batch).ok());
+
+  for (size_t shard = 0; shard < 3; shard++) {
+    std::string value;
+    ASSERT_TRUE(fx.client->VerifiedGet(keys[shard], &value).ok());
+    EXPECT_EQ(value, "committed-" + std::to_string(shard));
+  }
+  MetricsSnapshot m = fx.client->coordinator()->Metrics();
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.commits_2pc"), 1u);
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.aborts"), 0u);
+}
+
+TEST(ClusterTxnTest, SingleShardBatchTakesTheOnePhasePath) {
+  ClusterFixture fx(3);
+  const std::string key = KeyOnShard(1, 3, "solo");
+  WriteBatch single;
+  single.Put(key, "one-phase");
+  single.Delete(KeyOnShard(1, 3, "solo-ghost"));  // same shard: still 1PC
+  ASSERT_TRUE(fx.client->Write(WriteOptions(), single).ok());
+  MetricsSnapshot m = fx.client->coordinator()->Metrics();
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.commits_1pc"), 1u);
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.commits_2pc"), 0u);
+  std::string value;
+  ASSERT_TRUE(fx.client->VerifiedGet(key, &value).ok());
+  EXPECT_EQ(value, "one-phase");
+}
+
+TEST(ClusterTxnTest, PreparedKeysBlockConflictingWritersUntilDecision) {
+  ClusterFixture fx(2);
+  const std::string key = KeyOnShard(0, 2, "locked");
+  WriteBatch batch;
+  batch.Put(key, "staged");
+  ASSERT_TRUE(fx.client->shard(0)->TxnPrepare(77, batch).ok());
+
+  // A conflicting direct write bounces off the prepared lock.
+  EXPECT_TRUE(fx.client->Put(key, "intruder").IsBusy());
+  // Non-conflicting keys on the same shard sail through.
+  const std::string other = KeyOnShard(0, 2, "unrelated");
+  EXPECT_TRUE(fx.client->Put(other, "fine").ok());
+
+  ASSERT_TRUE(fx.client->shard(0)->TxnCommit(77).ok());
+  std::string value;
+  ASSERT_TRUE(fx.client->VerifiedGet(key, &value).ok());
+  EXPECT_EQ(value, "staged");
+  // After the decision the lock is gone.
+  EXPECT_TRUE(fx.client->Put(key, "after").ok());
+  // Deciding a resolved transaction reports NotFound ("already
+  // resolved"), which retried commits treat as success.
+  EXPECT_TRUE(fx.client->shard(0)->TxnCommit(77).IsNotFound());
+}
+
+TEST(ClusterTxnTest, ResolveInDoubtPresumesAbortForOrphans) {
+  ClusterFixture fx(2);
+  const std::string key = KeyOnShard(1, 2, "orphan");
+  WriteBatch batch;
+  batch.Put(key, "never-decided");
+  ASSERT_TRUE(fx.client->shard(1)->TxnPrepare(4242, batch).ok());
+
+  std::vector<uint64_t> in_doubt;
+  ASSERT_TRUE(fx.client->shard(1)->TxnInDoubt(&in_doubt).ok());
+  ASSERT_EQ(in_doubt.size(), 1u);
+  EXPECT_EQ(in_doubt[0], 4242u);
+
+  size_t aborted = 0;
+  ASSERT_TRUE(fx.client->coordinator()->ResolveInDoubt(&aborted).ok());
+  EXPECT_EQ(aborted, 1u);
+  std::string value;
+  EXPECT_TRUE(fx.client->Get(key, &value).IsNotFound());
+  EXPECT_TRUE(fx.client->Put(key, "fresh").ok());
+}
+
+// --- Verified reads against the cluster root --------------------------------
+
+TEST(ClusterVerifyTest, VerifiedScanMergesAllShardsInKeyOrder) {
+  ClusterFixture fx(3);
+  // Keys that interleave across shards when sorted.
+  std::vector<std::string> keys;
+  for (int i = 10; i < 40; i++) {
+    std::string key = "scan-" + std::to_string(i);
+    keys.push_back(key);
+    ASSERT_TRUE(fx.client->Put(key, "v" + std::to_string(i)).ok());
+  }
+  std::vector<PosEntry> rows;
+  ASSERT_TRUE(fx.client->VerifiedScan("scan-", "scan-~", 0, &rows).ok());
+  ASSERT_EQ(rows.size(), keys.size());
+  for (size_t i = 0; i + 1 < rows.size(); i++) {
+    EXPECT_LT(rows[i].key, rows[i + 1].key);
+  }
+  // A limit returns the globally smallest rows, not one shard's.
+  ASSERT_TRUE(fx.client->VerifiedScan("scan-", "scan-~", 7, &rows).ok());
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].key, "scan-10");
+  EXPECT_EQ(rows[6].key, "scan-16");
+}
+
+TEST(ClusterVerifyTest, VerifiedReadsSurviveConcurrentCommits) {
+  ClusterFixture fx(3);
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(
+        fx.client->Put("stable-" + std::to_string(i), "value").ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      fx.client->Put("churn-" + std::to_string(i++ % 50), "w");
+    }
+  });
+  for (int i = 0; i < 50; i++) {
+    std::string value;
+    Status s = fx.client->VerifiedGet("stable-" + std::to_string(i % 20),
+                                      &value);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (s.ok()) EXPECT_EQ(value, "value");
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(ClusterVerifyTest, GetEvidenceVerifiesAndEveryTamperIsRejected) {
+  ClusterFixture fx(3);
+  ASSERT_TRUE(fx.client->Put("evidence-key", "evidence-value").ok());
+  VerifiedKv::Evidence evidence;
+  ASSERT_TRUE(fx.client->GetProof("evidence-key", &evidence).ok());
+  ASSERT_TRUE(evidence.value.has_value());
+  EXPECT_EQ(*evidence.value, "evidence-value");
+  ASSERT_TRUE(
+      ClusterClient::VerifyGetEvidence("evidence-key", evidence).ok());
+
+  // Absence is provable too.
+  VerifiedKv::Evidence absent;
+  ASSERT_TRUE(fx.client->GetProof("never-written", &absent).IsNotFound());
+  EXPECT_FALSE(absent.value.has_value());
+  EXPECT_TRUE(ClusterClient::VerifyGetEvidence("never-written", absent).ok());
+
+  // Byte-level tamper fuzz over the whole envelope: value, proof and
+  // digest. No flipped byte may verify.
+  std::string* fields[] = {&*evidence.value, &evidence.proof,
+                           &evidence.digest};
+  for (std::string* field : fields) {
+    for (size_t i = 0; i < field->size(); i++) {
+      const char original = (*field)[i];
+      (*field)[i] = static_cast<char>(original ^ 0x2d);
+      EXPECT_FALSE(
+          ClusterClient::VerifyGetEvidence("evidence-key", evidence).ok())
+          << "tampered byte " << i << " accepted";
+      (*field)[i] = original;
+    }
+  }
+  // The key is part of the claim: evidence for one key must not vouch
+  // for another.
+  EXPECT_FALSE(ClusterClient::VerifyGetEvidence("other-key", evidence).ok());
+}
+
+TEST(ClusterVerifyTest, ScanEvidenceVerifiesAndSampledTampersAreRejected) {
+  ClusterFixture fx(3);
+  for (int i = 0; i < 12; i++) {
+    ASSERT_TRUE(
+        fx.client->Put("se-" + std::to_string(100 + i), "row").ok());
+  }
+  VerifiedKv::ScanEvidence evidence;
+  ASSERT_TRUE(fx.client->ScanProof("se-", "se-~", 0, &evidence).ok());
+  EXPECT_EQ(evidence.rows.size(), 12u);
+  ASSERT_TRUE(
+      ClusterClient::VerifyScanEvidence("se-", "se-~", 0, evidence).ok());
+
+  // Dropping, reordering or rewriting merged rows breaks verification.
+  VerifiedKv::ScanEvidence dropped = evidence;
+  dropped.rows.pop_back();
+  EXPECT_FALSE(
+      ClusterClient::VerifyScanEvidence("se-", "se-~", 0, dropped).ok());
+  VerifiedKv::ScanEvidence rewritten = evidence;
+  rewritten.rows[0].value = "forged";
+  EXPECT_FALSE(
+      ClusterClient::VerifyScanEvidence("se-", "se-~", 0, rewritten).ok());
+
+  // Sampled byte flips across proof and digest (every 7th byte keeps
+  // the fuzz sweep fast; offsets cover varints, hashes and row bytes).
+  for (std::string* field : {&evidence.proof, &evidence.digest}) {
+    for (size_t i = 0; i < field->size(); i += 7) {
+      const char original = (*field)[i];
+      (*field)[i] = static_cast<char>(original ^ 0x11);
+      EXPECT_FALSE(
+          ClusterClient::VerifyScanEvidence("se-", "se-~", 0, evidence).ok())
+          << "tampered byte " << i << " accepted";
+      (*field)[i] = original;
+    }
+  }
+}
+
+// --- Participant crash recovery ----------------------------------------------
+
+class ClusterCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/spitz_cluster_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SpitzOptions DurableOptions() {
+    SpitzOptions options;
+    options.data_dir = dir_;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ClusterCrashTest, ParticipantRestartRestagesInDoubtThenCommits) {
+  const uint64_t txn_id = 909;
+  // Session 1: vote yes, then "crash" before any decision arrives.
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    WriteOptions synced;
+    synced.sync = true;
+    ASSERT_TRUE(db->Put(synced, "pre-existing", "durable").ok());
+    WriteBatch batch;
+    batch.Put("staged-a", "A");
+    batch.Put("staged-b", "B");
+    ASSERT_TRUE(db->PrepareTxn(txn_id, batch).ok());
+  }
+  // Session 2: the restarted shard, reached over TCP like a real
+  // coordinator would.
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+  SpitzServer::Options server_options;
+  server_options.db = db.get();
+  std::unique_ptr<SpitzServer> server;
+  ASSERT_TRUE(SpitzServer::Open(server_options, &server).ok());
+  SpitzClient::Options client_options;
+  client_options.net.port = server->port();
+  std::unique_ptr<SpitzClient> client;
+  ASSERT_TRUE(SpitzClient::Open(client_options, &client).ok());
+
+  // The vote survived: the txn is in-doubt and its locks are re-taken.
+  std::vector<uint64_t> in_doubt;
+  ASSERT_TRUE(client->TxnInDoubt(&in_doubt).ok());
+  ASSERT_EQ(in_doubt.size(), 1u);
+  EXPECT_EQ(in_doubt[0], txn_id);
+  EXPECT_TRUE(client->Put("staged-a", "intruder").IsBusy());
+  std::string value;
+  EXPECT_TRUE(client->Get("staged-a", &value).IsNotFound());
+
+  // The coordinator's decision finally lands; the staged batch applies.
+  ASSERT_TRUE(client->TxnCommit(txn_id).ok());
+  ASSERT_TRUE(client->VerifiedGet("staged-a", &value).ok());
+  EXPECT_EQ(value, "A");
+  ASSERT_TRUE(client->VerifiedGet("staged-b", &value).ok());
+  EXPECT_EQ(value, "B");
+  ASSERT_TRUE(client->Get("pre-existing", &value).ok());
+  EXPECT_EQ(value, "durable");
+  ASSERT_TRUE(client->TxnInDoubt(&in_doubt).ok());
+  EXPECT_TRUE(in_doubt.empty());
+}
+
+TEST_F(ClusterCrashTest, ParticipantRestartHonorsDurableAbort) {
+  const uint64_t txn_id = 910;
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    WriteBatch batch;
+    batch.Put("aborted-key", "never");
+    ASSERT_TRUE(db->PrepareTxn(txn_id, batch).ok());
+    ASSERT_TRUE(db->AbortTxn(txn_id).ok());
+  }
+  std::unique_ptr<SpitzDb> db;
+  ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+  std::vector<uint64_t> in_doubt;
+  ASSERT_TRUE(db->InDoubtTxns(&in_doubt).ok());
+  EXPECT_TRUE(in_doubt.empty());
+  std::string value;
+  EXPECT_TRUE(db->Get("aborted-key", &value).IsNotFound());
+  EXPECT_TRUE(db->Put("aborted-key", "free").ok());
+}
+
+// --- Coordinator crash: presumed abort ---------------------------------------
+
+TEST(ClusterSweeperTest, SilentCoordinatorIsPresumedAbortedOnTimeout) {
+  SpitzDb db;
+  SpitzServer::Options options;
+  options.db = &db;
+  options.txn_abort_after_ms = 50;
+  options.txn_sweep_interval_ms = 10;
+  std::unique_ptr<SpitzServer> server;
+  ASSERT_TRUE(SpitzServer::Open(options, &server).ok());
+  SpitzClient::Options client_options;
+  client_options.net.port = server->port();
+  std::unique_ptr<SpitzClient> client;
+  ASSERT_TRUE(SpitzClient::Open(client_options, &client).ok());
+
+  WriteBatch batch;
+  batch.Put("swept-key", "never-committed");
+  ASSERT_TRUE(client->TxnPrepare(31337, batch).ok());
+  EXPECT_TRUE(client->Put("swept-key", "blocked").IsBusy());
+
+  // The coordinator goes silent; the sweeper fires presumed abort.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::vector<uint64_t> in_doubt;
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(client->TxnInDoubt(&in_doubt).ok());
+  } while (!in_doubt.empty() && std::chrono::steady_clock::now() < deadline);
+  EXPECT_TRUE(in_doubt.empty()) << "sweeper never aborted the orphan";
+
+  std::string value;
+  EXPECT_TRUE(client->Get("swept-key", &value).IsNotFound());
+  EXPECT_TRUE(client->Put("swept-key", "unblocked").ok());
+  // A commit for the swept transaction is cleanly refused as resolved.
+  EXPECT_TRUE(client->TxnCommit(31337).IsNotFound());
+}
+
+// --- Handshake and factories -------------------------------------------------
+
+TEST(ClusterHandshakeTest, VersionMismatchIsRejectedAtConnect) {
+  SpitzDb db;
+  SpitzServer::Options options;
+  options.db = &db;
+  std::unique_ptr<SpitzServer> server;
+  ASSERT_TRUE(SpitzServer::Open(options, &server).ok());
+
+  NetClient::Options bad;
+  bad.port = server->port();
+  bad.protocol_version = kProtocolVersion + 7;
+  std::unique_ptr<NetClient> client;
+  Status s = NetClient::Connect(bad, &client);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.ToString().find("protocol version mismatch"),
+            std::string::npos);
+
+  // A well-versioned client on the same server still connects and
+  // learns the server's feature bits.
+  NetClient::Options good;
+  good.port = server->port();
+  ASSERT_TRUE(NetClient::Connect(good, &client).ok());
+  EXPECT_NE(client->server_features() & kFeatureTwoPhaseCommit, 0u);
+  EXPECT_NE(client->server_features() & kFeatureClusterDigest, 0u);
+}
+
+TEST(ClusterFactoryTest, OpenFactoriesValidateTheirOptions) {
+  {
+    SpitzServer::Options options;  // no db
+    std::unique_ptr<SpitzServer> server;
+    EXPECT_TRUE(SpitzServer::Open(options, &server).IsInvalidArgument());
+  }
+  {
+    SpitzDb db;
+    SpitzServer::Options options;
+    options.db = &db;
+    options.processor_count = 0;
+    std::unique_ptr<SpitzServer> server;
+    EXPECT_TRUE(SpitzServer::Open(options, &server).IsInvalidArgument());
+  }
+  {
+    SpitzClient::Options options;  // port 0
+    std::unique_ptr<SpitzClient> client;
+    EXPECT_TRUE(SpitzClient::Open(options, &client).IsInvalidArgument());
+  }
+  {
+    ClusterClient::Options options;  // no shards
+    std::unique_ptr<ClusterClient> client;
+    EXPECT_TRUE(ClusterClient::Open(options, &client).IsInvalidArgument());
+  }
+  {
+    ClusterClient::Options options;
+    options.shards.emplace_back();  // port 0
+    std::unique_ptr<ClusterClient> client;
+    EXPECT_TRUE(ClusterClient::Open(options, &client).IsInvalidArgument());
+  }
+}
+
+}  // namespace
+}  // namespace spitz

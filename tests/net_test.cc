@@ -287,8 +287,10 @@ TEST(NetRpcTest, PipelinedCallsFromManyThreads) {
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_EQ(server->frames_served(), kThreads * kCallsPerThread);
   MetricsSnapshot m = server->Metrics();
-  EXPECT_EQ(m.CounterValue("net.frames.rx"), kThreads * kCallsPerThread);
-  EXPECT_EQ(m.CounterValue("net.frames.tx"), kThreads * kCallsPerThread);
+  // +1: the connect-time handshake frame rides the same transport but
+  // is not an RPC, so it counts in the loop totals only.
+  EXPECT_EQ(m.CounterValue("net.frames.rx"), kThreads * kCallsPerThread + 1);
+  EXPECT_EQ(m.CounterValue("net.frames.tx"), kThreads * kCallsPerThread + 1);
   EXPECT_EQ(m.CounterValue("net.protocol_errors"), 0u);
 }
 

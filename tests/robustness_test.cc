@@ -218,8 +218,17 @@ TEST(RobustnessTest, EmptyProofStructuresRejected) {
   EXPECT_FALSE(PosTree::VerifyProof(Hash256::Of("x"), "k", std::nullopt,
                                     empty)
                    .ok());
+  // The zero root is the provably-empty tree: it vouches for absence
+  // with no proof nodes at all (a never-written cluster shard answers
+  // verified reads this way) but can never vouch for a value.
   SpitzDigest digest;
   ReadProof rp;
+  EXPECT_TRUE(SpitzDb::VerifyRead(digest, "k", std::nullopt, rp).ok());
+  EXPECT_FALSE(
+      SpitzDb::VerifyRead(digest, "k", std::string("forged"), rp).ok());
+  // Any non-empty root still rejects an empty proof outright.
+  digest.index_root = Hash256::Of("x");
+  rp.index_root = digest.index_root;
   EXPECT_FALSE(SpitzDb::VerifyRead(digest, "k", std::nullopt, rp).ok());
 }
 

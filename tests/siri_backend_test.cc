@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster_client.h"
 #include "core/spitz_db.h"
+#include "core/verified_kv.h"
+#include "net/spitz_client.h"
+#include "net/spitz_server.h"
 #include "nonintrusive/non_intrusive_db.h"
 
 namespace spitz {
@@ -239,6 +243,108 @@ TEST(SpitzOptionsTest, DefaultsValidate) {
     options.index_backend = kind;
     EXPECT_TRUE(options.Validate().ok());
   }
+}
+
+// --- The VerifiedKv interface across every deployment shape ------------------
+//
+// One battery, three implementations: an embedded SpitzDb, one served
+// node behind SpitzClient, and a 3-shard cluster behind ClusterClient.
+// Code written against the interface must behave identically on all of
+// them — that is the point of having exactly one verified-KV surface.
+
+void RunVerifiedKvBattery(VerifiedKv* kv) {
+  // Unverified writes and reads.
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(
+        kv->Put("vk-" + std::to_string(100 + i), "v" + std::to_string(i))
+            .ok());
+  }
+  std::string value;
+  ASSERT_TRUE(kv->Get("vk-117", &value).ok());
+  EXPECT_EQ(value, "v17");
+  ASSERT_TRUE(kv->Delete("vk-117").ok());
+  EXPECT_TRUE(kv->Get("vk-117", &value).IsNotFound());
+
+  // Verified reads: present, deleted, and never-written keys.
+  ASSERT_TRUE(kv->VerifiedGet("vk-123", &value).ok());
+  EXPECT_EQ(value, "v23");
+  EXPECT_TRUE(kv->VerifiedGet("vk-117", &value).IsNotFound());
+  EXPECT_TRUE(kv->VerifiedGet("vk-never", &value).IsNotFound());
+
+  // Verified scans come back sorted and complete.
+  std::vector<PosEntry> rows;
+  ASSERT_TRUE(kv->VerifiedScan("vk-", "vk-~", 0, &rows).ok());
+  EXPECT_EQ(rows.size(), 39u);
+  for (size_t i = 0; i + 1 < rows.size(); i++) {
+    EXPECT_LT(rows[i].key, rows[i + 1].key);
+  }
+  ASSERT_TRUE(kv->VerifiedScan("vk-", "vk-~", 5, &rows).ok());
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].key, "vk-100");
+
+  // Evidence is self-contained bytes for both presence and absence.
+  VerifiedKv::Evidence evidence;
+  ASSERT_TRUE(kv->GetProof("vk-123", &evidence).ok());
+  ASSERT_TRUE(evidence.value.has_value());
+  EXPECT_EQ(*evidence.value, "v23");
+  EXPECT_FALSE(evidence.proof.empty());
+  EXPECT_FALSE(evidence.digest.empty());
+  EXPECT_TRUE(kv->GetProof("vk-never", &evidence).IsNotFound());
+  EXPECT_FALSE(evidence.value.has_value());
+
+  VerifiedKv::ScanEvidence scan_evidence;
+  ASSERT_TRUE(kv->ScanProof("vk-", "vk-~", 0, &scan_evidence).ok());
+  EXPECT_EQ(scan_evidence.rows.size(), 39u);
+  EXPECT_FALSE(scan_evidence.digest.empty());
+
+  // The digest tracks committed state.
+  std::string digest_before, digest_after;
+  ASSERT_TRUE(kv->Digest(&digest_before).ok());
+  ASSERT_TRUE(kv->Put("vk-digest-probe", "x").ok());
+  ASSERT_TRUE(kv->Digest(&digest_after).ok());
+  EXPECT_NE(digest_before, digest_after);
+
+  // Audits pass on an honest deployment.
+  EXPECT_TRUE(kv->Audit("vk-123").ok());
+  EXPECT_TRUE(kv->AuditLastSealed().ok());
+}
+
+TEST(VerifiedKvInterfaceTest, EmbeddedDbPassesTheBattery) {
+  SpitzDb db;
+  RunVerifiedKvBattery(&db);
+}
+
+TEST(VerifiedKvInterfaceTest, ServedNodePassesTheBattery) {
+  SpitzDb db;
+  SpitzServer::Options options;
+  options.db = &db;
+  std::unique_ptr<SpitzServer> server;
+  ASSERT_TRUE(SpitzServer::Open(options, &server).ok());
+  SpitzClient::Options client_options;
+  client_options.net.port = server->port();
+  std::unique_ptr<SpitzClient> client;
+  ASSERT_TRUE(SpitzClient::Open(client_options, &client).ok());
+  RunVerifiedKvBattery(client.get());
+}
+
+TEST(VerifiedKvInterfaceTest, ShardedClusterPassesTheBattery) {
+  std::vector<std::unique_ptr<SpitzDb>> dbs;
+  std::vector<std::unique_ptr<SpitzServer>> servers;
+  ClusterClient::Options options;
+  for (size_t i = 0; i < 3; i++) {
+    dbs.push_back(std::make_unique<SpitzDb>());
+    SpitzServer::Options server_options;
+    server_options.db = dbs.back().get();
+    std::unique_ptr<SpitzServer> server;
+    ASSERT_TRUE(SpitzServer::Open(server_options, &server).ok());
+    NetClient::Options endpoint;
+    endpoint.port = server->port();
+    options.shards.push_back(endpoint);
+    servers.push_back(std::move(server));
+  }
+  std::unique_ptr<ClusterClient> client;
+  ASSERT_TRUE(ClusterClient::Open(options, &client).ok());
+  RunVerifiedKvBattery(client.get());
 }
 
 }  // namespace
