@@ -1,6 +1,7 @@
 #include "cluster/coordinator.h"
 
 #include <map>
+#include <random>
 
 #include "cluster/partition.h"
 #include "common/clock.h"
@@ -14,15 +15,25 @@ namespace {
 // shard in-doubt (its sweeper or ResolveInDoubt takes it from there).
 constexpr int kCommitRetries = 3;
 
+// Random 64-bit starting id. Clock-derived seeds collide whenever two
+// coordinators start in the same microsecond (and shifting the clock
+// discards its high bits anyway); a random draw makes a collision —
+// which a participant now rejects as InvalidArgument rather than
+// silently cross-wiring batches — negligibly likely.
+uint64_t RandomTxnSeed() {
+  std::random_device rd;
+  std::mt19937_64 gen((static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+                      NowMicros());
+  uint64_t seed = gen();
+  return seed != 0 ? seed : 1;
+}
+
 }  // namespace
 
 ClusterCoordinator::ClusterCoordinator(std::vector<SpitzClient*> shards,
                                        uint64_t txn_id_seed)
     : shards_(std::move(shards)),
-      // Clock-seeded ids keep two coordinators born in different
-      // microseconds disjoint; the low bits leave room for 2^20 local
-      // transactions before ranges could meet.
-      next_txn_id_(txn_id_seed != 0 ? txn_id_seed : (NowMicros() << 20) | 1) {
+      next_txn_id_(txn_id_seed != 0 ? txn_id_seed : RandomTxnSeed()) {
   commits_1pc_ = registry_.counter("cluster.coordinator.commits_1pc");
   commits_2pc_ = registry_.counter("cluster.coordinator.commits_2pc");
   aborts_ = registry_.counter("cluster.coordinator.aborts");
@@ -80,12 +91,25 @@ Status ClusterCoordinator::CommitBatch(const WriteOptions& options,
     Status s;
     for (int attempt = 0; attempt <= kCommitRetries; attempt++) {
       s = shards_[shard]->TxnCommit(txn_id);
-      // NotFound = "already resolved": a retried commit after a shard
-      // applied the first one.
-      if (s.ok() || s.IsNotFound()) {
-        s = Status::OK();
-        break;
-      }
+      // OK covers the retried case too: a participant remembers a
+      // committed outcome (durable tombstone) and answers OK again.
+      // Aborted / NotFound are terminal answers, not RPC failures —
+      // retrying cannot change them.
+      if (s.ok() || s.IsAborted() || s.IsNotFound()) break;
+    }
+    if (s.IsAborted() || s.IsNotFound()) {
+      // The shard resolved this txn by abort (its presumed-abort
+      // sweeper, or a takeover coordinator's ResolveInDoubt) — or no
+      // longer knows it at all — while the decision here was commit.
+      // Its writes are gone although other shards applied theirs:
+      // atomicity is broken and must surface as a hard failure, never
+      // as success. Keep pushing the decision to the remaining shards
+      // (they are still bound by their yes votes).
+      result = Status::Aborted(
+          "cross-shard atomicity violation: shard " + std::to_string(shard) +
+          " resolved txn " + std::to_string(txn_id) +
+          " against the commit decision: " + s.ToString());
+      continue;
     }
     if (!s.ok() && result.ok()) {
       result = Status::Unavailable("commit decision not yet applied on shard " +
@@ -111,7 +135,10 @@ Status ClusterCoordinator::ResolveInDoubt(size_t* aborted) {
       if (s.ok()) {
         total++;
         in_doubt_resolved_->Increment();
-      } else if (!s.IsNotFound() && result.ok()) {
+      } else if (!s.IsNotFound() && !s.IsBusy() && result.ok()) {
+        // NotFound: already resolved elsewhere. Busy: a commit decision
+        // is being applied right now — the txn is not an orphan, leave
+        // it to its coordinator.
         result = s;
       }
     }

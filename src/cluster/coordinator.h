@@ -34,6 +34,16 @@ namespace spitz {
 //                                 fires — which is why the sweeper
 //                                 timeout must dominate coordinator
 //                                 retry time.
+//   * a shard answers Aborted  -> its sweeper (or a takeover
+//     (or NotFound) to commit     coordinator) resolved the txn by
+//                                 abort while the decision was commit:
+//                                 that shard's writes are gone while
+//                                 others applied theirs. CommitBatch
+//                                 reports Status::Aborted — a hard
+//                                 atomicity failure, never success.
+//                                 (Participants keep durable outcome
+//                                 tombstones, so a retried commit of a
+//                                 committed txn is plain OK.)
 //   * coordinator dies         -> prepared shards surface the txn via
 //                                 TxnInDoubt; a new coordinator (or an
 //                                 operator) calls ResolveInDoubt, which
@@ -49,7 +59,8 @@ class ClusterCoordinator {
  public:
   // `shards[i]` serves partition i; borrowed, must outlive the
   // coordinator. `txn_id_seed` must be distinct across coordinators
-  // that can touch the same shards (default: derived from the clock).
+  // that can touch the same shards (default: a random 64-bit draw;
+  // participants reject a colliding id outright).
   explicit ClusterCoordinator(std::vector<SpitzClient*> shards,
                               uint64_t txn_id_seed = 0);
 

@@ -304,6 +304,15 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + from);
+      return Status::IOError(
+          ErrnoMessage("rename " + from + " -> " + to, errno));
+    }
+    return Status::OK();
+  }
+
   Status SyncDir(const std::string& path) override {
     int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
     if (fd < 0) {

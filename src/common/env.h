@@ -144,6 +144,13 @@ class Env {
   // Unlinks the file. NotFound if it does not exist.
   virtual Status DeleteFile(const std::string& path) = 0;
 
+  // Atomically renames `from` onto `to`, replacing `to` if it exists
+  // (rename(2) semantics). This is the safe-replace primitive: write a
+  // complete file under a temp name, Sync it, Rename it over the old
+  // one, then SyncDir the parent — a crash at any point leaves either
+  // the old file or the new one, never a half-written mix.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
   // Fsyncs the directory itself, making renames/creates/unlinks inside
   // it durable. The chunk-store GC calls this after writing rewrite
   // segments (so their directory entries survive a crash that happens

@@ -343,6 +343,29 @@ Status FaultInjectionEnv::DeleteFile(const std::string& path) {
   return s;
 }
 
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  // A metadata write: refused on a dead env (the crashed process cannot
+  // swap files), but not itself a crash point — the SyncDir that
+  // hardens it already consumes an op index.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return Status::IOError("injected fault: environment is dead");
+  }
+  Status s = base_->Rename(from, to);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      files_[to] = it->second;
+      files_.erase(it);
+    } else {
+      files_.erase(to);
+    }
+  }
+  return s;
+}
+
 Status FaultInjectionEnv::SyncDir(const std::string& path) {
   // A directory fsync is a durability point like a log sync: it
   // consumes one op index, so the crash harness also covers "crashed

@@ -107,6 +107,7 @@ class FaultInjectionEnv : public Env {
   Status ListDir(const std::string& path,
                  std::vector<std::string>* names) override;
   Status DeleteFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
   Status SyncDir(const std::string& path) override;
 
   // Internal: read entry point for the RandomAccessFile wrapper.

@@ -59,6 +59,20 @@ constexpr uint8_t kTxnRecordPrepare = 1;
 constexpr uint8_t kTxnRecordCommit = 2;
 constexpr uint8_t kTxnRecordAbort = 3;
 
+// One CRC-framed txn.log record: [len][type:1][txn_id:8]([batch])[crc:4].
+std::string EncodeTxnRecord(uint8_t type, uint64_t txn_id,
+                            const WriteBatch* batch) {
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  PutFixed64(&payload, txn_id);
+  if (batch != nullptr) payload.append(batch->Encode());
+  std::string record;
+  PutLengthPrefixedSlice(&record, payload);
+  PutFixed32(&record,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  return record;
+}
+
 }  // namespace
 
 Status SpitzOptions::Validate() const {
@@ -767,9 +781,25 @@ Status SpitzDb::PrepareTxn(uint64_t txn_id, const WriteBatch& batch) {
     return Status::InvalidArgument("cannot prepare an empty batch");
   }
   std::lock_guard<std::mutex> lock(txn_mu_);
-  // Idempotent re-prepare: a coordinator retrying a lost vote must get
-  // the same yes it got the first time.
-  if (prepared_.count(txn_id) != 0) return Status::OK();
+  // Idempotent re-prepare: a coordinator retrying a lost vote gets the
+  // same yes it got the first time — but only for the same batch. A
+  // different batch under a known id is a coordinator id collision, and
+  // a yes here would vote for bytes that were never staged.
+  auto existing = prepared_.find(txn_id);
+  if (existing != prepared_.end()) {
+    if (existing->second.batch.Encode() == batch.Encode()) {
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "txn " + std::to_string(txn_id) +
+        " re-prepared with a different batch (coordinator id collision?)");
+  }
+  // Same hazard for an id this shard already resolved: re-staging it
+  // would let one coordinator's commit retry apply another's batch.
+  if (resolved_.count(txn_id) != 0) {
+    return Status::InvalidArgument("txn " + std::to_string(txn_id) +
+                                   " was already resolved on this shard");
+  }
   Status s = CheckPreparedConflictsLocked(batch, txn_id);
   if (!s.ok()) {
     txn_conflicts_.Increment();
@@ -781,7 +811,7 @@ Status SpitzDb::PrepareTxn(uint64_t txn_id, const WriteBatch& batch) {
   if (!s.ok()) return s;
   PreparedTxn prepared;
   prepared.batch = batch;
-  prepared.since_ms = NowMicros() / 1000;
+  prepared.since_ms = MonotonicNanos() / 1000000;
   for (const WriteBatch::Op& op : batch.ops()) {
     prepared_keys_[op.key] = txn_id;
   }
@@ -799,10 +829,21 @@ Status SpitzDb::CommitTxn(uint64_t txn_id) {
     std::lock_guard<std::mutex> lock(txn_mu_);
     auto it = prepared_.find(txn_id);
     if (it == prepared_.end()) {
-      // Already resolved (this side's decision marker survived a prior
-      // attempt); the coordinator reads NotFound as "done".
+      auto resolved = resolved_.find(txn_id);
+      if (resolved != resolved_.end()) {
+        // The tombstone knows the true outcome: a retried commit of a
+        // committed txn is idempotent OK; a commit of a txn this shard
+        // resolved by abort (sweeper, takeover coordinator) is a broken
+        // decision the coordinator must hear about.
+        if (resolved->second) return Status::OK();
+        return Status::Aborted("txn " + std::to_string(txn_id) +
+                               " was resolved by abort on this shard");
+      }
       return Status::NotFound("transaction not prepared on this shard");
     }
+    // Pin the txn for the apply window below: once the commit decision
+    // is being acted on, no abort path may resolve it.
+    it->second.committing = true;
     batch = it->second.batch;
   }
   // Apply through the ordinary group-commit pipeline, bypassing the key
@@ -811,17 +852,32 @@ Status SpitzDb::CommitTxn(uint64_t txn_id) {
   WriteOptions options;
   options.sync = true;
   Status s = WriteInternal(options, batch, txn_id);
-  if (!s.ok()) return s;
   std::lock_guard<std::mutex> lock(txn_mu_);
   auto it = prepared_.find(txn_id);
-  if (it == prepared_.end()) return Status::OK();
+  if (!s.ok()) {
+    // The apply failed; unpin so the sweeper / an abort can still
+    // resolve the txn.
+    if (it != prepared_.end()) it->second.committing = false;
+    return s;
+  }
+  if (it == prepared_.end()) {
+    // A concurrent CommitTxn for the same id finished first (aborts
+    // cannot race here — the committing pin blocks them) and left a
+    // committed tombstone.
+    return Status::OK();
+  }
   // A crash between the apply above and this marker leaves the txn in
   // doubt; the coordinator re-sends CommitTxn after recovery and the
   // batch re-applies — state-convergent (puts re-set the same values,
   // deletes stay deleted) at the cost of duplicate ledger entries for
   // the retried batch.
   s = AppendTxnRecord(kTxnRecordCommit, txn_id, nullptr);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // Keep the committing pin: the batch is already applied, so letting
+    // an abort resolve the txn now would durably record the wrong
+    // outcome. A retried CommitTxn re-applies and retries the marker.
+    return s;
+  }
   for (const WriteBatch::Op& op : it->second.batch.ops()) {
     auto locked = prepared_keys_.find(op.key);
     if (locked != prepared_keys_.end() && locked->second == txn_id) {
@@ -829,6 +885,7 @@ Status SpitzDb::CommitTxn(uint64_t txn_id) {
     }
   }
   prepared_.erase(it);
+  RecordResolvedLocked(txn_id, /*committed=*/true);
   prepared_count_.store(prepared_.size(), std::memory_order_release);
   txn_commits_.Increment();
   txn_in_doubt_.Set(prepared_.size());
@@ -840,7 +897,19 @@ Status SpitzDb::AbortTxn(uint64_t txn_id) {
   std::lock_guard<std::mutex> lock(txn_mu_);
   auto it = prepared_.find(txn_id);
   if (it == prepared_.end()) {
+    auto resolved = resolved_.find(txn_id);
+    if (resolved != resolved_.end() && resolved->second) {
+      return Status::InvalidArgument(
+          "cannot abort txn " + std::to_string(txn_id) +
+          ": already committed on this shard");
+    }
+    // Unknown or already aborted — benign under presumed abort.
     return Status::NotFound("transaction not prepared on this shard");
+  }
+  if (it->second.committing) {
+    // The commit decision is being applied right now; resolving by
+    // abort would drop writes under a durable abort marker.
+    return Status::Busy("txn " + std::to_string(txn_id) + " is committing");
   }
   Status s = AppendTxnRecord(kTxnRecordAbort, txn_id, nullptr);
   if (!s.ok()) return s;
@@ -851,6 +920,7 @@ Status SpitzDb::AbortTxn(uint64_t txn_id) {
     }
   }
   prepared_.erase(it);
+  RecordResolvedLocked(txn_id, /*committed=*/false);
   prepared_count_.store(prepared_.size(), std::memory_order_release);
   txn_aborts_.Increment();
   txn_in_doubt_.Set(prepared_.size());
@@ -861,7 +931,9 @@ Status SpitzDb::InDoubtTxns(std::vector<uint64_t>* out) const {
   out->clear();
   std::lock_guard<std::mutex> lock(txn_mu_);
   for (const auto& [txn_id, prepared] : prepared_) {
-    (void)prepared;
+    // A committing txn is not in doubt — its decision is in flight, and
+    // listing it would invite a racing presumed-abort.
+    if (prepared.committing) continue;
     out->push_back(txn_id);
   }
   return Status::OK();
@@ -870,11 +942,17 @@ Status SpitzDb::InDoubtTxns(std::vector<uint64_t>* out) const {
 Status SpitzDb::AbortTxnsOlderThan(uint64_t max_age_ms, size_t* aborted) {
   if (aborted != nullptr) *aborted = 0;
   if (!init_status_.ok()) return init_status_;
-  const uint64_t now_ms = NowMicros() / 1000;
+  const uint64_t now_ms = MonotonicNanos() / 1000000;
   std::lock_guard<std::mutex> lock(txn_mu_);
   std::vector<uint64_t> victims;
   for (const auto& [txn_id, prepared] : prepared_) {
-    if (now_ms - prepared.since_ms >= max_age_ms) victims.push_back(txn_id);
+    if (prepared.committing) continue;  // decision in flight: not ours
+    // since_ms is monotonic, but guard the unsigned subtraction anyway:
+    // an underflow here would sweep every prepared txn at once.
+    if (now_ms >= prepared.since_ms &&
+        now_ms - prepared.since_ms >= max_age_ms) {
+      victims.push_back(txn_id);
+    }
   }
   for (uint64_t txn_id : victims) {
     Status s = AppendTxnRecord(kTxnRecordAbort, txn_id, nullptr);
@@ -887,12 +965,30 @@ Status SpitzDb::AbortTxnsOlderThan(uint64_t max_age_ms, size_t* aborted) {
       }
     }
     prepared_.erase(it);
+    RecordResolvedLocked(txn_id, /*committed=*/false);
     txn_aborts_.Increment();
     if (aborted != nullptr) (*aborted)++;
   }
   prepared_count_.store(prepared_.size(), std::memory_order_release);
   txn_in_doubt_.Set(prepared_.size());
   return Status::OK();
+}
+
+void SpitzDb::RecordResolvedLocked(uint64_t txn_id, bool committed) {
+  // Bounded FIFO: enough history that any plausible retry window is
+  // covered, without letting a long-lived shard accumulate a tombstone
+  // per transaction it ever saw.
+  static constexpr size_t kMaxResolvedTxns = 4096;
+  auto [it, inserted] = resolved_.emplace(txn_id, committed);
+  if (!inserted) {
+    it->second = committed;
+    return;
+  }
+  resolved_order_.push_back(txn_id);
+  while (resolved_order_.size() > kMaxResolvedTxns) {
+    resolved_.erase(resolved_order_.front());
+    resolved_order_.pop_front();
+  }
 }
 
 Status SpitzDb::CheckPreparedConflictsLocked(const WriteBatch& batch,
@@ -912,15 +1008,7 @@ Status SpitzDb::AppendTxnRecord(uint8_t type, uint64_t txn_id,
   // In-memory databases have no txn log; prepares then live only in
   // memory, which loses nothing (there is no recovery either).
   if (txn_log_ == nullptr) return Status::OK();
-  std::string payload;
-  payload.push_back(static_cast<char>(type));
-  PutFixed64(&payload, txn_id);
-  if (batch != nullptr) payload.append(batch->Encode());
-  std::string record;
-  PutLengthPrefixedSlice(&record, payload);
-  PutFixed32(&record,
-             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
-  Status s = txn_log_->Append(record);
+  Status s = txn_log_->Append(EncodeTxnRecord(type, txn_id, batch));
   if (s.ok()) s = txn_log_->Sync();
   if (!s.ok()) {
     return Status::IOError("txn log append failed: " + s.message());
@@ -930,10 +1018,20 @@ Status SpitzDb::AppendTxnRecord(uint8_t type, uint64_t txn_id,
 
 Status SpitzDb::RecoverTxnLog() {
   const std::string path = options_.data_dir + "/txn.log";
+  // A stale compaction temp file is a crash artifact: either the rename
+  // never happened (txn.log is still the complete old log) or it
+  // happened and this is a leftover name. Either way it is dead bytes.
+  const std::string tmp_path = path + ".tmp";
+  if (env_->FileExists(tmp_path)) {
+    Status s = env_->DeleteFile(tmp_path);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
   std::string contents;
   Status read_status = env_->ReadFileToString(path, &contents);
   if (!read_status.ok() && !read_status.IsNotFound()) return read_status;
   std::lock_guard<std::mutex> lock(txn_mu_);
+  size_t records_replayed = 0;
+  bool tail_torn = false;
   if (read_status.ok()) {
     Slice input(contents);
     uint64_t consumed = 0;
@@ -942,7 +1040,11 @@ Status SpitzDb::RecoverTxnLog() {
       Slice payload;
       if (!GetLengthPrefixedSlice(&rest, &payload).ok() ||
           rest.size() < sizeof(uint32_t)) {
-        break;  // torn tail: the record never finished; drop it
+        // Torn tail: the record never finished; drop it. The log must
+        // then be compacted — appending after garbage would make every
+        // later record unreachable.
+        tail_torn = true;
+        break;
       }
       uint32_t stored = DecodeFixed32(rest.data());
       rest.remove_prefix(sizeof(uint32_t));
@@ -967,18 +1069,23 @@ Status SpitzDb::RecoverTxnLog() {
           prepared.batch = std::move(batch);
           // Recovered in-doubt txns age from restart, so the timeout
           // sweep gives the coordinator a full window to resolve them.
-          prepared.since_ms = NowMicros() / 1000;
+          prepared.since_ms = MonotonicNanos() / 1000000;
           prepared_[txn_id] = std::move(prepared);
           break;
         }
         case kTxnRecordCommit:
         case kTxnRecordAbort:
+          // The decision survives as a tombstone: a coordinator retry
+          // after this restart must learn the true outcome, not
+          // NotFound.
           prepared_.erase(txn_id);
+          RecordResolvedLocked(txn_id, type == kTxnRecordCommit);
           break;
         default:
           return Status::Corruption("unknown txn log record type " +
                                     std::to_string(type));
       }
+      records_replayed++;
       consumed += input.size() - rest.size();
       input = rest;
     }
@@ -993,27 +1100,67 @@ Status SpitzDb::RecoverTxnLog() {
   }
   prepared_count_.store(prepared_.size(), std::memory_order_release);
   txn_in_doubt_.Set(prepared_.size());
-  return CompactTxnLogLocked();
-}
-
-Status SpitzDb::CompactTxnLogLocked() {
-  const std::string path = options_.data_dir + "/txn.log";
-  if (txn_log_ != nullptr) {
-    txn_log_->Close();
-    txn_log_.reset();
-  }
-  if (env_->FileExists(path)) {
-    Status s = env_->Truncate(path, 0);
-    if (!s.ok()) return s;
+  // Compact only when the file differs from the surviving state (a
+  // decision superseded a prepare, a tombstone aged out, or the tail
+  // was torn); a log that is already canonical reopens for append
+  // untouched.
+  if (tail_torn ||
+      records_replayed != prepared_.size() + resolved_.size()) {
+    return CompactTxnLogLocked();
   }
   Status s = env_->NewWritableLog(path, &txn_log_);
   if (!s.ok()) {
     return Status::IOError("cannot open txn log: " + path + ": " +
                            s.message());
   }
+  return Status::OK();
+}
+
+Status SpitzDb::CompactTxnLogLocked() {
+  const std::string path = options_.data_dir + "/txn.log";
+  const std::string tmp_path = path + ".tmp";
+  if (txn_log_ != nullptr) {
+    txn_log_->Close();
+    txn_log_.reset();
+  }
+  // Never rewrite txn.log in place: a crash mid-rewrite would lose
+  // durably promised yes votes. Write the full compacted log to a temp
+  // file, harden it, then atomically swap it in — at every crash point
+  // either the old complete log or the new one is on disk.
+  if (env_->FileExists(tmp_path)) {
+    Status s = env_->DeleteFile(tmp_path);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  std::unique_ptr<WritableLog> out;
+  Status s = env_->NewWritableLog(tmp_path, &out);
+  if (!s.ok()) {
+    return Status::IOError("cannot open txn log temp: " + tmp_path + ": " +
+                           s.message());
+  }
   for (const auto& [txn_id, prepared] : prepared_) {
-    s = AppendTxnRecord(kTxnRecordPrepare, txn_id, &prepared.batch);
+    s = out->Append(EncodeTxnRecord(kTxnRecordPrepare, txn_id,
+                                    &prepared.batch));
     if (!s.ok()) return s;
+  }
+  for (uint64_t txn_id : resolved_order_) {
+    auto it = resolved_.find(txn_id);
+    if (it == resolved_.end()) continue;
+    s = out->Append(EncodeTxnRecord(
+        it->second ? kTxnRecordCommit : kTxnRecordAbort, txn_id, nullptr));
+    if (!s.ok()) return s;
+  }
+  s = out->Sync();
+  if (s.ok()) s = out->Close();
+  if (!s.ok()) return s;
+  out.reset();
+  s = env_->Rename(tmp_path, path);
+  if (!s.ok()) return s;
+  s = env_->SyncDir(options_.data_dir);
+  if (!s.ok()) return s;
+  s = env_->NewWritableLog(path, &txn_log_);
+  if (!s.ok()) {
+    return Status::IOError("cannot open txn log: " + path + ": " +
+                           s.message());
   }
   return Status::OK();
 }

@@ -202,10 +202,17 @@ class SpitzDb : public VerifiedKv {
   // until the coordinator resolves the outcome. CommitTxn applies the
   // prepared batch through the ordinary group-commit pipeline (sync)
   // and seals the decision with a durable commit marker; AbortTxn drops
-  // the prepared state with an abort marker. Both are idempotent;
-  // resolving an unknown txn returns NotFound, which a coordinator
-  // reads as "already resolved" (the marker survived, the prepare
-  // record was compacted away).
+  // the prepared state with an abort marker.
+  //
+  // Resolved outcomes leave a durable tombstone (bounded history, kept
+  // across txn.log compaction), so a retried decision learns the truth
+  // instead of guessing: CommitTxn on a committed txn is idempotent OK,
+  // on an aborted txn it is Status::Aborted — the coordinator must
+  // surface that as a broken commit, never as success. NotFound means
+  // the txn was never prepared here (or its tombstone aged out of the
+  // bounded history), which a committing coordinator must also treat as
+  // failure. AbortTxn on an already-aborted or unknown txn is NotFound
+  // (benign under presumed abort); on a committed one, InvalidArgument.
   //
   // After a crash, Open() replays txn.log: prepares without a decision
   // marker are re-staged as in-doubt (their key locks re-taken) and
@@ -520,11 +527,17 @@ class SpitzDb : public VerifiedKv {
                          const WriteBatch* batch);
   // Replays txn.log (tolerating a torn tail, like the journal): the
   // surviving prepares without a decision marker become the in-doubt
-  // set. Rewrites the log to just those, so decisions compact away.
+  // set; decisions become outcome tombstones. Compacts the log when the
+  // replayed bytes differ from that surviving state.
   Status RecoverTxnLog();
-  // Rewrites txn.log to contain exactly the live prepares. Caller holds
-  // txn_mu_.
+  // Rewrites txn.log to exactly the live prepares plus the resolved
+  // tombstones, crash-safely: the new contents are written to a temp
+  // file, fsync'd, and renamed over txn.log (a crash leaves either the
+  // old complete log or the new one). Caller holds txn_mu_.
   Status CompactTxnLogLocked();
+  // Records a resolved outcome in the bounded tombstone history. Caller
+  // holds txn_mu_.
+  void RecordResolvedLocked(uint64_t txn_id, bool committed);
   // Busy if any key of `batch` is locked by a prepared transaction
   // other than `bypass_txn`. Caller holds txn_mu_.
   Status CheckPreparedConflictsLocked(const WriteBatch& batch,
@@ -640,10 +653,21 @@ class SpitzDb : public VerifiedKv {
     // Steady-clock milliseconds at prepare (monotonic; recovery stamps
     // "now" so recovered in-doubt txns age from restart).
     uint64_t since_ms = 0;
+    // Set while CommitTxn applies the batch outside txn_mu_: an abort
+    // (explicit or sweeper) must not resolve the txn in that window, or
+    // the late apply would clobber post-abort writes under a durable
+    // abort marker.
+    bool committing = false;
   };
   mutable std::mutex txn_mu_;
   std::map<uint64_t, PreparedTxn> prepared_;
   std::map<std::string, uint64_t> prepared_keys_;  // key -> owning txn
+  // Outcomes of resolved transactions (txn_id -> committed?): a bounded
+  // FIFO tombstone history, durable in txn.log (decision records are
+  // preserved across compaction) so a retried CommitTxn/AbortTxn after
+  // a crash still learns the true outcome instead of NotFound.
+  std::map<uint64_t, bool> resolved_;
+  std::deque<uint64_t> resolved_order_;
   // Fast path: writers skip the conflict check entirely when nothing is
   // prepared (the common case on a non-cluster deployment).
   std::atomic<uint64_t> prepared_count_{0};

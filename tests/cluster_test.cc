@@ -19,6 +19,7 @@
 #include "cluster/cluster_digest.h"
 #include "cluster/coordinator.h"
 #include "cluster/partition.h"
+#include "common/fault_env.h"
 #include "core/spitz_db.h"
 #include "net/frame.h"
 #include "net/net_client.h"
@@ -186,9 +187,12 @@ TEST(ClusterTxnTest, PreparedKeysBlockConflictingWritersUntilDecision) {
   EXPECT_EQ(value, "staged");
   // After the decision the lock is gone.
   EXPECT_TRUE(fx.client->Put(key, "after").ok());
-  // Deciding a resolved transaction reports NotFound ("already
-  // resolved"), which retried commits treat as success.
-  EXPECT_TRUE(fx.client->shard(0)->TxnCommit(77).IsNotFound());
+  // A retried commit of a committed transaction is idempotent OK — the
+  // participant's outcome tombstone remembers the decision.
+  EXPECT_TRUE(fx.client->shard(0)->TxnCommit(77).ok());
+  // But it cannot be re-aborted or re-prepared: the id is spent.
+  EXPECT_TRUE(fx.client->shard(0)->TxnAbort(77).IsInvalidArgument());
+  EXPECT_TRUE(fx.client->shard(0)->TxnPrepare(77, batch).IsInvalidArgument());
 }
 
 TEST(ClusterTxnTest, ResolveInDoubtPresumesAbortForOrphans) {
@@ -209,6 +213,79 @@ TEST(ClusterTxnTest, ResolveInDoubtPresumesAbortForOrphans) {
   std::string value;
   EXPECT_TRUE(fx.client->Get(key, &value).IsNotFound());
   EXPECT_TRUE(fx.client->Put(key, "fresh").ok());
+}
+
+// --- Resolved-outcome tombstones ---------------------------------------------
+
+TEST(ClusterTxnTest, LateCommitOfAnAbortedTxnReportsAborted) {
+  SpitzDb db;
+  WriteBatch batch;
+  batch.Put("tomb-key", "staged");
+  ASSERT_TRUE(db.PrepareTxn(501, batch).ok());
+  ASSERT_TRUE(db.AbortTxn(501).ok());
+  // The commit decision lost the race against a presumed abort: the
+  // late commit must hear Aborted — never OK (silent write loss) and
+  // never NotFound (outcome guesswork).
+  EXPECT_TRUE(db.CommitTxn(501).IsAborted());
+  // Re-aborting an aborted txn stays a benign no-op under presumed
+  // abort, and the id can never be re-staged.
+  EXPECT_TRUE(db.AbortTxn(501).IsNotFound());
+  EXPECT_TRUE(db.PrepareTxn(501, batch).IsInvalidArgument());
+  std::string value;
+  EXPECT_TRUE(db.Get("tomb-key", &value).IsNotFound());
+}
+
+TEST(ClusterTxnTest, RePrepareMustMatchTheStagedBatch) {
+  SpitzDb db;
+  WriteBatch original;
+  original.Put("collide", "first");
+  ASSERT_TRUE(db.PrepareTxn(601, original).ok());
+  // Retrying the identical prepare is the idempotent lost-vote path.
+  EXPECT_TRUE(db.PrepareTxn(601, original).ok());
+  // A different batch under the same id is a coordinator id collision:
+  // a yes here would vote for bytes that were never staged.
+  WriteBatch forged;
+  forged.Put("collide", "second");
+  EXPECT_TRUE(db.PrepareTxn(601, forged).IsInvalidArgument());
+  ASSERT_TRUE(db.CommitTxn(601).ok());
+  std::string value;
+  ASSERT_TRUE(db.Get("collide", &value).ok());
+  EXPECT_EQ(value, "first");
+}
+
+TEST(ClusterTxnTest, SweeperNeverAbortsACommittingTxn) {
+  // Race commit decisions against a zero-age presumed-abort sweeper.
+  // The committing pin guarantees every transaction resolves exactly
+  // one way: either the sweeper won (commit hears Aborted, the key is
+  // absent) or the commit won (the key is present). Applied-but-aborted
+  // — the silent-clobber hazard — must never happen.
+  SpitzDb db;
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load()) db.AbortTxnsOlderThan(0);
+  });
+  int committed = 0;
+  int aborted = 0;
+  for (uint64_t txn_id = 1; txn_id <= 200; txn_id++) {
+    const std::string key = "race-" + std::to_string(txn_id);
+    WriteBatch batch;
+    batch.Put(key, "v");
+    ASSERT_TRUE(db.PrepareTxn(txn_id, batch).ok());
+    Status s = db.CommitTxn(txn_id);
+    std::string value;
+    if (s.ok()) {
+      committed++;
+      EXPECT_TRUE(db.Get(key, &value).ok()) << "committed but value absent";
+    } else {
+      ASSERT_TRUE(s.IsAborted()) << s.ToString();
+      aborted++;
+      EXPECT_TRUE(db.Get(key, &value).IsNotFound())
+          << "aborted but value applied";
+    }
+  }
+  stop.store(true);
+  sweeper.join();
+  EXPECT_EQ(committed + aborted, 200);
 }
 
 // --- Verified reads against the cluster root --------------------------------
@@ -419,6 +496,114 @@ TEST_F(ClusterCrashTest, ParticipantRestartHonorsDurableAbort) {
   EXPECT_TRUE(db->Put("aborted-key", "free").ok());
 }
 
+TEST_F(ClusterCrashTest, ResolvedOutcomesSurviveRestart) {
+  const uint64_t committed_id = 921;
+  const uint64_t aborted_id = 922;
+  const uint64_t in_doubt_id = 923;
+  {
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    WriteBatch committed;
+    committed.Put("c-key", "C");
+    ASSERT_TRUE(db->PrepareTxn(committed_id, committed).ok());
+    ASSERT_TRUE(db->CommitTxn(committed_id).ok());
+    WriteBatch aborted;
+    aborted.Put("a-key", "A");
+    ASSERT_TRUE(db->PrepareTxn(aborted_id, aborted).ok());
+    ASSERT_TRUE(db->AbortTxn(aborted_id).ok());
+    WriteBatch undecided;
+    undecided.Put("d-key", "D");
+    ASSERT_TRUE(db->PrepareTxn(in_doubt_id, undecided).ok());
+  }
+  // Two restarts: the first replays the raw log (and compacts it), the
+  // second replays the compacted one. The outcome tombstones must
+  // survive both — a retried decision after any number of restarts
+  // still hears the truth, never NotFound guesswork.
+  for (int restart = 0; restart < 2; restart++) {
+    SCOPED_TRACE("restart " + std::to_string(restart));
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    std::vector<uint64_t> in_doubt;
+    ASSERT_TRUE(db->InDoubtTxns(&in_doubt).ok());
+    ASSERT_EQ(in_doubt.size(), 1u);
+    EXPECT_EQ(in_doubt[0], in_doubt_id);
+    EXPECT_TRUE(db->CommitTxn(committed_id).ok());
+    EXPECT_TRUE(db->CommitTxn(aborted_id).IsAborted());
+    EXPECT_TRUE(db->AbortTxn(committed_id).IsInvalidArgument());
+    std::string value;
+    ASSERT_TRUE(db->Get("c-key", &value).ok());
+    EXPECT_EQ(value, "C");
+    EXPECT_TRUE(db->Get("a-key", &value).IsNotFound());
+  }
+}
+
+TEST_F(ClusterCrashTest, CrashDuringTxnLogCompactionLosesNoPromises) {
+  // Recovery compacts txn.log whenever decisions superseded prepares.
+  // The rewrite must be atomic: crash at every I/O op of a compacting
+  // Open, then verify the shard still knows both its durable yes vote
+  // (the in-doubt prepare) and the resolved outcome tombstone. The old
+  // truncate-then-rewrite scheme lost both to a crash between the
+  // truncate and the re-appends.
+  const uint64_t resolved_id = 931;
+  const uint64_t promised_id = 932;
+  auto seed_dirty_log = [&] {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(DurableOptions(), &db).ok());
+    WriteBatch done;
+    done.Put("done-key", "v");
+    ASSERT_TRUE(db->PrepareTxn(resolved_id, done).ok());
+    ASSERT_TRUE(db->CommitTxn(resolved_id).ok());
+    WriteBatch promised;
+    promised.Put("promised-key", "v");
+    ASSERT_TRUE(db->PrepareTxn(promised_id, promised).ok());
+  };
+
+  // Dry run: count the I/O ops of the compacting Open.
+  uint64_t total_ops = 0;
+  {
+    seed_dirty_log();
+    FaultInjectionEnv env(Env::Default());
+    SpitzOptions options = DurableOptions();
+    options.env = &env;
+    std::unique_ptr<SpitzDb> db;
+    ASSERT_TRUE(SpitzDb::Open(options, &db).ok());
+    total_ops = env.ops_seen();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (CrashMode mode : {CrashMode::kDropUnsynced, CrashMode::kKeepUnsynced}) {
+    for (uint64_t op = 0; op < total_ops; op++) {
+      SCOPED_TRACE("crash mode " + std::to_string(static_cast<int>(mode)) +
+                   ", op " + std::to_string(op));
+      seed_dirty_log();
+      FaultInjectionEnv env(Env::Default());
+      env.FailAt(op, FaultKind::kShortWrite, /*partial_bytes=*/2);
+      SpitzOptions options = DurableOptions();
+      options.env = &env;
+      {
+        std::unique_ptr<SpitzDb> db;
+        SpitzDb::Open(options, &db);  // dies at the armed op (or soon after)
+      }
+      env.Crash();
+      ASSERT_TRUE(env.SimulateCrash(mode).ok());
+      env.Revive();
+      std::unique_ptr<SpitzDb> db;
+      Status s = SpitzDb::Open(options, &db);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      // The durable yes vote survived every crash point...
+      std::vector<uint64_t> in_doubt;
+      ASSERT_TRUE(db->InDoubtTxns(&in_doubt).ok());
+      ASSERT_EQ(in_doubt.size(), 1u) << "in-doubt prepare lost";
+      EXPECT_EQ(in_doubt[0], promised_id);
+      // ...and so did the resolved outcome.
+      EXPECT_TRUE(db->CommitTxn(resolved_id).ok());
+      EXPECT_TRUE(db->AbortTxn(resolved_id).IsInvalidArgument());
+    }
+  }
+}
+
 // --- Coordinator crash: presumed abort ---------------------------------------
 
 TEST(ClusterSweeperTest, SilentCoordinatorIsPresumedAbortedOnTimeout) {
@@ -452,8 +637,10 @@ TEST(ClusterSweeperTest, SilentCoordinatorIsPresumedAbortedOnTimeout) {
   std::string value;
   EXPECT_TRUE(client->Get("swept-key", &value).IsNotFound());
   EXPECT_TRUE(client->Put("swept-key", "unblocked").ok());
-  // A commit for the swept transaction is cleanly refused as resolved.
-  EXPECT_TRUE(client->TxnCommit(31337).IsNotFound());
+  // A late commit for the swept transaction must hear the truth — the
+  // shard resolved it by abort — so the coordinator can surface the
+  // broken decision instead of claiming success.
+  EXPECT_TRUE(client->TxnCommit(31337).IsAborted());
 }
 
 // --- Handshake and factories -------------------------------------------------
