@@ -1,0 +1,216 @@
+// Continuous-auditor harness: spins up both deployment shapes (one
+// served SpitzDb, then a 3-shard cluster) with a live background write
+// load, and runs bench/auditor.h's stateless audit loop against each
+// over real loopback TCP — proofs and digests sampled on an interval,
+// re-verified from serialized bytes only, digest transitions tracked.
+//
+// The verdict is the exit code: any verification failure (a proof that
+// does not check out, a digest stream that goes backwards) exits
+// non-zero. --smoke shortens the run for the CI leg; the assertions
+// are identical either way — an honest server under load must sustain
+// ZERO verification failures while the auditor actually observes the
+// state changing (digest transitions > 0).
+//
+// For a long-running auditor against an external deployment, see
+// examples/auditor_client.cpp, which reuses the same loop.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/auditor.h"
+#include "cluster/cluster_client.h"
+#include "common/random.h"
+#include "core/spitz_db.h"
+#include "net/spitz_client.h"
+#include "net/spitz_server.h"
+
+namespace spitz {
+namespace {
+
+int failures = 0;
+
+#define AC_CHECK(cond, what)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      fprintf(stderr, "auditor_client: FAILED: %s (%s)\n", what, #cond);  \
+      failures++;                                                         \
+    }                                                                     \
+  } while (0)
+
+constexpr size_t kKeySpace = 400;
+
+std::string Key(size_t i) { return "acct" + std::to_string(1000 + i); }
+
+// A background writer mutating the audited key space for the whole run
+// — the auditor must observe digest transitions, and every proof it
+// samples races real commits.
+template <typename Client>
+std::thread StartWriter(Client* client, std::atomic<bool>* stop,
+                        std::atomic<uint64_t>* writes) {
+  return std::thread([client, stop, writes] {
+    Random rng(777);
+    while (!stop->load(std::memory_order_acquire)) {
+      Status s = client->Put(WriteOptions(), Key(rng.Uniform(kKeySpace)),
+                             rng.Bytes(24));
+      if (s.ok()) writes->fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+}
+
+void PrintReport(const char* target, const bench::AuditorReport& report) {
+  printf("auditor_client: %-8s rounds=%" PRIu64 " gets=%" PRIu64
+         " scans=%" PRIu64 " digest_checks=%" PRIu64 " transitions=%" PRIu64
+         " io_errors=%" PRIu64 " verification_failures=%" PRIu64 "\n",
+         target, report.rounds, report.get_samples, report.scan_samples,
+         report.digest_checks, report.digest_transitions, report.io_errors,
+         report.verification_failures);
+  if (!report.ok()) {
+    fprintf(stderr, "auditor_client: %s first failure: %s\n", target,
+            report.first_failure.c_str());
+  }
+}
+
+void CheckReport(const char* target, const bench::AuditorReport& report) {
+  PrintReport(target, report);
+  AC_CHECK(report.ok(), (std::string(target) +
+                         " zero verification failures").c_str());
+  AC_CHECK(report.digest_transitions > 0,
+           (std::string(target) + " observed live digest transitions").c_str());
+  AC_CHECK(report.get_samples > 0,
+           (std::string(target) + " sampled get evidence").c_str());
+  AC_CHECK(report.scan_samples > 0,
+           (std::string(target) + " sampled scan evidence").c_str());
+}
+
+bench::AuditorOptions BaseOptions(bool smoke) {
+  bench::AuditorOptions options;
+  options.rounds = smoke ? 12 : 100;
+  options.interval_ms = smoke ? 10 : 50;
+  options.get_samples_per_round = 4;
+  options.scan_samples_per_round = 2;
+  options.scan_limit = 16;
+  return options;
+}
+
+void RunSingle(bool smoke) {
+  SpitzDb db;
+  SpitzServer::Options server_options;
+  server_options.db = &db;
+  std::unique_ptr<SpitzServer> server;
+  AC_CHECK(SpitzServer::Open(server_options, &server).ok(), "server open");
+
+  SpitzClient::Options client_options;
+  client_options.net.port = server->port();
+  std::unique_ptr<SpitzClient> writer_client, audit_client;
+  AC_CHECK(SpitzClient::Open(client_options, &writer_client).ok(),
+           "writer client open");
+  AC_CHECK(SpitzClient::Open(client_options, &audit_client).ok(),
+           "audit client open");
+  for (size_t i = 0; i < kKeySpace; i += 2) {
+    AC_CHECK(writer_client->Put(Key(i), "seed").ok(), "seed put");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer = StartWriter(writer_client.get(), &stop, &writes);
+
+  bench::AuditorOptions options = BaseOptions(smoke);
+  options.mode = bench::AuditorOptions::Mode::kSingle;
+  Random key_rng(31);
+  options.sample_key = [&key_rng] { return Key(key_rng.Uniform(kKeySpace)); };
+  options.sample_range = [&key_rng] {
+    const size_t lo = key_rng.Uniform(kKeySpace);
+    return std::make_pair(Key(lo), std::string("acct~"));
+  };
+  options.reconnect = [&audit_client] { audit_client->Reconnect(); };
+
+  bench::AuditorReport report = bench::RunAuditor(audit_client.get(), options);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  AC_CHECK(writes.load() > 0, "background writer made progress");
+  CheckReport("single", report);
+}
+
+void RunCluster(bool smoke, size_t shards) {
+  std::vector<std::unique_ptr<SpitzDb>> dbs;
+  std::vector<std::unique_ptr<SpitzServer>> servers;
+  ClusterClient::Options client_options;
+  for (size_t i = 0; i < shards; i++) {
+    dbs.push_back(std::make_unique<SpitzDb>());
+    SpitzServer::Options server_options;
+    server_options.db = dbs.back().get();
+    std::unique_ptr<SpitzServer> server;
+    AC_CHECK(SpitzServer::Open(server_options, &server).ok(),
+             "shard server open");
+    NetClient::Options endpoint;
+    endpoint.port = server->port();
+    client_options.shards.push_back(endpoint);
+    servers.push_back(std::move(server));
+  }
+  std::unique_ptr<ClusterClient> writer_client, audit_client;
+  AC_CHECK(ClusterClient::Open(client_options, &writer_client).ok(),
+           "writer client open");
+  AC_CHECK(ClusterClient::Open(client_options, &audit_client).ok(),
+           "audit client open");
+  for (size_t i = 0; i < kKeySpace; i += 2) {
+    AC_CHECK(writer_client->Put(Key(i), "seed").ok(), "seed put");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer = StartWriter(writer_client.get(), &stop, &writes);
+
+  bench::AuditorOptions options = BaseOptions(smoke);
+  options.mode = bench::AuditorOptions::Mode::kCluster;
+  Random key_rng(32);
+  options.sample_key = [&key_rng] { return Key(key_rng.Uniform(kKeySpace)); };
+  options.sample_range = [&key_rng] {
+    const size_t lo = key_rng.Uniform(kKeySpace);
+    return std::make_pair(Key(lo), std::string("acct~"));
+  };
+  options.reconnect = [&audit_client] {
+    for (size_t i = 0; i < audit_client->shard_count(); i++) {
+      audit_client->shard(i)->Reconnect();
+    }
+  };
+
+  bench::AuditorReport report = bench::RunAuditor(audit_client.get(), options);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  AC_CHECK(writes.load() > 0, "background writer made progress");
+  CheckReport("cluster3", report);
+}
+
+int Run(bool smoke) {
+  RunSingle(smoke);
+  RunCluster(smoke, 3);
+  if (failures > 0) {
+    fprintf(stderr, "auditor_client: %d check(s) failed\n", failures);
+    return 1;
+  }
+  printf("auditor_client: ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spitz
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return spitz::Run(smoke);
+}

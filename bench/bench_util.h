@@ -20,20 +20,28 @@ namespace bench {
 // bytes while the size of the value is 20 bytes."
 inline std::vector<PosEntry> MakeRecords(size_t n, uint64_t seed = 42) {
   Random rng(seed);
+  // Unique keys: a random prefix plus a FIXED-WIDTH zero-padded hex
+  // suffix, total length in [5, 12]. The fixed width is what makes the
+  // encoding collision-free: every key ends in exactly `width` suffix
+  // chars, so equal keys imply equal suffixes imply equal i. (The old
+  // variable-width suffix could collide: "12ab" for i=0x12ab vs
+  // "1"+"2ab" for i=0x2ab.) The random alphabet (a-zA-Z0-9) overlaps
+  // hex digits, so prefix bytes can't be used to disambiguate — only
+  // the fixed width can.
+  size_t width = 1;
+  for (size_t v = n > 0 ? n - 1 : 0; v >= 16; v /= 16) width++;
   std::vector<PosEntry> records;
   records.reserve(n);
+  std::string suffix(width, '0');
   for (size_t i = 0; i < n; i++) {
-    // Unique keys: a random prefix plus a distinguishing suffix, total
-    // length in [5, 12].
-    char suffix[16];
-    int suffix_len = snprintf(suffix, sizeof(suffix), "%zx", i);
-    size_t key_len = rng.Range(5, 12);
-    std::string key;
-    if (static_cast<size_t>(suffix_len) >= key_len) {
-      key.assign(suffix, suffix_len);
-    } else {
-      key = rng.Bytes(key_len - suffix_len) + suffix;
+    size_t v = i;
+    for (size_t j = width; j-- > 0; v >>= 4) {
+      suffix[j] = "0123456789abcdef"[v & 15];
     }
+    size_t key_len = rng.Range(5, 12);
+    if (key_len < width) key_len = width;
+    std::string key = rng.Bytes(key_len - width);
+    key.append(suffix);
     records.push_back(PosEntry{std::move(key), rng.Bytes(20)});
   }
   return records;

@@ -65,6 +65,22 @@ echo "==> tier-1: cluster smoke (3 shards, 2PC, cluster root digest)"
 # assertion, and a digest envelope decode + re-verify round trip.
 "${PREFIX}/bench/cluster_scale" --smoke --out "${PREFIX}/BENCH_cluster_smoke.json"
 
+echo "==> tier-1: YCSB smoke (six mixes over TCP, single node + cluster)"
+# Multi-threaded YCSB mixes A-F with zipfian and uniform key choosers,
+# over real loopback TCP against a live SpitzServer and a 3-shard
+# cluster (cross-shard 2PC under skew): asserts zero errors, zero
+# proof-verification failures, verified reads actually sampled, and
+# that the cluster RMW mix exercised the 2PC path.
+"${PREFIX}/bench/ycsb_driver" --smoke --out "${PREFIX}/BENCH_ycsb_smoke.json"
+
+echo "==> tier-1: auditor smoke (continuous stateless re-verification)"
+# A continuous auditor sampling GetProof/ScanProof evidence and digests
+# from a live single node and a 3-shard cluster while a writer churns:
+# re-verifies every sample statelessly from evidence bytes alone,
+# tracks digest transitions, and exits non-zero on any verification
+# failure or frozen digest.
+"${PREFIX}/bench/auditor_client" --smoke
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread

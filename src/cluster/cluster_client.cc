@@ -115,8 +115,10 @@ Status ClusterClient::GetClusterDigest(ClusterDigest* out) {
 Status ClusterClient::Get(const ReadOptions& options, const Slice& key,
                           std::string* value) {
   if (!options.verify) {
-    return shards_[PartitionOf(key, shards_.size())]->Get(
-        ReadOptions(), key, value);
+    // Forward the caller's options verbatim (minus verify, which is
+    // false on this path anyway) — dropping them here silently
+    // discarded every non-verify read knob, e.g. deadline_ms.
+    return shards_[PartitionOf(key, shards_.size())]->Get(options, key, value);
   }
   // Each attempt pins a fresh snapshot; a root that aged out of a busy
   // shard's retention window heals on retry, a genuine mismatch keeps
@@ -151,8 +153,7 @@ Status ClusterClient::Scan(const ReadOptions& options, const Slice& start,
   if (!options.verify) {
     std::vector<std::vector<PosEntry>> per_shard(shards_.size());
     for (size_t i = 0; i < shards_.size(); i++) {
-      Status s = shards_[i]->Scan(ReadOptions(), start, end, limit,
-                                  &per_shard[i]);
+      Status s = shards_[i]->Scan(options, start, end, limit, &per_shard[i]);
       if (!s.ok()) return s;
     }
     MergeShardRows(std::move(per_shard), limit, rows);

@@ -1,7 +1,10 @@
 #include "cluster/coordinator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <random>
+#include <thread>
 
 #include "cluster/partition.h"
 #include "common/clock.h"
@@ -14,6 +17,16 @@ namespace {
 // whose commit RPC failed before the driver gives up and leaves the
 // shard in-doubt (its sweeper or ResolveInDoubt takes it from there).
 constexpr int kCommitRetries = 3;
+
+// Phase-2 retry backoff: bounded exponential, starting small enough
+// that a transient hiccup costs almost nothing and capped well below
+// the participants' presumed-abort sweeper timeout (which must
+// dominate total coordinator retry time — see the failure matrix in
+// coordinator.h). Total worst-case sleep across kCommitRetries is
+// 2 + 8 + 32 = 42ms.
+constexpr uint64_t kCommitBackoffInitialMs = 2;
+constexpr uint64_t kCommitBackoffMultiplier = 4;
+constexpr uint64_t kCommitBackoffCapMs = 100;
 
 // Random 64-bit starting id. Clock-derived seeds collide whenever two
 // coordinators start in the same microsecond (and shifting the clock
@@ -38,6 +51,7 @@ ClusterCoordinator::ClusterCoordinator(std::vector<SpitzClient*> shards,
   commits_2pc_ = registry_.counter("cluster.coordinator.commits_2pc");
   aborts_ = registry_.counter("cluster.coordinator.aborts");
   in_doubt_resolved_ = registry_.counter("cluster.coordinator.in_doubt_resolved");
+  commit_retries_ = registry_.counter("cluster.coordinator.commit_retries");
 }
 
 Status ClusterCoordinator::CommitBatch(const WriteOptions& options,
@@ -82,14 +96,31 @@ Status ClusterCoordinator::CommitBatch(const WriteOptions& options,
     prepared.push_back(shard);
   }
 
+  if (between_phases_hook_) between_phases_hook_();
+
   // Phase 2: the decision is commit from here on — never abort a shard
-  // past this point. A failed commit RPC is retried; a shard that stays
-  // unreachable keeps the transaction in-doubt (prepared + durable)
-  // until a later TxnCommit for this id lands or an operator resolves it.
+  // past this point. A failed commit RPC is retried with bounded
+  // exponential backoff — and through a fresh connection when the old
+  // one broke (a NetClient is sticky-broken forever, so back-to-back
+  // retries on it all fail in microseconds; Reconnect() is what lets a
+  // bounced shard actually heal). A shard that stays unreachable keeps
+  // the transaction in-doubt (prepared + durable) until a later
+  // TxnCommit for this id lands or an operator resolves it.
   Status result = Status::OK();
   for (size_t shard : prepared) {
     Status s;
+    uint64_t backoff_ms = kCommitBackoffInitialMs;
     for (int attempt = 0; attempt <= kCommitRetries; attempt++) {
+      if (attempt > 0) {
+        commit_retries_->Increment();
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * kCommitBackoffMultiplier,
+                              kCommitBackoffCapMs);
+        // No-op on a healthy connection; dials a fresh one when the
+        // failed attempt poisoned it. A failed redial is fine — the
+        // TxnCommit below fails fast and the next attempt redials.
+        shards_[shard]->Reconnect();
+      }
       s = shards_[shard]->TxnCommit(txn_id);
       // OK covers the retried case too: a participant remembers a
       // committed outcome (durable tombstone) and answers OK again.

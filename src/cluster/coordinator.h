@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/metrics.h"
@@ -85,18 +86,28 @@ class ClusterCoordinator {
   }
 
   // cluster.coordinator.*: 1pc/2pc commit counts, aborts, in-doubt
-  // resolutions.
+  // resolutions, phase-2 commit retries.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
+
+  // Test-only: invoked after every prepare vote has landed and before
+  // the first phase-2 commit RPC — the window where a shard bounce
+  // leaves a prepared (in-doubt) transaction behind that the commit
+  // retry path must push through.
+  void SetBetweenPhasesHookForTest(std::function<void()> hook) {
+    between_phases_hook_ = std::move(hook);
+  }
 
  private:
   std::vector<SpitzClient*> shards_;
   std::atomic<uint64_t> next_txn_id_;
+  std::function<void()> between_phases_hook_;
 
   MetricsRegistry registry_;
   Counter* commits_1pc_;
   Counter* commits_2pc_;
   Counter* aborts_;
   Counter* in_doubt_resolved_;
+  Counter* commit_retries_;
 };
 
 }  // namespace spitz

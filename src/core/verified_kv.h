@@ -45,6 +45,12 @@ struct ReadOptions {
   // implementation's digest before it returns; OK/NotFound then carry
   // the same integrity guarantee as a locally recomputed hash chain.
   bool verify = false;
+  // Upper bound on how long this read may block, in milliseconds.
+  // 0 = the implementation's default (embedded reads never block on a
+  // peer; networked implementations fall back to their transport's
+  // configured per-call deadline). A read that misses its deadline
+  // returns TimedOut.
+  uint64_t deadline_ms = 0;
 };
 
 // Per-write knobs (the durable analogue of LevelDB's WriteOptions).

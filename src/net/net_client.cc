@@ -110,9 +110,17 @@ Status NetClient::Call(uint32_t method, const std::string& request,
                        MSG_NOSIGNAL);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
-        std::lock_guard<std::mutex> plock(mu_);
-        pending_.erase(id);
-        return Status::IOError(std::string("send: ") + strerror(errno));
+        // A failed send leaves the stream desynced if any bytes of this
+        // frame already went out — the next frame would start mid-frame
+        // from the server's point of view. The connection is unusable
+        // either way (a TCP send only fails once the connection is
+        // dead), so poison it: this call and every later one surface
+        // the same sticky IOError instead of a confusing server-side
+        // protocol error.
+        Status reason =
+            Status::IOError(std::string("send: ") + strerror(errno));
+        BreakConnection(reason);
+        return reason;
       }
       sent += static_cast<size_t>(n);
     }

@@ -72,6 +72,14 @@ class NetClient {
   // Feature bitmask the server advertised in its handshake.
   uint64_t server_features() const { return server_features_; }
 
+  // OK while the connection is usable; once it breaks (peer close,
+  // protocol error, failed send) this returns the sticky error every
+  // call will surface. Thread-safe.
+  Status connection_status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return broken_;
+  }
+
  private:
   NetClient() = default;
 
@@ -96,7 +104,7 @@ class NetClient {
   // Serializes whole-frame writes so pipelined frames never interleave.
   std::mutex write_mu_;
 
-  std::mutex mu_;  // pending_ and broken_
+  mutable std::mutex mu_;  // pending_ and broken_
   std::condition_variable cv_;
   std::unordered_map<uint64_t, Pending*> pending_;
   Status broken_;  // sticky; non-OK once the connection is unusable

@@ -14,9 +14,37 @@ Status SpitzClient::Open(const Options& options,
   Status s = options.Validate();
   if (!s.ok()) return s;
   auto client = std::unique_ptr<SpitzClient>(new SpitzClient());
-  s = NetClient::Connect(options.net, &client->net_);
+  client->options_ = options;
+  std::unique_ptr<NetClient> net;
+  s = NetClient::Connect(options.net, &net);
   if (!s.ok()) return s;
+  client->net_ = std::move(net);
   *out = std::move(client);
+  return Status::OK();
+}
+
+Status SpitzClient::Call(uint32_t method, const std::string& request,
+                         std::string* response, uint64_t deadline_ms) {
+  std::shared_ptr<NetClient> net = channel();
+  if (deadline_ms == 0) return net->Call(method, request, response);
+  return net->Call(method, request, response, deadline_ms);
+}
+
+Status SpitzClient::ConnectionStatus() const {
+  return channel()->connection_status();
+}
+
+Status SpitzClient::Reconnect() {
+  if (ConnectionStatus().ok()) return Status::OK();
+  std::unique_ptr<NetClient> fresh;
+  Status s = NetClient::Connect(options_.net, &fresh);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(net_mu_);
+  // A concurrent Reconnect() may have already swapped in a healthy
+  // connection; replacing it with ours is still correct — the loser's
+  // connection simply drains and closes when its last caller releases
+  // the shared_ptr.
+  net_ = std::move(fresh);
   return Status::OK();
 }
 
@@ -34,7 +62,7 @@ Status SpitzClient::Put(const WriteOptions& options, const Slice& key,
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
   PutLengthPrefixedSlice(&request, value);
-  return net_->Call(wire::kPut, request, &response);
+  return Call(wire::kPut, request, &response);
 }
 
 Status SpitzClient::Delete(const WriteOptions& options, const Slice& key) {
@@ -45,15 +73,15 @@ Status SpitzClient::Delete(const WriteOptions& options, const Slice& key) {
   }
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
-  return net_->Call(wire::kDelete, request, &response);
+  return Call(wire::kDelete, request, &response);
 }
 
 Status SpitzClient::Get(const ReadOptions& options, const Slice& key,
                         std::string* value) {
-  if (options.verify) return VerifiedGet(key, value);
+  if (options.verify) return VerifiedGet(key, value, options.deadline_ms);
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
-  Status s = net_->Call(wire::kGet, request, &response);
+  Status s = Call(wire::kGet, request, &response, options.deadline_ms);
   if (!s.ok()) return s;
   Slice input(response);
   Slice v;
@@ -66,12 +94,14 @@ Status SpitzClient::Get(const ReadOptions& options, const Slice& key,
 Status SpitzClient::Scan(const ReadOptions& options, const Slice& start,
                          const Slice& end, size_t limit,
                          std::vector<PosEntry>* rows) {
-  if (options.verify) return VerifiedScan(start, end, limit, rows);
+  if (options.verify) {
+    return VerifiedScan(start, end, limit, rows, options.deadline_ms);
+  }
   std::string request, response;
   PutLengthPrefixedSlice(&request, start);
   PutLengthPrefixedSlice(&request, end);
   PutVarint64(&request, limit);
-  Status s = net_->Call(wire::kScan, request, &response);
+  Status s = Call(wire::kScan, request, &response, options.deadline_ms);
   if (!s.ok()) return s;
   Slice input(response);
   return wire::DecodeRows(&input, rows);
@@ -95,7 +125,7 @@ Status SpitzClient::ScanProof(const Slice& start, const Slice& end,
   PutLengthPrefixedSlice(&request, start);
   PutLengthPrefixedSlice(&request, end);
   PutVarint64(&request, limit);
-  Status s = net_->Call(wire::kScanProof, request, &response);
+  Status s = Call(wire::kScanProof, request, &response);
   if (!s.ok()) return s;
   Slice input(response);
   s = wire::DecodeRows(&input, &out->rows);
@@ -127,7 +157,7 @@ Status SpitzClient::Digest(std::string* out) {
 Status SpitzClient::Audit(const Slice& key) {
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
-  return net_->Call(wire::kAudit, request, &response);
+  return Call(wire::kAudit, request, &response);
 }
 
 Status SpitzClient::Write(const WriteOptions& options,
@@ -135,15 +165,16 @@ Status SpitzClient::Write(const WriteOptions& options,
   std::string request, response;
   request.push_back(options.sync ? 1 : 0);
   request.append(batch.Encode());
-  return net_->Call(wire::kWrite, request, &response);
+  return Call(wire::kWrite, request, &response);
 }
 
 // --- Typed evidence --------------------------------------------------------
 
-Status SpitzClient::GetProof(const Slice& key, ProofResult* out) {
+Status SpitzClient::GetProof(const Slice& key, ProofResult* out,
+                             uint64_t deadline_ms) {
   std::string request, response;
   PutLengthPrefixedSlice(&request, key);
-  Status call_status = net_->Call(wire::kGetProof, request, &response);
+  Status call_status = Call(wire::kGetProof, request, &response, deadline_ms);
   if (!call_status.ok() && !call_status.IsNotFound()) return call_status;
   Slice input(response);
   Slice value;
@@ -159,9 +190,10 @@ Status SpitzClient::GetProof(const Slice& key, ProofResult* out) {
   return call_status;
 }
 
-Status SpitzClient::VerifiedGet(const Slice& key, std::string* value) {
+Status SpitzClient::VerifiedGet(const Slice& key, std::string* value,
+                                uint64_t deadline_ms) {
   ProofResult result;
-  Status s = GetProof(key, &result);
+  Status s = GetProof(key, &result, deadline_ms);
   if (!s.ok() && !s.IsNotFound()) return s;
   Status v = SpitzDb::VerifyRead(result.digest, key, result.value,
                                  result.proof);
@@ -171,12 +203,13 @@ Status SpitzClient::VerifiedGet(const Slice& key, std::string* value) {
 }
 
 Status SpitzClient::VerifiedScan(const Slice& start, const Slice& end,
-                                 size_t limit, std::vector<PosEntry>* rows) {
+                                 size_t limit, std::vector<PosEntry>* rows,
+                                 uint64_t deadline_ms) {
   std::string request, response;
   PutLengthPrefixedSlice(&request, start);
   PutLengthPrefixedSlice(&request, end);
   PutVarint64(&request, limit);
-  Status s = net_->Call(wire::kScanProof, request, &response);
+  Status s = Call(wire::kScanProof, request, &response, deadline_ms);
   if (!s.ok()) return s;
   Slice input(response);
   std::vector<PosEntry> decoded;
@@ -196,7 +229,7 @@ Status SpitzClient::VerifiedScan(const Slice& start, const Slice& end,
 
 Status SpitzClient::Digest(SpitzDigest* out) {
   std::string response;
-  Status s = net_->Call(wire::kDigest, std::string(), &response);
+  Status s = Call(wire::kDigest, std::string(), &response);
   if (!s.ok()) return s;
   Slice input(response);
   return wire::DecodeDigest(&input, out);
@@ -210,7 +243,7 @@ Status SpitzClient::GetProofAt(const Hash256& root, const Slice& key,
   std::string request, response;
   request.append(reinterpret_cast<const char*>(root.data()), Hash256::kSize);
   PutLengthPrefixedSlice(&request, key);
-  Status call_status = net_->Call(wire::kGetProofAt, request, &response);
+  Status call_status = Call(wire::kGetProofAt, request, &response);
   if (!call_status.ok() && !call_status.IsNotFound()) return call_status;
   Slice input(response);
   Slice v;
@@ -232,7 +265,7 @@ Status SpitzClient::ScanProofAt(const Hash256& root, const Slice& start,
   PutLengthPrefixedSlice(&request, start);
   PutLengthPrefixedSlice(&request, end);
   PutVarint64(&request, limit);
-  Status s = net_->Call(wire::kScanProofAt, request, &response);
+  Status s = Call(wire::kScanProofAt, request, &response);
   if (!s.ok()) return s;
   Slice input(response);
   s = wire::DecodeRows(&input, rows);
@@ -246,24 +279,24 @@ Status SpitzClient::TxnPrepare(uint64_t txn_id, const WriteBatch& batch) {
   std::string request, response;
   PutFixed64(&request, txn_id);
   request.append(batch.Encode());
-  return net_->Call(wire::kTxnPrepare, request, &response);
+  return Call(wire::kTxnPrepare, request, &response);
 }
 
 Status SpitzClient::TxnCommit(uint64_t txn_id) {
   std::string request, response;
   PutFixed64(&request, txn_id);
-  return net_->Call(wire::kTxnCommit, request, &response);
+  return Call(wire::kTxnCommit, request, &response);
 }
 
 Status SpitzClient::TxnAbort(uint64_t txn_id) {
   std::string request, response;
   PutFixed64(&request, txn_id);
-  return net_->Call(wire::kTxnAbort, request, &response);
+  return Call(wire::kTxnAbort, request, &response);
 }
 
 Status SpitzClient::TxnInDoubt(std::vector<uint64_t>* txn_ids) {
   std::string response;
-  Status s = net_->Call(wire::kTxnInDoubt, std::string(), &response);
+  Status s = Call(wire::kTxnInDoubt, std::string(), &response);
   if (!s.ok()) return s;
   Slice input(response);
   uint64_t n = 0;

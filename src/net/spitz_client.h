@@ -2,6 +2,7 @@
 #define SPITZ_NET_SPITZ_CLIENT_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,15 @@ namespace spitz {
 // static verifiers (SpitzDb::VerifyRead/VerifyScan) a local embedder
 // would — a lying server fails verification exactly like a tampered
 // local database.
+//
+// Reconnect seam: a NetClient is immutable-once-broken (its sticky
+// error is a correctness feature — a desynced stream must never be
+// reused), so healing happens one level up. Reconnect() dials a fresh
+// connection with the saved options and swaps it in; in-flight calls
+// on the old connection drain against the old NetClient (kept alive by
+// shared_ptr) and surface its sticky error, while new calls use the
+// fresh one. Long-running drivers and the 2PC coordinator's commit
+// retries call Reconnect() when ConnectionStatus() goes non-OK.
 // ---------------------------------------------------------------------------
 class SpitzClient : public VerifiedKv {
  public:
@@ -88,16 +98,19 @@ class SpitzClient : public VerifiedKv {
   };
   // Fetches without verifying (the caller inspects the evidence).
   // Returns OK or NotFound; both carry a complete ProofResult.
-  Status GetProof(const Slice& key, ProofResult* out);
+  // deadline_ms = 0 uses the transport's configured default.
+  Status GetProof(const Slice& key, ProofResult* out,
+                  uint64_t deadline_ms = 0);
 
   // Fetches and verifies locally. OK/NotFound only after the proof
   // checked out against the digest; VerificationFailed otherwise.
-  Status VerifiedGet(const Slice& key, std::string* value);
+  Status VerifiedGet(const Slice& key, std::string* value,
+                     uint64_t deadline_ms = 0);
 
   // Range scan whose result set is verified against the digest before
   // it is returned.
   Status VerifiedScan(const Slice& start, const Slice& end, size_t limit,
-                      std::vector<PosEntry>* rows);
+                      std::vector<PosEntry>* rows, uint64_t deadline_ms = 0);
 
   Status Digest(SpitzDigest* out);
 
@@ -120,14 +133,39 @@ class SpitzClient : public VerifiedKv {
   Status TxnAbort(uint64_t txn_id);
   Status TxnInDoubt(std::vector<uint64_t>* txn_ids);
 
+  // --- Reconnect seam -----------------------------------------------------
+
+  // OK while the current connection is usable; the transport's sticky
+  // error once it broke. Thread-safe.
+  Status ConnectionStatus() const;
+
+  // Dials a fresh connection with the Open()-time options and swaps it
+  // in, iff the current one is broken (no-op OK on a healthy
+  // connection, so callers may invoke it unconditionally before a
+  // retry). Calls already in flight drain against the old connection
+  // and surface its sticky error; calls issued after a successful
+  // Reconnect() use the new one. Thread-safe.
+  Status Reconnect();
+
   // The underlying transport, e.g. for per-call deadlines via
-  // channel()->Call(...).
-  NetClient* channel() { return net_.get(); }
+  // channel()->Call(...). The shared_ptr keeps the connection alive
+  // across a concurrent Reconnect() swap.
+  std::shared_ptr<NetClient> channel() const {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    return net_;
+  }
 
  private:
   SpitzClient() = default;
 
-  std::unique_ptr<NetClient> net_;
+  // Routes every RPC through the current connection; deadline_ms = 0
+  // uses the transport default.
+  Status Call(uint32_t method, const std::string& request,
+              std::string* response, uint64_t deadline_ms = 0);
+
+  Options options_;  // saved for Reconnect()
+  mutable std::mutex net_mu_;
+  std::shared_ptr<NetClient> net_;
 };
 
 }  // namespace spitz

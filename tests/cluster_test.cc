@@ -6,7 +6,11 @@
 // cluster evidence envelope, which must always be rejected and never
 // accepted or crash.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -19,6 +23,7 @@
 #include "cluster/cluster_digest.h"
 #include "cluster/coordinator.h"
 #include "cluster/partition.h"
+#include "common/clock.h"
 #include "common/fault_env.h"
 #include "core/spitz_db.h"
 #include "net/frame.h"
@@ -700,6 +705,194 @@ TEST(ClusterFactoryTest, OpenFactoriesValidateTheirOptions) {
     std::unique_ptr<ClusterClient> client;
     EXPECT_TRUE(ClusterClient::Open(options, &client).IsInvalidArgument());
   }
+}
+
+// --- Client-path regressions ------------------------------------------------
+
+// A fake shard that answers the connect handshake correctly and then
+// never responds to anything — the cleanest way to observe whether a
+// per-read deadline actually reaches the transport.
+class SilentShard {
+ public:
+  SilentShard() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~SilentShard() {
+    stop_.store(true, std::memory_order_release);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    thread_.join();
+    ::close(listen_fd_);
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve() {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd_ < 0) return;
+    FrameDecoder decoder(1 << 20);
+    char buf[4096];
+    Frame frame;
+    while (true) {
+      ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return;
+      decoder.Feed(buf, static_cast<size_t>(n));
+      if (decoder.Next(&frame) == FrameDecoder::Result::kFrame) break;
+    }
+    if (frame.method != kHandshakeMethod) return;
+    Handshake ours;
+    Frame reply;
+    reply.method = kHandshakeMethod;
+    reply.request_id = frame.request_id;
+    reply.status = WireStatusCode(Status::OK());
+    ours.EncodeTo(&reply.payload);
+    std::string encoded;
+    EncodeFrame(reply, &encoded);
+    size_t sent = 0;
+    while (sent < encoded.size()) {
+      ssize_t n = ::send(conn_fd_, encoded.data() + sent,
+                         encoded.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+    // From here on: swallow every request, answer nothing.
+    while (!stop_.load(std::memory_order_acquire)) {
+      ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return;
+    }
+  }
+
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+TEST(ClusterClientTest, NonVerifiedReadsForwardTheCallersOptions) {
+  // Regression: the non-verified Get/Scan paths forwarded a
+  // default-constructed ReadOptions() instead of the caller's, silently
+  // discarding every non-verify read knob. Observable via deadline_ms:
+  // against a shard that never answers, a 100ms per-read deadline must
+  // surface as a fast TimedOut — the dropped-options bug fell back to
+  // the 60s transport default instead.
+  SpitzDb db0;
+  SpitzServer::Options server_options;
+  server_options.db = &db0;
+  std::unique_ptr<SpitzServer> server0;
+  ASSERT_TRUE(SpitzServer::Open(server_options, &server0).ok());
+  SilentShard shard1;
+
+  ClusterClient::Options options;
+  NetClient::Options endpoint0, endpoint1;
+  endpoint0.port = server0->port();
+  endpoint1.port = shard1.port();
+  endpoint1.connect_attempts = 1;
+  endpoint0.deadline_ms = endpoint1.deadline_ms = 60'000;
+  options.shards.push_back(endpoint0);
+  options.shards.push_back(endpoint1);
+  std::unique_ptr<ClusterClient> client;
+  ASSERT_TRUE(ClusterClient::Open(options, &client).ok());
+
+  ReadOptions read_options;
+  read_options.deadline_ms = 100;
+
+  const std::string silent_key = KeyOnShard(1, 2, "opt");
+  std::string value;
+  uint64_t t0 = MonotonicNanos();
+  Status s = client->Get(read_options, silent_key, &value);
+  uint64_t get_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_LT(get_ms, 10'000u);
+
+  // Scan fans out to every shard, the silent one included.
+  std::vector<PosEntry> rows;
+  t0 = MonotonicNanos();
+  s = client->Scan(read_options, "a", "z", 10, &rows);
+  uint64_t scan_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_LT(scan_ms, 10'000u);
+
+  // A key on the live shard is unaffected.
+  const std::string live_key = KeyOnShard(0, 2, "opt");
+  ASSERT_TRUE(client->Put(live_key, "v").ok());
+  EXPECT_TRUE(client->Get(read_options, live_key, &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(ClusterTxnTest, CommitRetryReconnectsToABouncedShard) {
+  // Regression for the futile phase-2 retry loop: all kCommitRetries
+  // used to fire back-to-back against the sticky-broken connection and
+  // fail in microseconds. With backoff + the reconnect seam, a shard
+  // whose server bounces between prepare and commit (same database,
+  // same port — the prepared txn lives in the db) heals: the retry
+  // dials a fresh connection and pushes the commit decision through.
+  ClusterFixture fx(2);
+  const std::string k0 = KeyOnShard(0, 2, "bounce");
+  const std::string k1 = KeyOnShard(1, 2, "bounce");
+  const uint16_t port1 = fx.servers[1]->port();
+
+  fx.client->coordinator()->SetBetweenPhasesHookForTest([&] {
+    fx.servers[1]->Shutdown();
+    // The client's shard-1 connection must notice the close and go
+    // sticky before phase 2 issues its first commit RPC.
+    for (int i = 0;
+         i < 5'000 && fx.client->shard(1)->ConnectionStatus().ok(); i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_FALSE(fx.client->shard(1)->ConnectionStatus().ok());
+    SpitzServer::Options server_options;
+    server_options.db = fx.dbs[1].get();
+    server_options.net.loop.port = port1;
+    std::unique_ptr<SpitzServer> server;
+    Status s;
+    for (int i = 0; i < 50; i++) {
+      s = SpitzServer::Open(server_options, &server);
+      if (s.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    fx.servers[1] = std::move(server);
+  });
+
+  WriteBatch batch;
+  batch.Put(k0, "left");
+  batch.Put(k1, "right");
+  Status s = fx.client->Write(WriteOptions(), batch);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // Both sides of the cross-shard batch are visible — through the
+  // reconnected shard-1 client too.
+  std::string value;
+  ASSERT_TRUE(fx.client->Get(k0, &value).ok());
+  EXPECT_EQ(value, "left");
+  ASSERT_TRUE(fx.client->Get(k1, &value).ok());
+  EXPECT_EQ(value, "right");
+  EXPECT_TRUE(fx.client->shard(1)->ConnectionStatus().ok());
+
+  MetricsSnapshot m = fx.client->coordinator()->Metrics();
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.commits_2pc"), 1u);
+  EXPECT_GE(m.CounterValue("cluster.coordinator.commit_retries"), 1u);
+  EXPECT_EQ(m.CounterValue("cluster.coordinator.aborts"), 0u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/codec.h"
 #include "common/random.h"
 #include "core/spitz_db.h"
@@ -701,6 +702,191 @@ TEST(NetSpitzTest, PerMethodLatencyHistogramsPopulate) {
   EXPECT_EQ(count_of("net.server.method_latency_ns.put"), 1u);
   EXPECT_EQ(count_of("net.server.method_latency_ns.get"), 1u);
   EXPECT_EQ(count_of("net.server.method_latency_ns.get_proof"), 1u);
+}
+
+// --- Broken-connection semantics --------------------------------------------
+
+// A hand-rolled peer that speaks just enough protocol to get past the
+// connect handshake, then follows a script: read `consume_bytes` of
+// whatever comes next and reset the connection (SO_LINGER 0 → RST, so
+// the client's in-flight send fails mid-frame instead of draining).
+class ResettingPeer {
+ public:
+  explicit ResettingPeer(size_t consume_bytes) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, consume_bytes] { Serve(consume_bytes); });
+  }
+
+  ~ResettingPeer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve(size_t consume_bytes) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    // Answer the handshake so Connect() succeeds.
+    FrameDecoder decoder(1 << 20);
+    char buf[4096];
+    Frame frame;
+    while (true) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      decoder.Feed(buf, static_cast<size_t>(n));
+      if (decoder.Next(&frame) == FrameDecoder::Result::kFrame) break;
+    }
+    ASSERT_EQ(frame.method, kHandshakeMethod);
+    Handshake ours;
+    Frame reply;
+    reply.method = kHandshakeMethod;
+    reply.request_id = frame.request_id;
+    reply.status = WireStatusCode(Status::OK());
+    ours.EncodeTo(&reply.payload);
+    std::string encoded;
+    EncodeFrame(reply, &encoded);
+    ASSERT_TRUE(SendAll(fd, encoded));
+    // Swallow a little of the next frame, then reset with data still
+    // unread — the client is mid-send of a frame far larger than this.
+    size_t consumed = 0;
+    while (consumed < consume_bytes) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      consumed += static_cast<size_t>(n);
+    }
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(NetClientTest, PartialSendFailurePoisonsTheConnection) {
+  // Regression: a mid-frame send() failure used to return a one-off
+  // IOError WITHOUT breaking the connection — the stream was desynced
+  // (the peer had a frame prefix with no body), and the next call wrote
+  // a fresh frame into the middle of the old one, surfacing as a
+  // confusing server-side protocol error. Now the failed send poisons
+  // the connection: this call and every later one fail with the sticky
+  // status, immediately, without touching the wire.
+  ResettingPeer peer(64 * 1024);
+  NetClient::Options options;
+  options.port = peer.port();
+  options.connect_attempts = 1;
+  options.deadline_ms = 60'000;  // a sticky failure must not wait this out
+  std::unique_ptr<NetClient> client;
+  ASSERT_TRUE(NetClient::Connect(options, &client).ok());
+
+  // Far larger than the socket buffers, so send() blocks mid-frame
+  // until the peer's reset fails it with the frame partially written.
+  std::string huge(64u << 20, 'x');
+  std::string response;
+  EXPECT_FALSE(client->Call(1, huge, &response).ok());
+
+  EXPECT_FALSE(client->connection_status().ok());
+  uint64_t t0 = MonotonicNanos();
+  Status s = client->Call(2, "ping", &response);
+  uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsTimedOut()) << s.ToString();
+  // Sticky means instant: no deadline wait, no wire traffic.
+  EXPECT_LT(elapsed_ms, 5'000u);
+}
+
+TEST(NetSpitzTest, ReconnectHealsAStickyBrokenConnection) {
+  // The reconnect seam: a NetClient is sticky-broken forever by design,
+  // so SpitzClient::Reconnect() dials a fresh connection with the saved
+  // options and swaps it in — a bounced server heals instead of every
+  // later call failing with the old connection's corpse.
+  SpitzDb db;
+  std::unique_ptr<SpitzServer> server;
+  ASSERT_TRUE(SpitzServer::Start(&db, {}, &server).ok());
+  const uint16_t port = server->port();
+
+  SpitzClient::Options options;
+  options.net.port = port;
+  std::unique_ptr<SpitzClient> client;
+  ASSERT_TRUE(SpitzClient::Open(options, &client).ok());
+  ASSERT_TRUE(client->Put("k", "v").ok());
+  EXPECT_TRUE(client->ConnectionStatus().ok());
+
+  server->Shutdown();
+  std::string value;
+  EXPECT_FALSE(client->Get("k", &value).ok());
+  // The reader notices the close asynchronously; the sticky state must
+  // settle promptly.
+  for (int i = 0; i < 5'000 && client->ConnectionStatus().ok(); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(client->ConnectionStatus().ok());
+  // While the server is down, Reconnect itself fails cleanly and the
+  // client stays broken.
+  EXPECT_FALSE(client->Reconnect().ok() &&
+               client->Get("k", &value).ok());
+
+  // Same database, same port: the server comes back.
+  SpitzServer::Options server_options;
+  server_options.net.loop.port = port;
+  Status restarted;
+  for (int i = 0; i < 50; i++) {
+    restarted = SpitzServer::Start(&db, server_options, &server);
+    if (restarted.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_TRUE(client->ConnectionStatus().ok());
+  ASSERT_TRUE(client->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  // Reconnect on a healthy connection is a no-op OK.
+  EXPECT_TRUE(client->Reconnect().ok());
+}
+
+TEST(NetSpitzTest, ReadOptionsDeadlineReachesTheTransport) {
+  // ReadOptions::deadline_ms must override the transport default on
+  // the Get path: against a server that never answers, a short
+  // per-read deadline returns TimedOut long before the connection-level
+  // default (60s here) would.
+  ResettingPeer peer(1u << 20);  // answers the handshake, then swallows
+  SpitzClient::Options options;
+  options.net.port = peer.port();
+  options.net.connect_attempts = 1;
+  options.net.deadline_ms = 60'000;
+  std::unique_ptr<SpitzClient> client;
+  ASSERT_TRUE(SpitzClient::Open(options, &client).ok());
+
+  ReadOptions read_options;
+  read_options.deadline_ms = 100;
+  std::string value;
+  uint64_t t0 = MonotonicNanos();
+  Status s = client->Get(read_options, "k", &value);
+  uint64_t elapsed_ms = (MonotonicNanos() - t0) / 1'000'000;
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_LT(elapsed_ms, 10'000u);
 }
 
 TEST(NetSpitzTest, GracefulShutdownThenConnectFails) {
