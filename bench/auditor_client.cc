@@ -14,11 +14,22 @@
 // For a long-running auditor against an external deployment, see
 // examples/auditor_client.cpp, which reuses the same loop.
 
+// --chaos runs the fault scenarios instead: an audit that rides
+// through a server bounce (the PR 9 Reconnect seam), an audit that
+// rides through a primary kill + verified failover to the backup
+// (DESIGN.md §15), and a tampered-run control — a bit-flipped journal
+// segment and byte-flipped evidence envelopes MUST fail, proving the
+// non-zero-exit contract actually fires.
+
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <unistd.h>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +40,8 @@
 #include "core/spitz_db.h"
 #include "net/spitz_client.h"
 #include "net/spitz_server.h"
+#include "replica/backup.h"
+#include "replica/replicator.h"
 
 namespace spitz {
 namespace {
@@ -188,6 +201,362 @@ void RunCluster(bool smoke, size_t shards) {
   CheckReport("cluster3", report);
 }
 
+// --- chaos scenario 1: audit through a server bounce ----------------------
+//
+// The server shuts down mid-audit and comes back on the same port with
+// the same database. The auditor counts the dark rounds as io_errors
+// (never verification failures), heals through its reconnect hook, and
+// must still end with zero verification failures and live transitions.
+void RunChaosBounce(bool smoke) {
+  SpitzDb db;
+  SpitzServer::Options server_options;
+  server_options.db = &db;
+  std::unique_ptr<SpitzServer> server;
+  AC_CHECK(SpitzServer::Open(server_options, &server).ok(), "server open");
+  const uint16_t port = server->port();
+
+  SpitzClient::Options client_options;
+  client_options.net.port = port;
+  std::unique_ptr<SpitzClient> writer_client, audit_client;
+  AC_CHECK(SpitzClient::Open(client_options, &writer_client).ok(),
+           "writer client open");
+  AC_CHECK(SpitzClient::Open(client_options, &audit_client).ok(),
+           "audit client open");
+  for (size_t i = 0; i < kKeySpace; i += 2) {
+    AC_CHECK(writer_client->Put(Key(i), "seed").ok(), "seed put");
+  }
+
+  // A writer that heals itself: a Put that dies in the outage redials
+  // and carries on, so the auditor keeps observing transitions after
+  // the bounce.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer([&] {
+    Random rng(777);
+    while (!stop.load(std::memory_order_acquire)) {
+      Status s = writer_client->Put(WriteOptions(),
+                                    Key(rng.Uniform(kKeySpace)), rng.Bytes(24));
+      if (s.ok()) {
+        writes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        writer_client->Reconnect();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  bench::AuditorOptions options = BaseOptions(smoke);
+  options.rounds = smoke ? 40 : 120;
+  Random key_rng(41);
+  options.sample_key = [&key_rng] { return Key(key_rng.Uniform(kKeySpace)); };
+  options.sample_range = [&key_rng] {
+    return std::make_pair(Key(key_rng.Uniform(kKeySpace)),
+                          std::string("acct~"));
+  };
+  // The reconnect hook doubles as the chaos trigger's observation
+  // point: the chaos thread holds the server down until the auditor has
+  // actually seen the outage (saw_outage), which makes the test
+  // deterministic instead of a sleep race.
+  std::atomic<bool> saw_outage{false};
+  options.reconnect = [&audit_client, &saw_outage] {
+    saw_outage.store(true, std::memory_order_release);
+    audit_client->Reconnect();
+  };
+
+  std::thread chaos([&] {
+    // Let the audit get going, then pull the server.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms * 5));
+    server->Shutdown();
+    // Hold the outage until the auditor has observed it.
+    for (int i = 0; i < 10'000 && !saw_outage.load(std::memory_order_acquire);
+         i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    AC_CHECK(saw_outage.load(), "auditor observed the outage");
+    // Same database, same port: the bounced server is the same logical
+    // node, so the digest stream must continue monotonically.
+    SpitzServer::Options reopen_options;
+    reopen_options.db = &db;
+    reopen_options.net.loop.port = port;
+    std::unique_ptr<SpitzServer> reopened;
+    Status s;
+    for (int i = 0; i < 100; i++) {
+      s = SpitzServer::Open(reopen_options, &reopened);
+      if (s.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    AC_CHECK(s.ok(), "server reopen on the same port");
+    server = std::move(reopened);
+  });
+
+  bench::AuditorReport report = bench::RunAuditor(audit_client.get(), options);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  chaos.join();
+  AC_CHECK(writes.load() > 0, "background writer made progress");
+  AC_CHECK(report.io_errors > 0, "bounce produced io errors, not failures");
+  CheckReport("bounce", report);
+}
+
+// --- chaos scenario 2: audit through primary kill + failover --------------
+//
+// A 2-shard cluster where every shard has a live backup fed by a
+// Replicator. Shard 0's primary is killed mid-audit and the writer
+// client promotes the backup. The audit client never promotes — its
+// verified reads must fail over transparently, re-pinned at the
+// backup's last-agreed digest, and sustain zero verification failures
+// across the kill, the promotion, and the post-promotion write stream.
+void RunChaosFailover(bool smoke) {
+  struct ChaosShard {
+    SpitzDb primary;
+    SpitzDb backup_db;
+    std::unique_ptr<BackupReplica> backup;
+    std::unique_ptr<SpitzServer> primary_server;
+    std::unique_ptr<SpitzServer> backup_server;
+    std::unique_ptr<Replicator> replicator;
+    ChaosShard()
+        : primary(SmallBlockOptions()), backup_db(SmallBlockOptions()) {}
+    static SpitzOptions SmallBlockOptions() {
+      SpitzOptions options;
+      options.block_size = 8;  // seal often so replication has traffic
+      return options;
+    }
+  };
+  constexpr size_t kShards = 2;
+  std::vector<std::unique_ptr<ChaosShard>> shards;
+  ClusterClient::Options client_options;
+  for (size_t i = 0; i < kShards; i++) {
+    auto shard = std::make_unique<ChaosShard>();
+    BackupReplica::Options backup_options;
+    backup_options.db = &shard->backup_db;
+    AC_CHECK(BackupReplica::Open(backup_options, &shard->backup).ok(),
+             "backup replica open");
+    SpitzServer::Options backup_server_options;
+    backup_server_options.db = &shard->backup_db;
+    backup_server_options.replica = shard->backup.get();
+    AC_CHECK(SpitzServer::Open(backup_server_options,
+                               &shard->backup_server).ok(),
+             "backup server open");
+    SpitzServer::Options primary_server_options;
+    primary_server_options.db = &shard->primary;
+    AC_CHECK(SpitzServer::Open(primary_server_options,
+                               &shard->primary_server).ok(),
+             "primary server open");
+    Replicator::Options replicator_options;
+    replicator_options.db = &shard->primary;
+    replicator_options.backup.port = shard->backup_server->port();
+    AC_CHECK(Replicator::Open(replicator_options, &shard->replicator).ok(),
+             "replicator open");
+    NetClient::Options primary_endpoint, backup_endpoint;
+    primary_endpoint.port = shard->primary_server->port();
+    // A dead primary should cost one refused dial per failover, not a
+    // ten-attempt backoff ladder inside every snapshot.
+    primary_endpoint.connect_attempts = 1;
+    backup_endpoint.port = shard->backup_server->port();
+    client_options.shards.push_back(primary_endpoint);
+    client_options.backups.push_back(backup_endpoint);
+    shards.push_back(std::move(shard));
+  }
+  std::unique_ptr<ClusterClient> writer_client, audit_client;
+  AC_CHECK(ClusterClient::Open(client_options, &writer_client).ok(),
+           "writer client open");
+  AC_CHECK(ClusterClient::Open(client_options, &audit_client).ok(),
+           "audit client open");
+  for (size_t i = 0; i < kKeySpace; i += 2) {
+    AC_CHECK(writer_client->Put(Key(i), "seed").ok(), "seed put");
+  }
+
+  // The writer tolerates the shard-0 outage window (Puts routed there
+  // fail until promotion) — the auditor is the component under test.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer([&] {
+    Random rng(778);
+    while (!stop.load(std::memory_order_acquire)) {
+      Status s = writer_client->Put(WriteOptions(),
+                                    Key(rng.Uniform(kKeySpace)), rng.Bytes(24));
+      if (s.ok()) writes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  bench::AuditorOptions options = BaseOptions(smoke);
+  options.mode = bench::AuditorOptions::Mode::kCluster;
+  options.rounds = smoke ? 40 : 120;
+  Random key_rng(42);
+  options.sample_key = [&key_rng] { return Key(key_rng.Uniform(kKeySpace)); };
+  options.sample_range = [&key_rng] {
+    return std::make_pair(Key(key_rng.Uniform(kKeySpace)),
+                          std::string("acct~"));
+  };
+  std::atomic<bool> saw_outage{false};
+  options.reconnect = [&audit_client, &saw_outage] {
+    saw_outage.store(true, std::memory_order_release);
+    for (size_t i = 0; i < audit_client->shard_count(); i++) {
+      audit_client->shard(i)->Reconnect();
+    }
+  };
+
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms * 5));
+    ChaosShard* victim = shards[0].get();
+    // Planned-enough failover: drain the replication stream so the
+    // backup's last-agreed digest covers everything sealed, then kill.
+    victim->primary.FlushBlock();
+    victim->replicator->WaitDrained(5'000);
+    victim->replicator->Stop();
+    victim->primary_server->Shutdown();
+    // Writes to shard 0 are dark until the operator promotes.
+    Status s = writer_client->Promote(0);
+    AC_CHECK(s.ok(), "promote shard 0 after primary kill");
+  });
+
+  bench::AuditorReport report = bench::RunAuditor(audit_client.get(), options);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  chaos.join();
+  AC_CHECK(writes.load() > 0, "background writer made progress");
+  AC_CHECK(writer_client->promoted(0), "shard 0 backup was promoted");
+  AC_CHECK(!audit_client->promoted(0),
+           "audit client failed over without promoting");
+  AC_CHECK(shards[0]->backup->Applied().applied_blocks > 0,
+           "backup applied replicated blocks before the kill");
+  AC_CHECK(shards[0]->backup->digest_mismatches() == 0,
+           "zero digest mismatches on the surviving backup");
+  CheckReport("failover", report);
+}
+
+// --- chaos scenario 3: the tampered run MUST fail -------------------------
+
+// A VerifiedKv that forwards to an honest SpitzDb but flips one byte in
+// every evidence envelope it hands out — the stand-in for a server
+// (or a middlebox) lying about proofs. The auditor must catch every
+// sample.
+class EvidenceTamperingKv : public VerifiedKv {
+ public:
+  explicit EvidenceTamperingKv(SpitzDb* db) : db_(db) {}
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override {
+    return db_->Put(options, key, value);
+  }
+  Status Delete(const WriteOptions& options, const Slice& key) override {
+    return db_->Delete(options, key);
+  }
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override {
+    return db_->Get(options, key, value);
+  }
+  Status Scan(const ReadOptions& options, const Slice& start, const Slice& end,
+              size_t limit, std::vector<PosEntry>* rows) override {
+    return db_->Scan(options, start, end, limit, rows);
+  }
+  Status GetProof(const Slice& key, Evidence* out) override {
+    Status s = db_->GetProof(key, out);
+    if (s.ok() && !out->proof.empty()) {
+      out->proof[out->proof.size() / 2] ^= 0x20;
+    }
+    return s;
+  }
+  Status ScanProof(const Slice& start, const Slice& end, size_t limit,
+                   ScanEvidence* out) override {
+    Status s = db_->ScanProof(start, end, limit, out);
+    if (s.ok() && !out->rows.empty()) {
+      out->rows[0].value.push_back('!');  // forged row
+    }
+    return s;
+  }
+  Status Digest(std::string* out) override { return db_->Digest(out); }
+  Status Audit(const Slice& key) override { return db_->Audit(key); }
+
+ private:
+  SpitzDb* db_;
+};
+
+void RunChaosTamper() {
+  // Part 1: a bit-flipped journal segment. A durable database whose
+  // on-disk journal has one flipped bit inside a sealed record must
+  // refuse to open (CRC catches it as Corruption) — tampering at rest
+  // can never masquerade as a torn tail.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("spitz_chaos_tamper_" + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  SpitzOptions durable_options;
+  durable_options.block_size = 4;
+  durable_options.data_dir = dir;
+  {
+    std::unique_ptr<SpitzDb> db;
+    AC_CHECK(SpitzDb::Open(durable_options, &db).ok(), "durable open");
+    for (size_t i = 0; i < 10; i++) {
+      AC_CHECK(db->Put(Key(i), "durable" + std::to_string(i)).ok(),
+               "durable put");
+    }
+    AC_CHECK(db->FlushBlock().ok(), "durable flush");
+  }
+  const std::string journal_path = dir + "/journal.log";
+  std::string journal;
+  {
+    std::ifstream in(journal_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    journal = buf.str();
+  }
+  AC_CHECK(journal.size() > 32, "journal has sealed records to tamper with");
+  // Offset 12 is inside the first record's payload (past its length
+  // prefix), so the record stays structurally complete — only its CRC
+  // can tell, and it must.
+  journal[12] ^= 0x40;
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out.write(journal.data(), static_cast<std::streamsize>(journal.size()));
+  }
+  std::unique_ptr<SpitzDb> reopened;
+  Status s = SpitzDb::Open(durable_options, &reopened);
+  AC_CHECK(!s.ok(), "tampered journal must not open");
+  AC_CHECK(s.IsCorruption(), "tamper surfaces as Corruption");
+  printf("auditor_client: tamper   journal reopen: %s\n", s.ToString().c_str());
+  fs::remove_all(dir, ec);
+
+  // Part 2: byte-flipped evidence envelopes. Run the real audit loop
+  // against a tampering server stand-in: the report must NOT be ok —
+  // this is the control that proves the harness's non-zero-exit
+  // contract fires when evidence lies.
+  SpitzDb db;
+  for (size_t i = 0; i < kKeySpace; i += 2) {
+    AC_CHECK(db.Put(Key(i), "seed").ok(), "tamper seed put");
+  }
+  EvidenceTamperingKv tampered(&db);
+  bench::AuditorOptions options = BaseOptions(/*smoke=*/true);
+  options.rounds = 4;
+  Random key_rng(43);
+  options.sample_key = [&key_rng] { return Key(key_rng.Uniform(kKeySpace)); };
+  bench::AuditorReport report = bench::RunAuditor(&tampered, options);
+  PrintReport("tamper", report);
+  AC_CHECK(!report.ok(), "tampered evidence must fail the audit");
+  AC_CHECK(report.verification_failures >= report.get_samples,
+           "every tampered get sample was caught");
+  AC_CHECK(!report.first_failure.empty(), "first failure is described");
+}
+
+int RunChaos(bool smoke) {
+  RunChaosBounce(smoke);
+  RunChaosFailover(smoke);
+  RunChaosTamper();
+  if (failures > 0) {
+    fprintf(stderr, "auditor_client: %d chaos check(s) failed\n", failures);
+    return 1;
+  }
+  printf("auditor_client: chaos ok\n");
+  return 0;
+}
+
 int Run(bool smoke) {
   RunSingle(smoke);
   RunCluster(smoke, 3);
@@ -204,13 +573,16 @@ int Run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool chaos = false;
   for (int i = 1; i < argc; i++) {
     if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
-      fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      fprintf(stderr, "usage: %s [--smoke] [--chaos]\n", argv[0]);
       return 2;
     }
   }
-  return spitz::Run(smoke);
+  return chaos ? spitz::RunChaos(smoke) : spitz::Run(smoke);
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite in Release (plus metrics, recovery,
-# network, write-path and cluster smoke runs), the concurrency + network
-# + cluster tests under ThreadSanitizer, and the proof-codec + database
-# + network + cluster tests under ASan+UBSan (untrusted wire bytes are
-# decoded there, so memory errors and UB are the failure modes that
-# matter). All legs must be green for a change to land.
+# network, write-path, cluster, replication and auditor-chaos smoke
+# runs), the concurrency + network + cluster + replica tests under
+# ThreadSanitizer, and the proof-codec + database + network + cluster +
+# replica tests under ASan+UBSan (untrusted wire bytes are decoded
+# there, so memory errors and UB are the failure modes that matter).
+# All legs must be green for a change to land.
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -81,26 +82,42 @@ echo "==> tier-1: auditor smoke (continuous stateless re-verification)"
 # failure or frozen digest.
 "${PREFIX}/bench/auditor_client" --smoke
 
+echo "==> tier-1: replication smoke (primary-backup, kill + failover)"
+# A replicated shard under YCSB-style mixed traffic: throughput with
+# replication on vs off, the seal-to-ack lag histogram, then a no-drain
+# primary kill mid-run — verified reads must fail over to the backup's
+# last-agreed digest, promotion must restore writes, the unacked-batch
+# loss must stay bounded, and zero proof failures end to end.
+"${PREFIX}/bench/replica_smoke" --smoke --out "${PREFIX}/BENCH_replica_smoke.json"
+
+echo "==> tier-1: auditor chaos (bounce, failover, tampered run)"
+# The auditor under faults: it must ride through a server bounce and a
+# primary kill + failover with zero verification failures — and the
+# tampered control run (bit-flipped journal segment, byte-flipped
+# evidence envelopes) must FAIL, proving the non-zero-exit contract
+# actually fires.
+"${PREFIX}/bench/auditor_client" --chaos --smoke
+
 echo "==> tier-2: ThreadSanitizer concurrency suite"
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
       --target concurrency_test txn_test spitz_db_test metrics_test \
-               recovery_test net_test cluster_test
+               recovery_test net_test cluster_test replica_test
 # TSAN_OPTIONS makes any reported race fail the run (exit code).
 TSAN_OPTIONS="halt_on_error=1 exitcode=66" \
   ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery|Net|Cluster'
+        -R 'Concurrency|DeferredVerifier|SpitzDb|Metrics|Recovery|Net|Cluster|Replica'
 
 echo "==> tier-2: ASan+UBSan proof-codec and database suite"
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSPITZ_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
       --target siri_proof_test siri_backend_test spitz_db_test recovery_test \
-               net_test concurrency_test cluster_test
+               net_test concurrency_test cluster_test replica_test
 ASAN_OPTIONS="halt_on_error=1 exitcode=66" \
 UBSAN_OPTIONS="halt_on_error=1 exitcode=66 print_stacktrace=1" \
   ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net|Concurrency|Cluster'
+        -R 'Siri|SpitzDb|SpitzOptions|Recovery|Net|Concurrency|Cluster|Replica'
 
 echo "==> all checks passed"

@@ -4,6 +4,7 @@
 
 #include "cluster/partition.h"
 #include "common/codec.h"
+#include "net/frame.h"
 #include "net/spitz_wire.h"
 
 namespace spitz {
@@ -51,6 +52,11 @@ Status ClusterClient::Options::Validate() const {
                                      " endpoint has no port");
     }
   }
+  if (!backups.empty() && backups.size() != shards.size()) {
+    return Status::InvalidArgument(
+        "backups must be empty or name one endpoint per shard (port 0 = "
+        "unreplicated shard)");
+  }
   if (verify_retries < 0) {
     return Status::InvalidArgument("verify_retries must be non-negative");
   }
@@ -70,10 +76,58 @@ Status ClusterClient::Open(const Options& options,
     std::unique_ptr<SpitzClient> shard;
     s = SpitzClient::Open(shard_options, &shard);
     if (!s.ok()) return TagShard(i, s);
+    // Liveness ping: one digest round trip (under its own short
+    // deadline) proves the endpoint serves the Spitz surface, not
+    // merely that something accepted the TCP connect — a dead or wrong
+    // endpoint fails here, tagged with its shard index, instead of on
+    // the first real operation.
+    if (options.probe_deadline_ms > 0) {
+      std::string probe;
+      s = shard->channel()->Call(wire::kDigest, "", &probe,
+                                 options.probe_deadline_ms);
+      if (!s.ok()) return TagShard(i, s);
+      // Misorder check: an endpoint serving the replication surface in
+      // the backup role cannot be a primary — a backup listed in the
+      // primary slot would reject every write.
+      if ((shard->channel()->server_features() & kFeatureReplication) != 0) {
+        std::string reply;
+        s = shard->channel()->Call(
+            wire::kReplicaStatus,
+            std::string(1, static_cast<char>(wire::kReplicaStatusQuery)),
+            &reply, options.probe_deadline_ms);
+        Slice reply_input(reply);
+        wire::ReplicaStatusResult status;
+        if (s.ok() &&
+            wire::ReplicaStatusResult::DecodeFrom(&reply_input, &status)
+                .ok() &&
+            status.role == 0) {
+          return TagShard(
+              i, Status::InvalidArgument(
+                     "primary endpoint is an un-promoted backup — endpoint "
+                     "list misordered?"));
+        }
+      }
+    }
     raw.push_back(shard.get());
     client->shards_.push_back(std::move(shard));
   }
-  client->coordinator_ = std::make_unique<ClusterCoordinator>(
+  client->backups_.resize(client->shards_.size());
+  for (size_t i = 0; i < options.backups.size(); i++) {
+    if (options.backups[i].port == 0) continue;
+    SpitzClient::Options backup_options;
+    backup_options.net = options.backups[i];
+    std::unique_ptr<SpitzClient> backup;
+    s = SpitzClient::Open(backup_options, &backup);
+    if (!s.ok()) return TagShard(i, s);
+    if ((backup->channel()->server_features() & kFeatureReplication) == 0) {
+      return TagShard(i, Status::InvalidArgument(
+                             "backup endpoint does not serve replication — "
+                             "endpoint list misordered?"));
+    }
+    client->backups_[i] = std::move(backup);
+  }
+  client->promoted_ = std::vector<std::atomic<bool>>(client->shards_.size());
+  client->coordinator_ = std::make_shared<ClusterCoordinator>(
       std::move(raw), options.txn_id_seed);
   *out = std::move(client);
   return Status::OK();
@@ -83,30 +137,118 @@ Status ClusterClient::Open(const Options& options,
 
 Status ClusterClient::Put(const WriteOptions& options, const Slice& key,
                           const Slice& value) {
-  return shards_[PartitionOf(key, shards_.size())]->Put(options, key, value);
+  return WriteClient(PartitionOf(key, shards_.size()))->Put(options, key, value);
 }
 
 Status ClusterClient::Delete(const WriteOptions& options, const Slice& key) {
-  return shards_[PartitionOf(key, shards_.size())]->Delete(options, key);
+  return WriteClient(PartitionOf(key, shards_.size()))->Delete(options, key);
 }
 
 Status ClusterClient::Write(const WriteOptions& options,
                             const WriteBatch& batch) {
-  return coordinator_->CommitBatch(options, batch);
+  std::shared_ptr<ClusterCoordinator> coordinator;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    coordinator = coordinator_;
+  }
+  return coordinator->CommitBatch(options, batch);
+}
+
+// --- Failover ---------------------------------------------------------------
+
+Status ClusterClient::Promote(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (!has_backup(shard)) {
+    return TagShard(shard,
+                    Status::InvalidArgument("shard has no backup to promote"));
+  }
+  if (promoted(shard)) return Status::OK();
+  wire::ReplicaStatusResult result;
+  Status s =
+      backups_[shard]->ReplicaStatus(wire::kReplicaStatusPromote, &result);
+  if (!s.ok() && IsConnectionError(s)) {
+    if (backups_[shard]->Reconnect().ok()) {
+      s = backups_[shard]->ReplicaStatus(wire::kReplicaStatusPromote, &result);
+    }
+  }
+  if (!s.ok()) return TagShard(shard, s);
+  if (result.role != 1) {
+    return TagShard(shard, Status::VerificationFailed(
+                               "backup did not report the promoted role"));
+  }
+  promoted_[shard].store(true, std::memory_order_release);
+  // Reroute 2PC: rebuild the coordinator over the post-promotion write
+  // targets. In-flight CommitBatch calls finish on the old coordinator
+  // (kept alive by their shared_ptr) against the dead primary and fail
+  // like any primary-down write; new ones see the backup.
+  std::vector<SpitzClient*> raw;
+  raw.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) raw.push_back(WriteClient(i));
+  auto rebuilt = std::make_shared<ClusterCoordinator>(std::move(raw));
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    coordinator_ = std::move(rebuilt);
+  }
+  return Status::OK();
 }
 
 // --- Snapshot ---------------------------------------------------------------
 
-Status ClusterClient::GetClusterDigest(ClusterDigest* out) {
-  out->shards.clear();
-  out->shards.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); i++) {
-    SpitzDigest digest;
-    Status s = shards_[i]->Digest(&digest);
-    if (!s.ok()) return TagShard(i, s);
-    out->shards.push_back(digest);
+Status ClusterClient::FetchShardDigest(SpitzClient* client, SpitzDigest* out) {
+  Status s = client->Digest(out);
+  if (!s.ok() && IsConnectionError(s)) {
+    if (client->Reconnect().ok()) s = client->Digest(out);
   }
-  out->Seal();
+  return s;
+}
+
+Status ClusterClient::TakeSnapshot(ClusterSnapshot* out) {
+  const size_t n = shards_.size();
+  out->digest.shards.assign(n, SpitzDigest());
+  out->digest.backups.assign(n, std::nullopt);
+  out->readers.assign(n, nullptr);
+  for (size_t i = 0; i < n; i++) {
+    SpitzClient* node = WriteClient(i);
+    SpitzDigest digest;
+    Status s = FetchShardDigest(node, &digest);
+    if (s.ok()) {
+      out->digest.shards[i] = digest;
+      if (has_backup(i) && !promoted(i)) {
+        // Replicated shard: the leaf commits the {primary, backup}
+        // pair, the backup's digest being its last-agreed (acked)
+        // state — the root a failover would re-pin reads at. A backup
+        // that is itself down degrades the leaf to unreplicated; the
+        // snapshot stays verifiable.
+        SpitzDigest backup_digest;
+        if (FetchShardDigest(backups_[i].get(), &backup_digest).ok()) {
+          out->digest.backups[i] = backup_digest;
+        }
+      }
+    } else if (IsConnectionError(s) && has_backup(i) && !promoted(i)) {
+      // Verified-read failover: the primary is unreachable, so this
+      // shard's slot is re-pinned at the backup's last-agreed digest
+      // and its proofs will be fetched from the backup.
+      s = FetchShardDigest(backups_[i].get(), &digest);
+      if (!s.ok()) return TagShard(i, s);
+      out->digest.shards[i] = digest;
+      out->digest.backups[i] = digest;
+      node = backups_[i].get();
+    } else {
+      return TagShard(i, s);
+    }
+    out->readers[i] = node;
+  }
+  out->digest.Seal();
+  return Status::OK();
+}
+
+Status ClusterClient::GetClusterDigest(ClusterDigest* out) {
+  ClusterSnapshot snapshot;
+  Status s = TakeSnapshot(&snapshot);
+  if (!s.ok()) return s;
+  *out = std::move(snapshot.digest);
   return Status::OK();
 }
 
@@ -118,7 +260,8 @@ Status ClusterClient::Get(const ReadOptions& options, const Slice& key,
     // Forward the caller's options verbatim (minus verify, which is
     // false on this path anyway) — dropping them here silently
     // discarded every non-verify read knob, e.g. deadline_ms.
-    return shards_[PartitionOf(key, shards_.size())]->Get(options, key, value);
+    return WriteClient(PartitionOf(key, shards_.size()))
+        ->Get(options, key, value);
   }
   // Each attempt pins a fresh snapshot; a root that aged out of a busy
   // shard's retention window heals on retry, a genuine mismatch keeps
@@ -132,14 +275,17 @@ Status ClusterClient::Get(const ReadOptions& options, const Slice& key,
 }
 
 Status ClusterClient::VerifiedGetOnce(const Slice& key, std::string* value) {
-  ClusterDigest digest;
-  Status s = GetClusterDigest(&digest);
+  ClusterSnapshot snapshot;
+  Status s = TakeSnapshot(&snapshot);
   if (!s.ok()) return s;
+  const ClusterDigest& digest = snapshot.digest;
   const size_t shard = PartitionOf(key, shards_.size());
   std::optional<std::string> found;
   ReadProof proof;
-  s = shards_[shard]->GetProofAt(digest.shards[shard].index_root, key, &found,
-                                 &proof);
+  // The same node whose digest pinned this shard's leaf serves the
+  // proof — after failover that is the backup, at its last-agreed root.
+  s = snapshot.readers[shard]->GetProofAt(digest.shards[shard].index_root, key,
+                                          &found, &proof);
   if (!s.ok() && !s.IsNotFound()) return s;
   Status verdict = SpitzDb::VerifyRead(digest.shards[shard], key, found, proof);
   if (!verdict.ok()) return verdict;
@@ -153,7 +299,8 @@ Status ClusterClient::Scan(const ReadOptions& options, const Slice& start,
   if (!options.verify) {
     std::vector<std::vector<PosEntry>> per_shard(shards_.size());
     for (size_t i = 0; i < shards_.size(); i++) {
-      Status s = shards_[i]->Scan(options, start, end, limit, &per_shard[i]);
+      Status s =
+          WriteClient(i)->Scan(options, start, end, limit, &per_shard[i]);
       if (!s.ok()) return s;
     }
     MergeShardRows(std::move(per_shard), limit, rows);
@@ -170,14 +317,15 @@ Status ClusterClient::Scan(const ReadOptions& options, const Slice& start,
 Status ClusterClient::VerifiedScanOnce(const Slice& start, const Slice& end,
                                        size_t limit,
                                        std::vector<PosEntry>* rows) {
-  ClusterDigest digest;
-  Status s = GetClusterDigest(&digest);
+  ClusterSnapshot snapshot;
+  Status s = TakeSnapshot(&snapshot);
   if (!s.ok()) return s;
+  const ClusterDigest& digest = snapshot.digest;
   std::vector<std::vector<PosEntry>> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); i++) {
     spitz::ScanProof proof;
-    s = shards_[i]->ScanProofAt(digest.shards[i].index_root, start, end, limit,
-                                &per_shard[i], &proof);
+    s = snapshot.readers[i]->ScanProofAt(digest.shards[i].index_root, start,
+                                         end, limit, &per_shard[i], &proof);
     if (!s.ok()) return s;
     Status verdict = SpitzDb::VerifyScan(digest.shards[i], start, end, limit,
                                          per_shard[i], proof);
@@ -200,14 +348,15 @@ Status ClusterClient::VerifiedScanOnce(const Slice& start, const Slice& end,
 Status ClusterClient::GetProof(const Slice& key, Evidence* out) {
   Status s;
   for (int attempt = 0; attempt <= verify_retries_; attempt++) {
-    ClusterDigest digest;
-    s = GetClusterDigest(&digest);
+    ClusterSnapshot snapshot;
+    s = TakeSnapshot(&snapshot);
     if (!s.ok()) return s;
+    const ClusterDigest& digest = snapshot.digest;
     const size_t shard = PartitionOf(key, shards_.size());
     std::optional<std::string> found;
     ReadProof proof;
-    s = shards_[shard]->GetProofAt(digest.shards[shard].index_root, key,
-                                   &found, &proof);
+    s = snapshot.readers[shard]->GetProofAt(digest.shards[shard].index_root,
+                                            key, &found, &proof);
     if (!s.ok() && !s.IsNotFound()) continue;
     out->value = found;
     out->proof.clear();
@@ -228,17 +377,18 @@ Status ClusterClient::ScanProof(const Slice& start, const Slice& end,
                                 size_t limit, ScanEvidence* out) {
   Status s;
   for (int attempt = 0; attempt <= verify_retries_; attempt++) {
-    ClusterDigest digest;
-    s = GetClusterDigest(&digest);
+    ClusterSnapshot snapshot;
+    s = TakeSnapshot(&snapshot);
     if (!s.ok()) return s;
+    const ClusterDigest& digest = snapshot.digest;
     out->proof.clear();
     PutVarint64(&out->proof, shards_.size());
     std::vector<std::vector<PosEntry>> per_shard(shards_.size());
     bool failed = false;
     for (size_t i = 0; i < shards_.size(); i++) {
       spitz::ScanProof proof;
-      s = shards_[i]->ScanProofAt(digest.shards[i].index_root, start, end,
-                                  limit, &per_shard[i], &proof);
+      s = snapshot.readers[i]->ScanProofAt(digest.shards[i].index_root, start,
+                                           end, limit, &per_shard[i], &proof);
       if (!s.ok()) {
         failed = true;
         break;
@@ -268,10 +418,10 @@ Status ClusterClient::Digest(std::string* out) {
 
 Status ClusterClient::Audit(const Slice& key) {
   if (!key.empty()) {
-    return shards_[PartitionOf(key, shards_.size())]->Audit(key);
+    return WriteClient(PartitionOf(key, shards_.size()))->Audit(key);
   }
   for (size_t i = 0; i < shards_.size(); i++) {
-    Status s = shards_[i]->Audit(Slice());
+    Status s = WriteClient(i)->Audit(Slice());
     if (!s.ok()) return TagShard(i, s);
   }
   return Status::OK();

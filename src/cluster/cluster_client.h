@@ -1,7 +1,9 @@
 #ifndef SPITZ_CLUSTER_CLUSTER_CLIENT_H_
 #define SPITZ_CLUSTER_CLUSTER_CLIENT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,8 +41,20 @@ namespace spitz {
 // its first `limit` in-range rows, so the global first `limit` rows
 // are covered by proofs.
 //
-// Thread-safe: routing state is immutable after Open and each
-// SpitzClient channel is itself thread-safe.
+// Replicated shards (protocol v3): Options::backups names each shard's
+// backup endpoint. A snapshot then commits the {primary, backup}
+// digest pair per shard leaf, and when a primary is unreachable the
+// client fails over for reads — the shard's slot in the snapshot is
+// re-pinned at the backup's *last-agreed* digest and proofs are fetched
+// from the backup over the same pinned-root methods, so every
+// post-failover read still verifies. Writes keep failing until
+// Promote(shard) flips the backup to primary-for-writes (the planned
+// path first drains the primary-side Replicator; an unplanned failover
+// bounds loss at the unacked tail — see DESIGN.md §15).
+//
+// Thread-safe: routing state is immutable after Open except the
+// per-shard promoted flag (atomic) and the coordinator, which is
+// rebuilt under a mutex on promotion.
 // ---------------------------------------------------------------------------
 class ClusterClient : public VerifiedKv {
  public:
@@ -48,7 +62,18 @@ class ClusterClient : public VerifiedKv {
     Options() {}
     // One endpoint per shard, in partition order — must match the
     // server-side deployment on every client, or routes diverge.
+    // Open probes every endpoint (handshake + one digest round trip)
+    // so a dead or misordered list fails fast, tagged with the shard
+    // index.
     std::vector<NetClient::Options> shards;
+    // Optional backup endpoint per shard (empty, or shards.size()
+    // long; port 0 = that shard is unreplicated). Each must front a
+    // BackupReplica (advertise kFeatureReplication).
+    std::vector<NetClient::Options> backups;
+    // Per-endpoint deadline for the open-time liveness probe; 0 skips
+    // the probe entirely (for deployments that open clients before
+    // every shard is up and accept lazy failures instead).
+    uint64_t probe_deadline_ms = 2'000;
     // Fresh-snapshot retries for verified reads whose pinned root aged
     // out under write pressure.
     int verify_retries = 3;
@@ -106,12 +131,52 @@ class ClusterClient : public VerifiedKv {
                                    size_t limit,
                                    const ScanEvidence& evidence);
 
+  // Makes shard `shard`'s backup the new primary for writes: sends the
+  // promote command, verifies the role flipped, and reroutes writes
+  // and 2PC (the coordinator is rebuilt) to the backup. The planned
+  // path calls Replicator::WaitDrained on the primary first; after an
+  // unplanned primary death the unacked tail is lost by design.
+  // Idempotent.
+  Status Promote(size_t shard);
+  bool promoted(size_t shard) const {
+    return promoted_[shard].load(std::memory_order_acquire);
+  }
+  bool has_backup(size_t shard) const {
+    return shard < backups_.size() && backups_[shard] != nullptr;
+  }
+
   size_t shard_count() const { return shards_.size(); }
   SpitzClient* shard(size_t i) { return shards_[i].get(); }
-  ClusterCoordinator* coordinator() { return coordinator_.get(); }
+  SpitzClient* backup_shard(size_t i) { return backups_[i].get(); }
+  // Test/inspection only; racy against a concurrent Promote().
+  ClusterCoordinator* coordinator() {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    return coordinator_.get();
+  }
 
  private:
   ClusterClient() = default;
+
+  // One pinned snapshot: the cluster digest plus, per shard, the node
+  // (primary, or backup after failover) whose digest fills that leaf —
+  // proofs for this snapshot must come from the same node.
+  struct ClusterSnapshot {
+    ClusterDigest digest;
+    std::vector<SpitzClient*> readers;
+  };
+  Status TakeSnapshot(ClusterSnapshot* out);
+
+  // One digest round trip with a single transparent reconnect.
+  static Status FetchShardDigest(SpitzClient* client, SpitzDigest* out);
+  static bool IsConnectionError(const Status& s) {
+    return s.IsIOError() || s.IsUnavailable() || s.IsTimedOut();
+  }
+
+  // Where writes for shard i go: the primary, or the backup once
+  // promoted.
+  SpitzClient* WriteClient(size_t i) {
+    return promoted(i) ? backups_[i].get() : shards_[i].get();
+  }
 
   // One verified-get / verified-scan attempt at a fresh snapshot.
   Status VerifiedGetOnce(const Slice& key, std::string* value);
@@ -119,7 +184,13 @@ class ClusterClient : public VerifiedKv {
                           std::vector<PosEntry>* rows);
 
   std::vector<std::unique_ptr<SpitzClient>> shards_;
-  std::unique_ptr<ClusterCoordinator> coordinator_;
+  // backups_[i] == nullptr when shard i is unreplicated; empty when no
+  // backups were configured at all.
+  std::vector<std::unique_ptr<SpitzClient>> backups_;
+  // Never resized after Open (atomics don't relocate).
+  std::vector<std::atomic<bool>> promoted_;
+  std::mutex route_mu_;  // guards coordinator_ rebuild on promotion
+  std::shared_ptr<ClusterCoordinator> coordinator_;
   int verify_retries_ = 3;
 };
 

@@ -324,6 +324,12 @@ void SpitzDb::NotifySealed(uint64_t block_count) {
   // Outside mu_: the roll inside OnBlockSealed may fsync the outgoing
   // segment, and commits must not wait on that.
   chunks_->OnBlockSealed();
+  {
+    // Leaf lock; the listener contract is a cheap wakeup, so holding
+    // it across the call cannot stall commits.
+    std::lock_guard<std::mutex> lock(seal_listener_mu_);
+    if (seal_listener_) seal_listener_(block_count);
+  }
   if (!gc_thread_.joinable()) return;
   {
     std::lock_guard<std::mutex> lock(gc_wake_mu_);
@@ -1532,6 +1538,210 @@ Status SpitzDb::ScanAt(const Hash256& index_root, const Slice& start,
                        std::vector<PosEntry>* out) const {
   auto pin = chunks_->PinReads();
   return index_->Scan(index_root, start, end, limit, out);
+}
+
+// --- Primary-backup replication seam (DESIGN.md §15) ------------------------
+
+void SpitzDb::SetSealListener(SealListener listener) {
+  std::lock_guard<std::mutex> lock(seal_listener_mu_);
+  seal_listener_ = std::move(listener);
+}
+
+Status SpitzDb::BlockHashAt(uint64_t height, Hash256* hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (height >= ledger_.block_count()) {
+    return Status::NotFound("block " + std::to_string(height) +
+                            " is past the sealed tip");
+  }
+  *hash = ledger_.BlockHash(height);
+  return Status::OK();
+}
+
+Status SpitzDb::BuildReplicationRecord(uint64_t height,
+                                       std::string* out) const {
+  std::string serialized;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height >= ledger_.block_count()) {
+      return Status::NotFound("block " + std::to_string(height) +
+                              " is not sealed yet");
+    }
+    serialized = ledger_.SerializedBlock(height);
+  }
+  Block block;
+  Status s = Block::Decode(serialized, &block);
+  if (!s.ok()) return s;
+  out->clear();
+  PutFixed64(out, height);
+  PutLengthPrefixedSlice(out, serialized);
+  const std::vector<LedgerEntry>& entries = block.entries();
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (entries[i].op != LedgerEntry::Op::kPut) continue;
+    // A put superseded by a later same-key entry in the same block does
+    // not survive to the block's sealed root — its value is neither
+    // retrievable nor needed to re-derive that root on the backup.
+    bool superseded = false;
+    for (size_t j = i + 1; j < entries.size() && !superseded; j++) {
+      superseded = entries[j].key == entries[i].key;
+    }
+    if (superseded) {
+      out->push_back('\0');
+      continue;
+    }
+    std::string value;
+    s = GetAt(block.index_root(), entries[i].key, &value);
+    if (!s.ok()) {
+      // The usual cause: the block's root was garbage-collected out of
+      // the retention window before the backup caught up.
+      return Status::NotFound(
+          "cannot rebuild replication record for block " +
+          std::to_string(height) +
+          " (root aged out of the version-retention window? " +
+          s.ToString() + "); re-seed the backup");
+    }
+    if (Hash256::Of(value) != entries[i].value_hash) {
+      return Status::Corruption("value of '" + entries[i].key +
+                                "' does not match its ledger entry hash");
+    }
+    out->push_back('\x01');
+    PutLengthPrefixedSlice(out, value);
+  }
+  return Status::OK();
+}
+
+Status SpitzDb::ApplyReplicatedRecord(const Slice& record, bool sync,
+                                      SpitzDigest* applied) {
+  if (!init_status_.ok()) return init_status_;
+  Slice input = record;
+  if (input.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated replication record");
+  }
+  const uint64_t height = DecodeFixed64(input.data());
+  input.remove_prefix(sizeof(uint64_t));
+  Slice serialized;
+  Status s = GetLengthPrefixedSlice(&input, &serialized);
+  if (!s.ok()) return s;
+  Block block;
+  s = Block::Decode(serialized, &block);
+  if (!s.ok()) return s;
+  // Internal integrity first: a record whose entries do not hash to
+  // the block's own roots is tampered regardless of our state.
+  s = block.Validate();
+  if (!s.ok()) return s;
+  if (block.height() != height) {
+    return Status::InvalidArgument(
+        "replication record height disagrees with its block header");
+  }
+
+  uint64_t block_count = 0;
+  uint64_t append_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (height != ledger_.block_count()) {
+      return Status::InvalidArgument(
+          "replication record out of order: expected block " +
+          std::to_string(ledger_.block_count()) + ", got " +
+          std::to_string(height));
+    }
+    if (!pending_.empty()) {
+      return Status::Busy(
+          "backup has locally buffered writes; refusing to interleave a "
+          "replicated block");
+    }
+    // Re-derive the block's index root from our own index — the
+    // replication invariant is recomputed agreement, never trust.
+    Hash256 root = root_;
+    const std::vector<LedgerEntry>& entries = block.entries();
+    uint64_t max_ts = 0;
+    for (size_t i = 0; i < entries.size(); i++) {
+      const LedgerEntry& entry = entries[i];
+      if (entry.commit_ts > max_ts) max_ts = entry.commit_ts;
+      if (entry.op == LedgerEntry::Op::kDelete) {
+        s = index_->Delete(root, entry.key, &root);
+        // Deleting an absent key is a no-op on the primary's apply
+        // path, so it must be one here too.
+        if (!s.ok() && !s.IsNotFound()) return s;
+        continue;
+      }
+      if (input.empty()) {
+        return Status::InvalidArgument(
+            "replication record missing a value flag");
+      }
+      const uint8_t has_value = static_cast<uint8_t>(input[0]);
+      input.remove_prefix(1);
+      if (has_value == 0) {
+        // The primary claims this put is superseded within the block.
+        // Verify the claim locally — accepting it blindly would let a
+        // tampered stream drop arbitrary writes.
+        bool superseded = false;
+        for (size_t j = i + 1; j < entries.size() && !superseded; j++) {
+          superseded = entries[j].key == entry.key;
+        }
+        if (!superseded) {
+          return Status::VerificationFailed(
+              "replication record omits the value of a surviving put");
+        }
+        continue;
+      }
+      if (has_value != 1) {
+        return Status::InvalidArgument("bad replication value flag");
+      }
+      Slice value;
+      s = GetLengthPrefixedSlice(&input, &value);
+      if (!s.ok()) return s;
+      if (Hash256::Of(value) != entry.value_hash) {
+        return Status::VerificationFailed(
+            "replicated value of '" + entry.key +
+            "' does not hash to its ledger entry");
+      }
+      s = index_->Put(root, entry.key, value, &root);
+      if (!s.ok()) return s;
+    }
+    if (!input.empty()) {
+      return Status::InvalidArgument(
+          "trailing bytes in replication record");
+    }
+    if (root != block.index_root()) {
+      // The hard replication fault: both sides applied the same ops
+      // and derived different states.
+      return Status::VerificationFailed(
+          "replica digest mismatch: independently derived index root "
+          "for block " +
+          std::to_string(height) + " disagrees with the sealed root");
+    }
+    // Chain the identical journal bytes; Restore re-validates the
+    // block's hashes and that it links from our current tip.
+    s = ledger_.Restore(serialized);
+    if (!s.ok()) return s;
+    root_ = root;
+    if (max_ts > last_commit_ts_) last_commit_ts_ = max_ts;
+    // A promoted backup allocates commit timestamps; they must land
+    // strictly after everything replicated.
+    while (clock_.Peek() <= max_ts) {
+      clock_.AllocateBatch(max_ts + 1 - clock_.Peek());
+    }
+    IndexBlockHistoryLocked(height);
+    if (journal_log_ != nullptr) {
+      std::string journal_record;
+      PutLengthPrefixedSlice(&journal_record, serialized);
+      PutFixed32(&journal_record, crc32c::Mask(crc32c::Value(
+                                      serialized.data(), serialized.size())));
+      std::vector<std::string> records;
+      records.push_back(std::move(journal_record));
+      s = AppendJournalRecordsLocked(records);
+      if (!s.ok()) return s;
+    }
+    append_seq = append_seq_;
+    block_count = ledger_.block_count();
+    PublishSnapshotLocked(/*journal_changed=*/true);
+  }
+  NotifySealed(block_count);
+  if (sync && journal_log_ != nullptr) {
+    s = SyncCommitted(append_seq);
+    if (!s.ok()) return s;
+  }
+  if (applied != nullptr) *applied = Digest();
+  return Status::OK();
 }
 
 Status SpitzDb::AuditWrite(

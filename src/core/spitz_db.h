@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -393,6 +394,56 @@ class SpitzDb : public VerifiedKv {
   // MetricsSnapshot::ToJson(). Safe from any thread.
   MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
 
+  // --- Primary-backup replication seam (src/replica; DESIGN.md §15) ------
+  //
+  // The replication unit is one sealed journal block together with the
+  // values of its surviving put entries (ledger entries carry only
+  // value hashes, so the journal alone cannot rebuild a backup's
+  // index). The primary ships the block's exact serialized bytes; the
+  // backup re-applies the ops to its OWN copy-on-write index, checks
+  // every value against the entry's recorded hash, and accepts the
+  // block only if its independently derived index root equals the one
+  // the primary sealed — the digest-agreement invariant. The backup
+  // then restores the identical journal bytes, so both replicas'
+  // journal digests (tip hash, Merkle root) are byte-equal at every
+  // acked height without the backup ever trusting a digest it did not
+  // recompute.
+
+  // Callback invoked after every seal, outside the writer lock, with
+  // the new sealed-block count. The replicator's streaming thread is
+  // woken through this. Must be cheap (a condition-variable notify);
+  // pass nullptr to detach — required before the listener's owner is
+  // destroyed.
+  using SealListener = std::function<void(uint64_t sealed_blocks)>;
+  void SetSealListener(SealListener listener);
+
+  // Encodes the replication record for the sealed block at `height`:
+  // fixed64 height, lp(serialized block), then per put entry a value
+  // flag (0 = superseded by a later same-key entry in the same block —
+  // its value is unrecoverable and irrelevant to the block's final
+  // root; 1 = lp(value) follows, fetched from the block's own index
+  // root). NotFound once the block's root aged out of the
+  // version-retention GC window — catch-up that far behind needs a
+  // re-seed, not a stream.
+  Status BuildReplicationRecord(uint64_t height, std::string* out) const;
+
+  // Backup-side ingest of one replication record, atomically: verifies
+  // the block's internal hashes, re-applies its ops to this database's
+  // index (checking each value against its ledger hash), hard-fails
+  // with VerificationFailed unless the derived root equals the block's
+  // sealed root, then restores the journal bytes and (durable mode)
+  // appends them to this replica's own journal log, fsync'd when
+  // `sync`. Records must arrive in height order; InvalidArgument
+  // otherwise, and Busy if local writes are buffered (a backup must
+  // not take its own writes). Fills *applied (when non-null) with the
+  // digest after the apply — what the backup acks.
+  Status ApplyReplicatedRecord(const Slice& record, bool sync,
+                               SpitzDigest* applied);
+
+  // Hash of the sealed block at `height` (the journal chain link an
+  // ack is checked against). NotFound past the sealed tip.
+  Status BlockHashAt(uint64_t height, Hash256* hash) const;
+
   // Runs the durability barrier (SyncCommitted): snapshot-flush the
   // journal, fsync the chunk log, then fsync the journal — in that
   // order, so that at every durable journal prefix the chunk store
@@ -679,6 +730,11 @@ class SpitzDb : public VerifiedKv {
   Counter txn_aborts_;     // core.db.txn.aborts
   Counter txn_conflicts_;  // core.db.txn.prepare_conflicts
   Gauge txn_in_doubt_;     // core.db.txn.in_doubt
+
+  // Replication seal listener (see SetSealListener). Leaf lock, taken
+  // only outside mu_.
+  mutable std::mutex seal_listener_mu_;
+  SealListener seal_listener_;
 
   mutable std::mutex mu_;
   Hash256 root_;                      // current index version

@@ -109,14 +109,20 @@ Status StatusFromWire(uint32_t code, const Slice& message);
 inline constexpr uint32_t kHandshakeMethod = 0;
 // v1: the PR 5 single-node protocol (methods 1-8, implicit — no
 // handshake frame existed). v2: handshake + cluster methods (2PC,
-// pinned-root proofs, cluster digest).
-inline constexpr uint32_t kProtocolVersion = 2;
+// pinned-root proofs, cluster digest). v3: primary-backup replication
+// (kReplicate/kReplicaAck/kReplicaStatus) and the replica-pair cluster
+// digest envelope.
+inline constexpr uint32_t kProtocolVersion = 3;
 inline constexpr char kHandshakeMagic[4] = {'S', 'P', 'T', 'Z'};
 
 // Feature bits advertised in the handshake.
 inline constexpr uint64_t kFeatureVerifiedKv = 1ull << 0;
 inline constexpr uint64_t kFeatureTwoPhaseCommit = 1ull << 1;
 inline constexpr uint64_t kFeatureClusterDigest = 1ull << 2;
+// The peer serves the replication surface (a SpitzServer wired to a
+// BackupReplica). A Replicator refuses to stream at a peer that does
+// not advertise this bit.
+inline constexpr uint64_t kFeatureReplication = 1ull << 3;
 inline constexpr uint64_t kDefaultFeatures =
     kFeatureVerifiedKv | kFeatureTwoPhaseCommit | kFeatureClusterDigest;
 

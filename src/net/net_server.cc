@@ -11,6 +11,7 @@ Status NetServer::Start(Handler handler, Options options,
     return Status::InvalidArgument("dispatcher_count must be positive");
   }
   auto server = std::unique_ptr<NetServer>(new NetServer());
+  server->options_ = options;
   server->handler_ = std::move(handler);
   server->queue_ =
       std::make_unique<BoundedQueue<Work>>(options.queue_depth);
@@ -81,6 +82,7 @@ void NetServer::DispatcherLoop() {
       reply.status = WireStatusCode(hs);
       if (hs.ok()) {
         Handshake ours;
+        ours.features = options_.features;
         ours.EncodeTo(&reply.payload);
       } else {
         reply.payload = hs.message();

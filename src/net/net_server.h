@@ -43,6 +43,10 @@ class NetServer {
     // Handler threads; bound the request concurrency one server offers.
     size_t dispatcher_count = 4;
     size_t queue_depth = 1024;
+    // Feature bits this server advertises in its handshake reply.
+    // SpitzServer adds kFeatureReplication when a replica service is
+    // wired in.
+    uint64_t features = kDefaultFeatures;
   };
 
   // Binds, listens, spawns the loop and dispatcher threads.
@@ -79,6 +83,7 @@ class NetServer {
 
   void DispatcherLoop();
 
+  Options options_;
   Handler handler_;
   // Declared before the loop and dispatchers so registered instruments
   // outlive the threads recording into them during shutdown.

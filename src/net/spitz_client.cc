@@ -294,6 +294,33 @@ Status SpitzClient::TxnAbort(uint64_t txn_id) {
   return Call(wire::kTxnAbort, request, &response);
 }
 
+Status SpitzClient::Replicate(const std::string& record,
+                              wire::ReplicaAck* ack) {
+  std::string response;
+  Status s = Call(wire::kReplicate, record, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::ReplicaAck::DecodeFrom(&input, ack);
+}
+
+Status SpitzClient::ReplicaAckQuery(wire::ReplicaAck* ack) {
+  std::string response;
+  Status s = Call(wire::kReplicaAck, std::string(), &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::ReplicaAck::DecodeFrom(&input, ack);
+}
+
+Status SpitzClient::ReplicaStatus(uint8_t command,
+                                  wire::ReplicaStatusResult* out) {
+  std::string request(1, static_cast<char>(command));
+  std::string response;
+  Status s = Call(wire::kReplicaStatus, request, &response);
+  if (!s.ok()) return s;
+  Slice input(response);
+  return wire::ReplicaStatusResult::DecodeFrom(&input, out);
+}
+
 Status SpitzClient::TxnInDoubt(std::vector<uint64_t>* txn_ids) {
   std::string response;
   Status s = Call(wire::kTxnInDoubt, std::string(), &response);

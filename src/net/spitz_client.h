@@ -126,6 +126,18 @@ class SpitzClient : public VerifiedKv {
                      const Slice& end, size_t limit,
                      std::vector<PosEntry>* rows, spitz::ScanProof* proof);
 
+  // --- Replication RPCs (protocol v3; replicator/cluster-facing) ----------
+
+  // Ships one replication record (SpitzDb::BuildReplicationRecord
+  // bytes) to a backup and returns its independently derived ack.
+  Status Replicate(const std::string& record, wire::ReplicaAck* ack);
+  // Queries the backup's latest applied state (the resume point after
+  // a reconnect).
+  Status ReplicaAckQuery(wire::ReplicaAck* ack);
+  // Queries (command = wire::kReplicaStatusQuery) or promotes
+  // (wire::kReplicaStatusPromote) a replica.
+  Status ReplicaStatus(uint8_t command, wire::ReplicaStatusResult* out);
+
   // --- 2PC participant RPCs (coordinator-facing) --------------------------
 
   Status TxnPrepare(uint64_t txn_id, const WriteBatch& batch);

@@ -47,6 +47,9 @@ Status SpitzServer::Open(Options options, std::unique_ptr<SpitzServer>* out) {
   if (options.net.dispatcher_count == 0) {
     options.net.dispatcher_count = options.processor_count;
   }
+  if (options.replica != nullptr) {
+    options.net.features |= kFeatureReplication;
+  }
   auto server = std::unique_ptr<SpitzServer>(new SpitzServer());
   server->options_ = options;
   server->db_ = options.db;
@@ -122,7 +125,42 @@ Status SpitzServer::Handle(uint32_t method, const std::string& request,
   ScopedTimer timer(
       method_ns_[method >= 1 && method <= wire::kMethodCount ? method : 0]);
   Slice input(request);
+  // An un-promoted backup serves reads and proofs but takes no writes:
+  // its state must be exactly the replicated stream, or digest
+  // agreement with the primary is meaningless.
+  if (options_.replica != nullptr && options_.replica->IsBackup()) {
+    switch (method) {
+      case wire::kPut:
+      case wire::kDelete:
+      case wire::kWrite:
+      case wire::kTxnPrepare:
+      case wire::kTxnCommit:
+      case wire::kTxnAbort:
+        return Status::Unavailable(
+            "backup replica is read-only until promoted");
+      default:
+        break;
+    }
+  }
   switch (method) {
+    case wire::kReplicate: {
+      if (options_.replica == nullptr) {
+        return Status::NotSupported("replication is not configured here");
+      }
+      return options_.replica->HandleReplicate(input, response);
+    }
+    case wire::kReplicaAck: {
+      if (options_.replica == nullptr) {
+        return Status::NotSupported("replication is not configured here");
+      }
+      return options_.replica->HandleAck(response);
+    }
+    case wire::kReplicaStatus: {
+      if (options_.replica == nullptr) {
+        return Status::NotSupported("replication is not configured here");
+      }
+      return options_.replica->HandleStatus(input, response);
+    }
     case wire::kPut: {
       Slice key, value;
       Status s = GetLengthPrefixedSlice(&input, &key);

@@ -36,6 +36,26 @@ namespace spitz {
 // latency histogram (net.server.method_latency_ns.<method>) and the
 // ProcessorPool's core.processor.* — all in one Metrics() snapshot.
 // ---------------------------------------------------------------------------
+// The replication surface a SpitzServer can front (protocol v3). The
+// concrete implementation (replica/BackupReplica) lives one layer up —
+// the net library only routes the three replication methods and asks
+// whether the node is still a backup (backups reject client writes
+// until promoted). Implementations must be thread-safe.
+class ReplicaService {
+ public:
+  virtual ~ReplicaService() = default;
+  // True while this node is an un-promoted backup.
+  virtual bool IsBackup() const = 0;
+  // wire::kReplicate — apply one replication record, answer an ack.
+  virtual Status HandleReplicate(const Slice& request,
+                                 std::string* response) = 0;
+  // wire::kReplicaAck — answer the latest applied state (resume point).
+  virtual Status HandleAck(std::string* response) = 0;
+  // wire::kReplicaStatus — query or promote.
+  virtual Status HandleStatus(const Slice& request,
+                              std::string* response) = 0;
+};
+
 class SpitzServer {
  public:
   struct Options {
@@ -43,6 +63,12 @@ class SpitzServer {
     NetServer::Options net;
     // The database this server fronts; must outlive the server.
     SpitzDb* db = nullptr;
+    // When set, this server serves the replication methods (and
+    // advertises kFeatureReplication in its handshake); while
+    // replica->IsBackup() it answers every write-family method with
+    // Unavailable — a backup's state must be exactly the replicated
+    // stream until Promote(). Must outlive the server.
+    ReplicaService* replica = nullptr;
     // Processor nodes the pool runs; the dispatcher count defaults to
     // the same value so the network layer can keep them all busy.
     size_t processor_count = 4;

@@ -37,6 +37,12 @@ const char* MethodName(uint32_t method) {
       return "get_proof_at";
     case kScanProofAt:
       return "scan_proof_at";
+    case kReplicate:
+      return "replicate";
+    case kReplicaAck:
+      return "replica_ack";
+    case kReplicaStatus:
+      return "replica_status";
     default:
       return "unknown";
   }
@@ -59,6 +65,66 @@ void EncodeRows(const std::vector<PosEntry>& rows, std::string* out) {
     PutLengthPrefixedSlice(out, row.key);
     PutLengthPrefixedSlice(out, row.value);
   }
+}
+
+namespace {
+
+Status GetRawHash(Slice* input, Hash256* out) {
+  if (input->size() < Hash256::kSize) {
+    return Status::InvalidArgument("truncated hash in replica payload");
+  }
+  *out = Hash256::FromBytes(Slice(input->data(), Hash256::kSize));
+  input->remove_prefix(Hash256::kSize);
+  return Status::OK();
+}
+
+void PutRawHash(std::string* out, const Hash256& hash) {
+  out->append(reinterpret_cast<const char*>(hash.data()), Hash256::kSize);
+}
+
+}  // namespace
+
+void ReplicaAck::EncodeTo(std::string* out) const {
+  PutFixed64(out, applied_blocks);
+  PutRawHash(out, index_root);
+  PutRawHash(out, tip_hash);
+}
+
+Status ReplicaAck::DecodeFrom(Slice* input, ReplicaAck* out) {
+  if (input->size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated replica ack");
+  }
+  out->applied_blocks = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(uint64_t));
+  Status s = GetRawHash(input, &out->index_root);
+  if (!s.ok()) return s;
+  return GetRawHash(input, &out->tip_hash);
+}
+
+void ReplicaStatusResult::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(role));
+  applied.EncodeTo(out);
+  PutFixed64(out, digest_mismatches);
+  PutFixed64(out, applied_entries);
+}
+
+Status ReplicaStatusResult::DecodeFrom(Slice* input,
+                                       ReplicaStatusResult* out) {
+  if (input->empty()) {
+    return Status::InvalidArgument("truncated replica status");
+  }
+  out->role = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  Status s = ReplicaAck::DecodeFrom(input, &out->applied);
+  if (!s.ok()) return s;
+  if (input->size() < 2 * sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated replica status");
+  }
+  out->digest_mismatches = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(uint64_t));
+  out->applied_entries = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(uint64_t));
+  return Status::OK();
 }
 
 Status DecodeRows(Slice* input, std::vector<PosEntry>* out) {

@@ -31,12 +31,17 @@ enum Method : uint32_t {
   kTxnInDoubt = 13,  // req: -                           resp: var(n) fixed64*n
   kGetProofAt = 14,  // req: root lp(key)                resp: lp(value) proof
   kScanProofAt = 15,  // req: root lp(start) lp(end) var(limit) resp: rows proof
+  // v3 (protocol version 3): the primary-backup replication surface,
+  // served only by servers advertising kFeatureReplication.
+  kReplicate = 16,      // req: replication record          resp: replica ack
+  kReplicaAck = 17,     // req: -                           resp: replica ack
+  kReplicaStatus = 18,  // req: byte(command)               resp: replica status
 };
 
 // Metric-name suffix for a method id ("put", "get", ...); "unknown"
 // for ids outside the table.
 const char* MethodName(uint32_t method);
-constexpr size_t kMethodCount = 15;
+constexpr size_t kMethodCount = 18;
 
 // --- Shared payload fragments -------------------------------------------
 
@@ -48,6 +53,40 @@ Status DecodeDigest(Slice* input, SpitzDigest* out);
 // per row.
 void EncodeRows(const std::vector<PosEntry>& rows, std::string* out);
 Status DecodeRows(Slice* input, std::vector<PosEntry>* out);
+
+// --- Replication payloads (protocol v3) ----------------------------------
+
+// The backup's answer to one kReplicate (and to a kReplicaAck query):
+// how many blocks it has applied, and the index root + journal tip it
+// independently derived for the last one. The primary compares these
+// against its own ledger — equality per acked batch IS the replication
+// invariant; hash chaining makes tip equality imply full-chain
+// equality.
+struct ReplicaAck {
+  uint64_t applied_blocks = 0;
+  Hash256 index_root;  // zero until a block applied
+  Hash256 tip_hash;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, ReplicaAck* out);
+};
+
+// kReplicaStatus request commands.
+inline constexpr uint8_t kReplicaStatusQuery = 0;
+inline constexpr uint8_t kReplicaStatusPromote = 1;
+
+// The backup's role + replication state, returned by kReplicaStatus.
+struct ReplicaStatusResult {
+  // 0 = backup (applies kReplicate, rejects client writes);
+  // 1 = promoted (serves writes, rejects further kReplicate).
+  uint8_t role = 0;
+  ReplicaAck applied;           // last-agreed state
+  uint64_t digest_mismatches = 0;  // hard replication faults observed
+  uint64_t applied_entries = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(Slice* input, ReplicaStatusResult* out);
+};
 
 }  // namespace wire
 }  // namespace spitz
